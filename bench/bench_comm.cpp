@@ -1,0 +1,86 @@
+// Ablation A4: the thread-backed message-passing runtime itself — message
+// latency, bandwidth, barrier, and reduction cost. These are the "MPI"
+// overheads inside every Parda run.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "comm/comm.hpp"
+
+namespace parda::comm {
+namespace {
+
+void BM_PingPong(benchmark::State& state) {
+  const auto rounds = static_cast<int>(state.range(0));
+  const std::vector<std::uint64_t> payload(
+      static_cast<std::size_t>(state.range(1)), 42);
+  for (auto _ : state) {
+    run(2, [&](Comm& comm) {
+      for (int i = 0; i < rounds; ++i) {
+        if (comm.rank() == 0) {
+          comm.send(1, 1, payload);
+          benchmark::DoNotOptimize(comm.recv<std::uint64_t>(1, 2));
+        } else {
+          benchmark::DoNotOptimize(comm.recv<std::uint64_t>(0, 1));
+          comm.send(0, 2, payload);
+        }
+      }
+    });
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          rounds * 2);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          rounds * 2 *
+                          static_cast<std::int64_t>(payload.size() * 8));
+}
+
+// (rounds, payload words): latency-bound and bandwidth-bound points.
+BENCHMARK(BM_PingPong)->Args({1000, 1})->Args({100, 1 << 16})->UseRealTime();
+
+void BM_Barrier(benchmark::State& state) {
+  const auto np = static_cast<int>(state.range(0));
+  const int rounds = 500;
+  for (auto _ : state) {
+    run(np, [&](Comm& comm) {
+      for (int i = 0; i < rounds; ++i) comm.barrier();
+    });
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          rounds);
+}
+
+BENCHMARK(BM_Barrier)->Arg(2)->Arg(8)->UseRealTime();
+
+void BM_ReduceSum(benchmark::State& state) {
+  const auto np = static_cast<int>(state.range(0));
+  const std::vector<std::uint64_t> mine(
+      static_cast<std::size_t>(state.range(1)), 1);
+  const int rounds = 50;
+  for (auto _ : state) {
+    run(np, [&](Comm& comm) {
+      for (int i = 0; i < rounds; ++i) {
+        benchmark::DoNotOptimize(comm.reduce_sum_u64(
+            std::span<const std::uint64_t>(mine), 0, 3));
+      }
+    });
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          rounds);
+}
+
+BENCHMARK(BM_ReduceSum)->Args({4, 1 << 10})->Args({8, 1 << 14})->UseRealTime();
+
+void BM_SpawnTeardown(benchmark::State& state) {
+  // The fixed cost of comm::run itself (thread spawn + join per phase).
+  const auto np = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    run(np, [](Comm&) {});
+  }
+}
+
+BENCHMARK(BM_SpawnTeardown)->Arg(2)->Arg(8)->Arg(16)->UseRealTime();
+
+}  // namespace
+}  // namespace parda::comm
+
+BENCHMARK_MAIN();

@@ -1,0 +1,47 @@
+// Shared helpers for the paper-reproduction bench harnesses.
+//
+// Scaling: every harness honours PARDA_BENCH_SCALE (the SPEC footprint /
+// trace-length divisor; default kDefaultSpecScale = 8000, i.e. traces about
+// three orders of magnitude below the paper's). Set PARDA_BENCH_SCALE=1000
+// for the full-size scaled runs reported in EXPERIMENTS.md.
+//
+// Timing model: this host has a single core, so wall clock cannot show
+// parallel speedup. The harnesses therefore report, for each parallel run,
+//   - seq:   measured sequential Olken81 time,
+//   - work:  total CPU work across ranks,
+//   - crit:  the busiest rank's CPU time — the critical-path lower bound
+//            that a one-core-per-rank cluster would approach (what the
+//            paper's 64-node runs measure).
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include "workload/spec.hpp"
+
+namespace parda::bench {
+
+inline std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return std::strtoull(value, nullptr, 0);
+}
+
+inline std::uint64_t spec_scale() {
+  return env_u64("PARDA_BENCH_SCALE", kDefaultSpecScale);
+}
+
+/// Rank counts for scaling sweeps; the paper sweeps 8..64 physical cores,
+/// we sweep simulated ranks (threads) with critical-path accounting.
+inline const std::uint64_t kRankSweep[] = {8, 16, 32, 64};
+
+/// The paper's cache-bound sweep (512Kw..4Mw), divided by scale so the
+/// bound keeps the same proportion to the footprint.
+inline std::uint64_t scaled_bound(std::uint64_t paper_words) {
+  const std::uint64_t s = spec_scale();
+  const std::uint64_t b = paper_words / s;
+  return b < 16 ? 16 : b;
+}
+
+}  // namespace parda::bench

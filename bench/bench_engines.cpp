@@ -1,0 +1,107 @@
+// End-to-end engine comparison: full Parda runs templated over each tree
+// engine, plus the naive stack baseline, on one SPEC-like workload.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "core/parda.hpp"
+#include "seq/bennett_kruskal.hpp"
+#include "seq/interval_analyzer.hpp"
+#include "seq/naive.hpp"
+#include "seq/opt.hpp"
+#include "seq/olken.hpp"
+#include "tree/avl_tree.hpp"
+#include "tree/treap.hpp"
+#include "workload/spec.hpp"
+
+namespace parda {
+namespace {
+
+const std::vector<Addr>& shared_trace() {
+  static const std::vector<Addr> trace = [] {
+    auto w = make_spec_workload("gcc", bench::spec_scale(), 5);
+    return generate_trace(*w, 1 << 17);
+  }();
+  return trace;
+}
+
+template <typename Tree>
+void BM_PardaEngine(benchmark::State& state) {
+  const auto& trace = shared_trace();
+  PardaOptions options;
+  options.num_procs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const PardaResult r = parda_analyze<Tree>(trace, options);
+    benchmark::DoNotOptimize(r.hist.total());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(trace.size()));
+}
+
+BENCHMARK_TEMPLATE(BM_PardaEngine, SplayTree)->Arg(4)->UseRealTime();
+BENCHMARK_TEMPLATE(BM_PardaEngine, AvlTree)->Arg(4)->UseRealTime();
+BENCHMARK_TEMPLATE(BM_PardaEngine, Treap)->Arg(4)->UseRealTime();
+
+void BM_SequentialOlken(benchmark::State& state) {
+  const auto& trace = shared_trace();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(olken_analysis(trace).total());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(trace.size()));
+}
+
+BENCHMARK(BM_SequentialOlken);
+
+void BM_IntervalAnalyzer(benchmark::State& state) {
+  const auto& trace = shared_trace();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(interval_analysis(trace).total());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(trace.size()));
+}
+
+BENCHMARK(BM_IntervalAnalyzer);
+
+void BM_BennettKruskal(benchmark::State& state) {
+  const auto& trace = shared_trace();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bennett_kruskal_analysis(trace).total());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(trace.size()));
+}
+
+BENCHMARK(BM_BennettKruskal);
+
+void BM_OptStack(benchmark::State& state) {
+  // OPT stack distances (linear-stack percolation): run on a prefix — the
+  // per-reference cost is O(stack depth).
+  const auto& full = shared_trace();
+  const std::span<const Addr> trace(full.data(), 1 << 14);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(opt_distance_analysis(trace).total());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(trace.size()));
+}
+
+BENCHMARK(BM_OptStack);
+
+void BM_NaiveStack(benchmark::State& state) {
+  // O(N*M): run on a small prefix only.
+  const auto& full = shared_trace();
+  const std::span<const Addr> trace(full.data(), 1 << 12);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(naive_stack_analysis(trace).total());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(trace.size()));
+}
+
+BENCHMARK(BM_NaiveStack);
+
+}  // namespace
+}  // namespace parda
+
+BENCHMARK_MAIN();

@@ -1,0 +1,88 @@
+// Ablation A6: the custom robin-hood AddrMap versus std::unordered_map
+// under the exact churn pattern of reuse distance analysis (the original
+// Parda used GLib's hash table here).
+#include <benchmark/benchmark.h>
+
+#include <unordered_map>
+
+#include "hash/addr_map.hpp"
+#include "util/prng.hpp"
+#include "workload/generators.hpp"
+
+namespace parda {
+namespace {
+
+void BM_AddrMap_AnalysisChurn(benchmark::State& state) {
+  ZipfWorkload w(static_cast<std::uint64_t>(state.range(0)), 0.9, 3);
+  const auto trace = generate_trace(w, 1 << 16);
+  for (auto _ : state) {
+    AddrMap map;
+    Timestamp now = 0;
+    for (Addr a : trace) {
+      benchmark::DoNotOptimize(map.find(a));
+      map.insert_or_assign(a, now++);
+    }
+    benchmark::DoNotOptimize(map.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(trace.size()));
+}
+
+void BM_StdUnorderedMap_AnalysisChurn(benchmark::State& state) {
+  ZipfWorkload w(static_cast<std::uint64_t>(state.range(0)), 0.9, 3);
+  const auto trace = generate_trace(w, 1 << 16);
+  for (auto _ : state) {
+    std::unordered_map<Addr, Timestamp> map;
+    Timestamp now = 0;
+    for (Addr a : trace) {
+      benchmark::DoNotOptimize(map.find(a));
+      map.insert_or_assign(a, now++);
+    }
+    benchmark::DoNotOptimize(map.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(trace.size()));
+}
+
+BENCHMARK(BM_AddrMap_AnalysisChurn)->Arg(1 << 10)->Arg(1 << 15);
+BENCHMARK(BM_StdUnorderedMap_AnalysisChurn)->Arg(1 << 10)->Arg(1 << 15);
+
+void BM_AddrMap_EraseHeavy(benchmark::State& state) {
+  Xoshiro256 rng(11);
+  std::vector<Addr> keys(1 << 14);
+  for (Addr& k : keys) k = rng();
+  for (auto _ : state) {
+    AddrMap map;
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      map.insert_or_assign(keys[i], i);
+      if (i >= 1024) map.erase(keys[i - 1024]);
+    }
+    benchmark::DoNotOptimize(map.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(keys.size()));
+}
+
+void BM_StdUnorderedMap_EraseHeavy(benchmark::State& state) {
+  Xoshiro256 rng(11);
+  std::vector<Addr> keys(1 << 14);
+  for (Addr& k : keys) k = rng();
+  for (auto _ : state) {
+    std::unordered_map<Addr, Timestamp> map;
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      map.insert_or_assign(keys[i], i);
+      if (i >= 1024) map.erase(keys[i - 1024]);
+    }
+    benchmark::DoNotOptimize(map.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(keys.size()));
+}
+
+BENCHMARK(BM_AddrMap_EraseHeavy);
+BENCHMARK(BM_StdUnorderedMap_EraseHeavy);
+
+}  // namespace
+}  // namespace parda
+
+BENCHMARK_MAIN();

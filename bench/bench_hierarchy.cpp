@@ -1,0 +1,66 @@
+// Ablation A9: multi-level cache hierarchies (the Section I motivation).
+// One reuse distance histogram predicts every level of a global-LRU
+// hierarchy exactly; a realistic filtered hierarchy drifts from the
+// prediction — this harness quantifies both, per SPEC profile.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "cachesim/hierarchy.hpp"
+#include "seq/olken.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "workload/spec.hpp"
+
+int main() {
+  using namespace parda;
+  using namespace parda::bench;
+
+  const std::uint64_t scale = spec_scale();
+  const std::uint64_t maxrefs = env_u64("PARDA_BENCH_MAXREFS", 500'000);
+
+  // L1/L2/L3 capacities scaled like the cache bounds.
+  const std::vector<std::uint64_t> capacities{
+      scaled_bound(32ULL << 10), scaled_bound(512ULL << 10),
+      scaled_bound(8ULL << 20)};
+
+  std::printf(
+      "Hierarchy ablation: levels %s / %s / %s (scale 1/%llu)\n"
+      "global-LRU hit distribution is predicted exactly by the histogram; "
+      "the filtered (real) hierarchy drifts at L2/L3\n\n",
+      words_human(capacities[0]).c_str(), words_human(capacities[1]).c_str(),
+      words_human(capacities[2]).c_str(),
+      static_cast<unsigned long long>(scale));
+
+  TablePrinter table({"benchmark", "L1 hit%", "L2 hit% (pred)",
+                      "L2 hit% (filtered)", "L3 hit% (pred)",
+                      "L3 hit% (filtered)", "mem%"});
+  for (const SpecProfile& profile : spec_profiles()) {
+    auto w = make_spec_workload(profile, scale, /*seed=*/1);
+    const std::uint64_t n =
+        std::min<std::uint64_t>(profile.scaled_n(scale), maxrefs);
+    const auto trace = generate_trace(*w, n);
+    const Histogram hist = olken_analysis(trace);
+    const auto predicted = predict_level_hits(hist, capacities);
+
+    CacheHierarchy filtered(capacities, HierarchyPolicy::kFilteredLru);
+    for (Addr a : trace) filtered.access(a);
+
+    const auto pct = [&](double x) {
+      return TablePrinter::fmt(100.0 * x / static_cast<double>(n), 1);
+    };
+    table.add_row(
+        {std::string(profile.name),
+         pct(static_cast<double>(predicted[0])),
+         pct(static_cast<double>(predicted[1])),
+         pct(static_cast<double>(filtered.level(1).hits)),
+         pct(static_cast<double>(predicted[2])),
+         pct(static_cast<double>(filtered.level(2).hits)),
+         pct(static_cast<double>(filtered.memory_accesses()))});
+  }
+  table.print();
+  std::printf(
+      "\nL1 columns agree by construction (it sees the raw stream); the "
+      "filtered L2/L3 deviate where L1 hits starve their recency\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Ablation A1: order-statistic tree engine choice (splay vs AVL vs treap
+// vs sorted vector) under the reuse-distance access pattern — the design
+// space the paper's Section VII surveys ([13] AVL, [17][18] splay).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "seq/olken.hpp"
+#include "tree/avl_tree.hpp"
+#include "tree/splay_tree.hpp"
+#include "tree/treap.hpp"
+#include "tree/vector_tree.hpp"
+#include "workload/generators.hpp"
+
+namespace parda {
+namespace {
+
+template <typename Tree>
+void BM_OlkenEngine_Zipf(benchmark::State& state) {
+  ZipfWorkload w(static_cast<std::uint64_t>(state.range(0)), 0.9, 7);
+  const auto trace = generate_trace(w, 1 << 16);
+  for (auto _ : state) {
+    const Histogram h = olken_analysis<Tree>(trace);
+    benchmark::DoNotOptimize(h.total());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(trace.size()));
+}
+
+BENCHMARK_TEMPLATE(BM_OlkenEngine_Zipf, SplayTree)->Arg(1 << 10)->Arg(1 << 14);
+BENCHMARK_TEMPLATE(BM_OlkenEngine_Zipf, AvlTree)->Arg(1 << 10)->Arg(1 << 14);
+BENCHMARK_TEMPLATE(BM_OlkenEngine_Zipf, Treap)->Arg(1 << 10)->Arg(1 << 14);
+BENCHMARK_TEMPLATE(BM_OlkenEngine_Zipf, VectorTree)->Arg(1 << 10);
+
+template <typename Tree>
+void BM_OlkenEngine_Streaming(benchmark::State& state) {
+  // Sequential sweeps: the splay tree's worst-ish case (every access hits
+  // the tree's deepest key), the AVL tree's steady state.
+  SequentialWorkload w(static_cast<std::uint64_t>(state.range(0)));
+  const auto trace = generate_trace(w, 1 << 16);
+  for (auto _ : state) {
+    const Histogram h = olken_analysis<Tree>(trace);
+    benchmark::DoNotOptimize(h.total());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(trace.size()));
+}
+
+BENCHMARK_TEMPLATE(BM_OlkenEngine_Streaming, SplayTree)->Arg(1 << 12);
+BENCHMARK_TEMPLATE(BM_OlkenEngine_Streaming, AvlTree)->Arg(1 << 12);
+BENCHMARK_TEMPLATE(BM_OlkenEngine_Streaming, Treap)->Arg(1 << 12);
+
+template <typename Tree>
+void BM_TreeChurn(benchmark::State& state) {
+  // Raw insert/count/erase churn at a fixed resident size.
+  const std::uint64_t window = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    Tree tree;
+    for (Timestamp ts = 0; ts < 4 * window; ++ts) {
+      tree.insert(ts, ts);
+      if (ts >= window) {
+        benchmark::DoNotOptimize(tree.count_greater(ts - window));
+        tree.erase(ts - window);
+      }
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 4 *
+                          static_cast<std::int64_t>(window));
+}
+
+BENCHMARK_TEMPLATE(BM_TreeChurn, SplayTree)->Arg(1 << 12);
+BENCHMARK_TEMPLATE(BM_TreeChurn, AvlTree)->Arg(1 << 12);
+BENCHMARK_TEMPLATE(BM_TreeChurn, Treap)->Arg(1 << 12);
+
+}  // namespace
+}  // namespace parda
+
+BENCHMARK_MAIN();

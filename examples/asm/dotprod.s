@@ -1,0 +1,18 @@
+; Dot product of two 256-element vectors, for vm_pintool:
+;   ./vm_pintool --asm=examples/asm/dotprod.s
+;
+; a[] lives at [0, 256), b[] at [256, 512); the result lands in r5.
+.name dotprod
+.mem 512
+
+  movi r1, 0        ; i
+  movi r2, 256      ; n
+  movi r5, 0        ; acc
+loop:
+  load r3, r1, 0    ; a[i]
+  load r4, r1, 256  ; b[i]
+  mul  r3, r3, r4
+  add  r5, r5, r3
+  addi r1, r1, 1
+  blt  r1, r2, loop
+  halt

@@ -1,0 +1,25 @@
+; 64x64 matrix transpose, for vm_pintool:
+;   ./vm_pintool --asm=examples/asm/transpose.s
+;
+; Reads A row-major at [0, 4096), writes B at [4096, 8192). The column
+; writes stride by 64 words, giving the classic transpose locality gap
+; between read and write streams.
+.name transpose
+.mem 8192
+
+  movi r1, 0          ; i (row)
+  movi r2, 64         ; n
+outer:
+  movi r3, 0          ; j (col)
+inner:
+  mul  r4, r1, r2     ; i*n
+  add  r4, r4, r3     ; i*n + j
+  load r5, r4, 0      ; A[i][j]
+  mul  r6, r3, r2     ; j*n
+  add  r6, r6, r1     ; j*n + i
+  store r5, r6, 4096  ; B[j][i]
+  addi r3, r3, 1
+  blt  r3, r2, inner
+  addi r1, r1, 1
+  blt  r1, r2, outer
+  halt

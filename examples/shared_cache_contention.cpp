@@ -1,0 +1,72 @@
+// Shared-cache contention analysis for co-running SPEC-like workloads:
+// interleave their reference streams and quantify how much each program's
+// miss count inflates versus running alone — the multi-programmed setting
+// the paper's related work ([8][14][15]) studies with reuse distances.
+//
+//   ./shared_cache_contention --refs=50000 --cache=4096
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/shared_cache.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "workload/spec.hpp"
+
+int main(int argc, char** argv) {
+  using namespace parda;
+
+  std::uint64_t refs = 50000;
+  std::uint64_t cache = 4096;
+  std::uint64_t scale = kDefaultSpecScale * 4;
+  bool random_mix = false;
+
+  CliParser cli(
+      "Quantify shared-cache contention among co-running workloads from "
+      "their interleaved reuse distance histograms");
+  cli.add_flag("refs", &refs, "references per workload");
+  cli.add_flag("cache", &cache, "shared cache capacity in words");
+  cli.add_flag("scale", &scale, "SPEC footprint down-scaling factor");
+  cli.add_flag("random", &random_mix,
+               "random interleaving instead of round-robin");
+  cli.parse(argc, argv);
+
+  const std::vector<std::string> names{"povray", "mcf", "lbm", "gobmk"};
+  std::vector<std::vector<Addr>> streams;
+  for (std::size_t k = 0; k < names.size(); ++k) {
+    auto w = make_spec_workload(names[k], scale, /*seed=*/10 + k);
+    streams.push_back(generate_trace(*w, refs));
+    // Shift each stream into its own address region so interleaving
+    // models pure capacity contention, not data sharing.
+    for (Addr& a : streams.back()) a += static_cast<Addr>(k) << 50;
+  }
+
+  const SharedCacheAnalysis analysis = analyze_shared_cache(
+      streams,
+      random_mix ? InterleavePolicy::kRandom
+                 : InterleavePolicy::kRoundRobin,
+      /*seed=*/1);
+
+  std::printf("%zu workloads, %s references each, shared cache %s, %s "
+              "interleaving\n\n",
+              names.size(), with_commas(refs).c_str(),
+              words_human(cache).c_str(),
+              random_mix ? "random" : "round-robin");
+
+  TablePrinter table({"workload", "solo misses", "shared misses",
+                      "contention x"});
+  for (std::size_t k = 0; k < names.size(); ++k) {
+    table.add_row({names[k], with_commas(analysis.solo_misses(k, cache)),
+                   with_commas(analysis.shared_misses(k, cache)),
+                   TablePrinter::fmt(analysis.contention_factor(k, cache),
+                                     2)});
+  }
+  table.print();
+
+  std::printf(
+      "\nsmall-footprint workloads suffer most from large-footprint "
+      "co-runners; a cache holding all footprints shows factor 1.0\n");
+  return 0;
+}

@@ -1,0 +1,126 @@
+// trace_tool: generate, convert, and analyze trace files from the command
+// line — the offline companion to the streaming pipeline.
+//
+//   ./trace_tool gen --workload=lbm --refs=100000 --out=lbm.trc
+//   ./trace_tool analyze lbm.trc --procs=4 --bound=2048
+//   ./trace_tool convert lbm.trc lbm.txt
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/parda.hpp"
+#include "hist/mrc.hpp"
+#include "trace/trace_compress.hpp"
+#include "trace/trace_io.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "workload/parse.hpp"
+#include "workload/spec.hpp"
+
+namespace {
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::vector<parda::Addr> load(const std::string& path) {
+  if (ends_with(path, ".txt")) return parda::read_trace_text(path);
+  if (ends_with(path, ".trz")) return parda::read_trace_compressed(path);
+  return parda::read_trace_binary(path);
+}
+
+void store(const std::string& path, const std::vector<parda::Addr>& trace) {
+  if (ends_with(path, ".txt")) {
+    parda::write_trace_text(path, trace);
+  } else if (ends_with(path, ".trz")) {
+    parda::write_trace_compressed(path, trace);
+  } else {
+    parda::write_trace_binary(path, trace);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace parda;
+
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: trace_tool gen|analyze|convert [args] (--help for "
+                 "details)\n");
+    return 1;
+  }
+  const std::string command = argv[1];
+
+  std::string workload_name = "mcf";
+  std::uint64_t refs = 100000;
+  std::uint64_t seed = 1;
+  std::uint64_t scale = kDefaultSpecScale;
+  std::string out = "trace.trc";
+  std::uint64_t procs = 4;
+  std::uint64_t bound = 0;
+
+  CliParser cli("Parda trace file tool");
+  cli.add_flag("workload", &workload_name,
+               "gen: SPEC profile name or workload spec string");
+  cli.add_flag("refs", &refs, "gen: trace length");
+  cli.add_flag("seed", &seed, "gen: random seed");
+  cli.add_flag("scale", &scale, "gen: footprint scale");
+  cli.add_flag("out", &out, "gen: output path (.trc binary, .txt text)");
+  cli.add_flag("procs", &procs, "analyze: ranks");
+  cli.add_flag("bound", &bound, "analyze: cache bound (0 = unbounded)");
+  cli.parse(argc - 1, argv + 1);
+
+  if (command == "gen") {
+    // Accept either a bare Table IV profile name ("mcf") or a full
+    // workload spec string ("zipf:m=100000,a=0.9", "mix:...", "spec:mcf").
+    std::unique_ptr<Workload> w;
+    if (find_spec_profile(workload_name) != nullptr) {
+      w = make_spec_workload(workload_name, scale, seed);
+    } else {
+      w = parse_workload(workload_name, seed);
+    }
+    const auto trace = generate_trace(*w, refs);
+    store(out, trace);
+    std::printf("wrote %s references of %s to %s\n",
+                with_commas(refs).c_str(), w->name().c_str(), out.c_str());
+    return 0;
+  }
+  if (command == "analyze") {
+    if (cli.positionals().empty()) {
+      std::fprintf(stderr, "analyze: missing trace path\n");
+      return 1;
+    }
+    const auto trace = load(cli.positionals()[0]);
+    PardaOptions options;
+    options.num_procs = static_cast<int>(procs);
+    options.bound = bound;
+    const PardaResult result = parda_analyze(trace, options);
+    std::printf("%s references, %s distinct, max distance %s\n",
+                with_commas(result.hist.total()).c_str(),
+                with_commas(result.hist.infinities()).c_str(),
+                with_commas(result.hist.max_distance()).c_str());
+    TablePrinter table({"cache size", "miss ratio"});
+    for (const MrcPoint& p :
+         miss_ratio_curve_pow2(result.hist, result.hist.max_distance() + 2)) {
+      table.add_row(
+          {words_human(p.cache_size), TablePrinter::fmt(p.miss_ratio, 4)});
+    }
+    table.print();
+    return 0;
+  }
+  if (command == "convert") {
+    if (cli.positionals().size() < 2) {
+      std::fprintf(stderr, "convert: need input and output paths\n");
+      return 1;
+    }
+    const auto trace = load(cli.positionals()[0]);
+    store(cli.positionals()[1], trace);
+    std::printf("converted %zu references\n", trace.size());
+    return 0;
+  }
+  std::fprintf(stderr, "unknown command %s\n", command.c_str());
+  return 1;
+}

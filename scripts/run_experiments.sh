@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Regenerates every paper table/figure and the ablations.
+#
+# Usage:
+#   scripts/run_experiments.sh [builddir]
+#
+# Environment knobs (see bench/bench_common.hpp):
+#   PARDA_BENCH_SCALE    SPEC footprint/length divisor (default 8000;
+#                        1000 = the largest configuration we recommend)
+#   PARDA_BENCH_PROCS    analysis ranks for fixed-np harnesses (default 8)
+#   PARDA_BENCH_MAXREFS  per-benchmark reference cap (default 2,000,000)
+set -euo pipefail
+
+build=${1:-build}
+
+if [[ ! -d "$build/bench" ]]; then
+  echo "configuring and building into $build ..."
+  cmake -B "$build" -G Ninja
+  cmake --build "$build"
+fi
+
+echo "== tests =="
+ctest --test-dir "$build" --output-on-failure
+
+echo "== benches =="
+for b in "$build"/bench/bench_*; do
+  [[ -x "$b" && -f "$b" ]] || continue
+  echo "##### $(basename "$b")"
+  "$b"
+  echo
+done

@@ -1,0 +1,95 @@
+#include "apps/miss_rate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "cachesim/lru_cache.hpp"
+#include "cachesim/set_assoc_cache.hpp"
+#include "hist/mrc.hpp"
+#include "util/check.hpp"
+
+namespace parda {
+
+std::vector<MissRateReport> predict_miss_rates(
+    std::span<const Addr> trace, const Histogram& hist,
+    const std::vector<std::uint64_t>& cache_sizes, std::uint32_t ways) {
+  std::vector<MissRateReport> report;
+  report.reserve(cache_sizes.size());
+  for (std::uint64_t size : cache_sizes) {
+    PARDA_CHECK(size >= 1);
+    LruCache lru(size);
+    // Round the set-associative capacity down to a multiple of the
+    // associativity (at least one set).
+    const std::uint64_t blocks =
+        size < ways ? ways : size - size % ways;
+    SetAssocCache sa(CacheConfig{blocks, ways, 1});
+    for (Addr a : trace) {
+      lru.access(a);
+      sa.access(a);
+    }
+    report.push_back(MissRateReport{size, miss_ratio(hist, size),
+                                    lru.miss_ratio(), sa.miss_ratio()});
+  }
+  return report;
+}
+
+double set_assoc_miss_probability(Distance d, std::uint64_t sets,
+                                  std::uint32_t ways) noexcept {
+  if (sets == 0) return 1.0;
+  if (d < ways) return 0.0;  // cannot gather `ways` evictors in one set
+  if (sets == 1) return 1.0;  // fully associative: d >= ways always misses
+  const double p = 1.0 / static_cast<double>(sets);
+  const double q = 1.0 - p;
+  // P[X >= ways] = 1 - sum_{k < ways} C(d, k) p^k q^(d-k).
+  double term = std::pow(q, static_cast<double>(d));  // k = 0
+  double below = term;
+  for (std::uint32_t k = 1; k < ways; ++k) {
+    term *= (static_cast<double>(d) - static_cast<double>(k) + 1.0) /
+            static_cast<double>(k) * (p / q);
+    below += term;
+  }
+  const double miss = 1.0 - below;
+  return miss < 0.0 ? 0.0 : (miss > 1.0 ? 1.0 : miss);
+}
+
+double predict_set_assoc_miss_ratio(const Histogram& hist,
+                                    std::uint64_t sets, std::uint32_t ways) {
+  if (hist.total() == 0) return 0.0;
+  // Incremental evaluation of the binomial tail over ascending d: maintain
+  // the ways lowest binomial terms and update them from d to d+1.
+  const double p = 1.0 / static_cast<double>(sets);
+  const double q = 1.0 - p;
+  std::vector<double> terms(ways, 0.0);  // terms[k] = C(d,k) p^k q^(d-k)
+  terms[0] = 1.0;                        // d = 0
+  double expected_misses = static_cast<double>(hist.infinities());
+  const auto& counts = hist.counts();
+  for (std::size_t d = 0; d < counts.size(); ++d) {
+    if (counts[d] != 0) {
+      double below = 0.0;
+      for (double t : terms) below += t;
+      const double miss = std::max(0.0, 1.0 - below);
+      expected_misses += static_cast<double>(counts[d]) * miss;
+    }
+    // Advance the terms to d+1: C(d+1,k) p^k q^(d+1-k)
+    //   = q * C(d,k) p^k q^(d-k) + p * C(d,k-1) p^(k-1) q^(d-k+1).
+    double carry = 0.0;
+    for (std::uint32_t k = 0; k < ways; ++k) {
+      const double next = q * terms[k] + p * carry;
+      carry = terms[k];
+      terms[k] = next;
+    }
+  }
+  return expected_misses / static_cast<double>(hist.total());
+}
+
+double lru_prediction_error(const std::vector<MissRateReport>& report) {
+  if (report.empty()) return 0.0;
+  double acc = 0.0;
+  for (const MissRateReport& r : report) {
+    acc += std::abs(r.predicted - r.simulated_lru);
+  }
+  return acc / static_cast<double>(report.size());
+}
+
+}  // namespace parda

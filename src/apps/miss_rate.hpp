@@ -1,0 +1,45 @@
+// Miss-rate prediction from reuse distance histograms (the application of
+// Zhong et al. [20] and Marin & Mellor-Crummey [11] cited in the paper's
+// introduction): one analysis pass predicts the miss ratio of every cache
+// size; validated here against actual LRU and set-associative simulation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hist/histogram.hpp"
+#include "util/types.hpp"
+
+namespace parda {
+
+struct MissRateReport {
+  std::uint64_t cache_words;   // capacity in words
+  double predicted;            // from the histogram (fully associative LRU)
+  double simulated_lru;        // exact fully associative LRU simulation
+  double simulated_set_assoc;  // set-associative LRU simulation
+};
+
+/// Predicts the miss ratio at each capacity from the histogram and
+/// validates against both simulators over the same trace.
+std::vector<MissRateReport> predict_miss_rates(
+    std::span<const Addr> trace, const Histogram& hist,
+    const std::vector<std::uint64_t>& cache_sizes, std::uint32_t ways = 8);
+
+/// Mean absolute error between predicted and simulated_lru across a report
+/// (must be ~0: the prediction is exact for fully associative LRU).
+double lru_prediction_error(const std::vector<MissRateReport>& report);
+
+/// Smith's binomial model for set-associative caches (the correction Marin
+/// & Mellor-Crummey [11] apply to predict L1/L2 misses from reuse
+/// distances): a reference with d distinct intervening blocks misses a
+/// (sets x ways) cache with probability P[Binomial(d, 1/sets) >= ways].
+double set_assoc_miss_probability(Distance d, std::uint64_t sets,
+                                  std::uint32_t ways) noexcept;
+
+/// Expected miss ratio of a set-associative LRU cache predicted from the
+/// fully-associative reuse distance histogram via Smith's model.
+double predict_set_assoc_miss_ratio(const Histogram& hist,
+                                    std::uint64_t sets, std::uint32_t ways);
+
+}  // namespace parda

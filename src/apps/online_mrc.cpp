@@ -1,0 +1,58 @@
+#include "apps/online_mrc.hpp"
+
+#include <cmath>
+
+#include "hist/mrc.hpp"
+#include "util/check.hpp"
+
+namespace parda {
+
+OnlineMrcMonitor::OnlineMrcMonitor(std::uint64_t bound, std::uint64_t window,
+                                   double decay)
+    : analyzer_(bound), window_(window), decay_(decay) {
+  PARDA_CHECK(bound >= 1);
+  PARDA_CHECK(window >= 1);
+  PARDA_CHECK(decay > 0.0 && decay <= 1.0);
+}
+
+void OnlineMrcMonitor::access(Addr a) {
+  current_.record(analyzer_.access(a));
+  ++seen_;
+  if (seen_ % window_ == 0) roll_window();
+}
+
+void OnlineMrcMonitor::roll_window() {
+  if (decay_ == 1.0) {
+    aggregate_.merge(current_);
+  } else {
+    // aggregate = round(decay * aggregate) + current, bin by bin.
+    Histogram next;
+    const auto& counts = aggregate_.counts();
+    for (std::size_t d = 0; d < counts.size(); ++d) {
+      if (counts[d] == 0) continue;
+      const auto scaled = static_cast<std::uint64_t>(
+          std::llround(decay_ * static_cast<double>(counts[d])));
+      next.record(static_cast<Distance>(d), scaled);
+    }
+    next.record(kInfiniteDistance,
+                static_cast<std::uint64_t>(std::llround(
+                    decay_ * static_cast<double>(aggregate_.infinities()))));
+    next.merge(current_);
+    aggregate_ = std::move(next);
+  }
+  current_.clear();
+  ++windows_;
+}
+
+Histogram OnlineMrcMonitor::snapshot() const {
+  Histogram combined = aggregate_;
+  combined.merge(current_);
+  return combined;
+}
+
+double OnlineMrcMonitor::miss_ratio(std::uint64_t cache_size) const {
+  const Histogram combined = snapshot();
+  return parda::miss_ratio(combined, cache_size);
+}
+
+}  // namespace parda

@@ -1,0 +1,54 @@
+// Online miss-ratio-curve monitoring — the use case the paper's
+// conclusions call out ("applications that rely on online analysis, such
+// as cache sharing and partitioning"): a long-running consumer feeds
+// references as they happen and reads off a fresh, recency-weighted MRC
+// at any moment.
+//
+// The monitor runs a bounded analyzer (Algorithm 7's structure, so state
+// stays O(bound)) and folds each completed window's histogram into a
+// decayed aggregate: aggregate = decay * aggregate + window. decay = 1
+// remembers everything; smaller values track phase changes faster.
+#pragma once
+
+#include <cstdint>
+
+#include "hist/histogram.hpp"
+#include "seq/bounded.hpp"
+#include "tree/splay_tree.hpp"
+#include "util/types.hpp"
+
+namespace parda {
+
+class OnlineMrcMonitor {
+ public:
+  /// bound: largest cache size of interest (analysis state stays O(bound));
+  /// window: references per aggregation step; decay in (0, 1].
+  OnlineMrcMonitor(std::uint64_t bound, std::uint64_t window, double decay);
+
+  /// Feeds one reference.
+  void access(Addr a);
+
+  /// Recency-weighted miss ratio at the given cache size (<= bound).
+  /// Includes the partially filled current window.
+  double miss_ratio(std::uint64_t cache_size) const;
+
+  /// The decayed histogram (counts are scaled by the decay schedule).
+  Histogram snapshot() const;
+
+  std::uint64_t references_seen() const noexcept { return seen_; }
+  std::uint64_t windows_completed() const noexcept { return windows_; }
+  std::uint64_t bound() const noexcept { return analyzer_.bound(); }
+
+ private:
+  void roll_window();
+
+  BoundedAnalyzer<SplayTree> analyzer_;
+  std::uint64_t window_;
+  double decay_;
+  Histogram current_;    // in-progress window
+  Histogram aggregate_;  // decayed sum of completed windows (scaled)
+  std::uint64_t seen_ = 0;
+  std::uint64_t windows_ = 0;
+};
+
+}  // namespace parda

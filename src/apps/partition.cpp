@@ -1,0 +1,99 @@
+#include "apps/partition.hpp"
+
+#include <limits>
+
+#include "hist/mrc.hpp"
+#include "util/check.hpp"
+
+namespace parda {
+
+std::uint64_t stream_misses(const Histogram& hist, std::uint64_t units) {
+  return miss_count(hist, units);
+}
+
+namespace {
+
+std::uint64_t total_misses(const std::vector<Histogram>& streams,
+                           const std::vector<std::uint64_t>& alloc) {
+  std::uint64_t total = 0;
+  for (std::size_t k = 0; k < streams.size(); ++k) {
+    total += stream_misses(streams[k], alloc[k]);
+  }
+  return total;
+}
+
+}  // namespace
+
+PartitionResult partition_greedy(const std::vector<Histogram>& streams,
+                                 std::uint64_t total_units) {
+  PARDA_CHECK(!streams.empty());
+  const std::size_t k = streams.size();
+  std::vector<std::uint64_t> alloc(k, 0);
+  for (std::uint64_t unit = 0; unit < total_units; ++unit) {
+    std::size_t best = 0;
+    std::int64_t best_gain = -1;
+    for (std::size_t s = 0; s < k; ++s) {
+      const auto gain = static_cast<std::int64_t>(
+          stream_misses(streams[s], alloc[s]) -
+          stream_misses(streams[s], alloc[s] + 1));
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = s;
+      }
+    }
+    ++alloc[best];
+  }
+  PartitionResult result{alloc, total_misses(streams, alloc)};
+  return result;
+}
+
+PartitionResult partition_optimal(const std::vector<Histogram>& streams,
+                                  std::uint64_t total_units) {
+  PARDA_CHECK(!streams.empty());
+  const std::size_t k = streams.size();
+  const std::size_t budget = static_cast<std::size_t>(total_units);
+  constexpr std::uint64_t kInf = std::numeric_limits<std::uint64_t>::max();
+
+  // best[s][b]: minimal misses of streams 0..s with b units.
+  std::vector<std::vector<std::uint64_t>> best(
+      k, std::vector<std::uint64_t>(budget + 1, kInf));
+  std::vector<std::vector<std::uint64_t>> choice(
+      k, std::vector<std::uint64_t>(budget + 1, 0));
+
+  for (std::size_t b = 0; b <= budget; ++b) {
+    best[0][b] = stream_misses(streams[0], b);
+    choice[0][b] = b;
+  }
+  for (std::size_t s = 1; s < k; ++s) {
+    for (std::size_t b = 0; b <= budget; ++b) {
+      for (std::size_t mine = 0; mine <= b; ++mine) {
+        const std::uint64_t rest = best[s - 1][b - mine];
+        if (rest == kInf) continue;
+        const std::uint64_t cost = rest + stream_misses(streams[s], mine);
+        if (cost < best[s][b]) {
+          best[s][b] = cost;
+          choice[s][b] = mine;
+        }
+      }
+    }
+  }
+
+  std::vector<std::uint64_t> alloc(k, 0);
+  std::size_t b = budget;
+  for (std::size_t s = k; s-- > 0;) {
+    alloc[s] = choice[s][b];
+    b -= static_cast<std::size_t>(alloc[s]);
+  }
+  return PartitionResult{alloc, best[k - 1][budget]};
+}
+
+PartitionResult partition_even(const std::vector<Histogram>& streams,
+                               std::uint64_t total_units) {
+  PARDA_CHECK(!streams.empty());
+  const std::size_t k = streams.size();
+  std::vector<std::uint64_t> alloc(k, total_units / k);
+  for (std::size_t s = 0; s < total_units % k; ++s) ++alloc[s];
+  return PartitionResult{alloc, total_misses(streams, alloc)};
+}
+
+}  // namespace parda

@@ -1,0 +1,43 @@
+// Shared-cache partitioning from per-stream reuse distance histograms
+// (Lu et al. [9] "Soft-OLP" and Petoumenos et al. [14], cited in the
+// paper's introduction and conclusions as the online use case Parda
+// enables).
+//
+// Given K streams sharing a cache of C units, choose an allocation
+// (c_1..c_K, sum = C) minimizing total misses, where stream k's misses at
+// allocation c are read off its histogram. Miss curves from real programs
+// need not be convex, so the greedy marginal-gain allocator is a heuristic;
+// the exact dynamic-programming allocator is also provided and the tests
+// compare them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hist/histogram.hpp"
+
+namespace parda {
+
+struct PartitionResult {
+  std::vector<std::uint64_t> allocation;  // units per stream, sums to total
+  std::uint64_t total_misses = 0;
+};
+
+/// Misses of one stream when granted `units` of cache.
+std::uint64_t stream_misses(const Histogram& hist, std::uint64_t units);
+
+/// Greedy marginal-gain allocation (unit by unit to the stream whose next
+/// unit saves the most misses). O(total * K).
+PartitionResult partition_greedy(const std::vector<Histogram>& streams,
+                                 std::uint64_t total_units);
+
+/// Exact allocation by dynamic programming over (stream, budget).
+/// O(K * total^2) — fine for way-granularity problems.
+PartitionResult partition_optimal(const std::vector<Histogram>& streams,
+                                  std::uint64_t total_units);
+
+/// Baseline: equal split (remainder to the lowest-index streams).
+PartitionResult partition_even(const std::vector<Histogram>& streams,
+                               std::uint64_t total_units);
+
+}  // namespace parda

@@ -1,0 +1,39 @@
+// Locality phase detection (Shen et al. [16], cited in the paper's
+// introduction): the trace is cut into fixed windows, each summarized by
+// its log2-bucketed reuse distance signature; a phase boundary is declared
+// where consecutive signatures diverge beyond a threshold.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace parda {
+
+struct PhaseDetectOptions {
+  std::size_t window = 1 << 14;  // references per window
+  double threshold = 0.25;       // normalized L1 divergence in [0, 2]
+};
+
+struct PhaseBoundary {
+  std::size_t position;  // trace index where the new phase begins
+  double divergence;     // signature distance that triggered it
+};
+
+struct PhaseReport {
+  std::vector<PhaseBoundary> boundaries;
+  std::vector<std::vector<double>> signatures;  // per-window normalized
+};
+
+/// Normalized L1 distance between two signatures (range [0, 2]).
+double signature_distance(std::span<const double> a,
+                          std::span<const double> b) noexcept;
+
+/// Runs windowed reuse distance analysis over the trace and reports phase
+/// boundaries.
+PhaseReport detect_phases(std::span<const Addr> trace,
+                          const PhaseDetectOptions& options);
+
+}  // namespace parda

@@ -1,0 +1,59 @@
+#include "apps/superpage.hpp"
+
+#include "hist/mrc.hpp"
+#include "seq/olken.hpp"
+#include "util/check.hpp"
+
+namespace parda {
+
+std::vector<Addr> fold_to_pages(std::span<const Addr> trace,
+                                std::uint64_t page_words) {
+  PARDA_CHECK(page_words >= 1);
+  std::vector<Addr> pages;
+  pages.reserve(trace.size());
+  for (Addr a : trace) pages.push_back(a / page_words);
+  return pages;
+}
+
+double PageSizeReport::tlb_miss_ratio(std::uint64_t entries) const {
+  return miss_ratio(hist, entries);
+}
+
+PageSizeReport analyze_page_size(std::span<const Addr> trace,
+                                 std::uint64_t page_words) {
+  PageSizeReport report;
+  report.page_words = page_words;
+  const std::vector<Addr> pages = fold_to_pages(trace, page_words);
+  report.hist = olken_analysis(pages);
+  report.pages_touched = report.hist.infinities();
+  return report;
+}
+
+SuperpageChoice recommend_page_size(std::span<const Addr> trace,
+                                    const std::vector<std::uint64_t>& sizes,
+                                    std::uint64_t tlb_entries,
+                                    double tolerance) {
+  PARDA_CHECK(!sizes.empty());
+  std::vector<SuperpageChoice> choices;
+  double best = 1.0;
+  for (std::uint64_t size : sizes) {
+    const PageSizeReport report = analyze_page_size(trace, size);
+    const double ratio = report.tlb_miss_ratio(tlb_entries);
+    choices.push_back(SuperpageChoice{
+        size, ratio, report.pages_touched * size});
+    if (ratio < best) best = ratio;
+  }
+  // Smallest page size (assumed given smallest-first is NOT required —
+  // order by page size explicitly) within tolerance of the best ratio.
+  const SuperpageChoice* pick = nullptr;
+  for (const SuperpageChoice& c : choices) {
+    if (c.tlb_miss_ratio <= best + tolerance &&
+        (pick == nullptr || c.page_words < pick->page_words)) {
+      pick = &c;
+    }
+  }
+  PARDA_CHECK(pick != nullptr);
+  return *pick;
+}
+
+}  // namespace parda

@@ -1,0 +1,53 @@
+// Page-granularity reuse distance analysis for superpage management
+// (Cascaval et al. [3], cited in the paper's introduction: "virtual memory
+// management").
+//
+// Folding the word trace to page numbers and re-running the analysis
+// yields, per candidate page size, the TLB miss ratio for any TLB reach —
+// the signal an OS needs to decide when backing a region with superpages
+// pays off.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hist/histogram.hpp"
+#include "util/types.hpp"
+
+namespace parda {
+
+/// Word addresses -> page numbers for the given page size (power of two
+/// not required).
+std::vector<Addr> fold_to_pages(std::span<const Addr> trace,
+                                std::uint64_t page_words);
+
+struct PageSizeReport {
+  std::uint64_t page_words = 0;
+  std::uint64_t pages_touched = 0;  // footprint in pages
+  Histogram hist;                   // page-granularity reuse distances
+
+  /// Miss ratio of a fully-associative LRU TLB with `entries` entries.
+  double tlb_miss_ratio(std::uint64_t entries) const;
+};
+
+/// Analyzes one candidate page size.
+PageSizeReport analyze_page_size(std::span<const Addr> trace,
+                                 std::uint64_t page_words);
+
+struct SuperpageChoice {
+  std::uint64_t page_words = 0;
+  double tlb_miss_ratio = 0.0;
+  std::uint64_t mapped_words = 0;  // pages_touched * page_words (waste proxy)
+};
+
+/// Picks the smallest candidate whose TLB miss ratio comes within
+/// `tolerance` of the best achievable across candidates — bigger pages
+/// only pay their internal-fragmentation cost when they actually reduce
+/// TLB misses.
+SuperpageChoice recommend_page_size(std::span<const Addr> trace,
+                                    const std::vector<std::uint64_t>& sizes,
+                                    std::uint64_t tlb_entries,
+                                    double tolerance = 0.01);
+
+}  // namespace parda

@@ -1,0 +1,30 @@
+#include "apps/time_distance.hpp"
+
+#include "hash/addr_map.hpp"
+#include "seq/olken.hpp"
+
+namespace parda {
+
+Histogram time_distance_histogram(std::span<const Addr> trace) {
+  Histogram hist;
+  AddrMap last_seen;
+  for (std::size_t t = 0; t < trace.size(); ++t) {
+    if (const Timestamp* last = last_seen.find(trace[t])) {
+      // References strictly between the two accesses.
+      hist.record(static_cast<Distance>(t - *last - 1));
+    } else {
+      hist.record(kInfiniteDistance);
+    }
+    last_seen.insert_or_assign(trace[t], t);
+  }
+  return hist;
+}
+
+LocalityComparison compare_locality_metrics(std::span<const Addr> trace) {
+  LocalityComparison cmp;
+  cmp.reuse = olken_analysis(trace);
+  cmp.time = time_distance_histogram(trace);
+  return cmp;
+}
+
+}  // namespace parda

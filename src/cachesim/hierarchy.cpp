@@ -1,0 +1,69 @@
+#include "cachesim/hierarchy.hpp"
+
+#include "util/check.hpp"
+
+namespace parda {
+
+CacheHierarchy::CacheHierarchy(std::vector<std::uint64_t> capacities,
+                               HierarchyPolicy policy)
+    : policy_(policy) {
+  PARDA_CHECK(!capacities.empty());
+  std::uint64_t prev = 0;
+  for (std::uint64_t c : capacities) {
+    PARDA_CHECK(c > prev);
+    prev = c;
+    caches_.emplace_back(c);
+    LevelStats stats;
+    stats.capacity = c;
+    stats_.push_back(stats);
+  }
+}
+
+std::size_t CacheHierarchy::access(Addr a) {
+  std::size_t hit_level = caches_.size();
+  for (std::size_t i = 0; i < caches_.size(); ++i) {
+    const bool reached = hit_level == caches_.size();
+    if (!reached && policy_ == HierarchyPolicy::kFilteredLru) {
+      // A hit above satisfied the reference; lower levels see nothing
+      // (their recency and contents are untouched).
+      break;
+    }
+    if (reached) ++stats_[i].accesses;
+    const bool hit = caches_[i].access(a);
+    if (reached) {
+      if (hit) {
+        ++stats_[i].hits;
+        hit_level = i;
+      } else {
+        ++stats_[i].misses;
+      }
+    }
+  }
+  if (hit_level == caches_.size()) ++memory_;
+  return hit_level;
+}
+
+void CacheHierarchy::reset() {
+  for (LruCache& cache : caches_) cache.reset();
+  for (LevelStats& stats : stats_) {
+    const std::uint64_t cap = stats.capacity;
+    stats = LevelStats{};
+    stats.capacity = cap;
+  }
+  memory_ = 0;
+}
+
+std::vector<std::uint64_t> predict_level_hits(
+    const Histogram& hist, const std::vector<std::uint64_t>& capacities) {
+  std::vector<std::uint64_t> hits;
+  hits.reserve(capacities.size());
+  std::uint64_t below_prev = 0;
+  for (std::uint64_t c : capacities) {
+    const std::uint64_t below = hist.hits_below(c);
+    hits.push_back(below - below_prev);
+    below_prev = below;
+  }
+  return hits;
+}
+
+}  // namespace parda

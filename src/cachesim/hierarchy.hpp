@@ -1,0 +1,75 @@
+// Multi-level LRU cache hierarchy simulator (the paper's Section I
+// motivates reuse distance with the multi-level cache designs of modern
+// processors).
+//
+// Two recency policies are supported per hierarchy:
+//  - kGlobalLru: every level observes every reference (a "stack" LRU
+//    hierarchy). With fully-associative levels the Mattson inclusion
+//    property extends across levels, so one reuse distance histogram
+//    predicts every level exactly: level i hits references with
+//    capacity(i-1) <= d < capacity(i).
+//  - kFilteredLru: a level only observes the references that miss above
+//    it (real hardware). The filtering perturbs recency order, so the
+//    single-histogram prediction becomes an approximation — the tests
+//    quantify the gap.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cachesim/lru_cache.hpp"
+#include "hist/histogram.hpp"
+#include "util/types.hpp"
+
+namespace parda {
+
+enum class HierarchyPolicy {
+  kGlobalLru,    // all levels update recency on every access
+  kFilteredLru,  // level i updates only on a miss in levels < i
+};
+
+struct LevelStats {
+  std::uint64_t capacity = 0;
+  std::uint64_t accesses = 0;  // references that reached this level
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+
+  double local_hit_ratio() const noexcept {
+    return accesses == 0
+               ? 0.0
+               : static_cast<double>(hits) / static_cast<double>(accesses);
+  }
+};
+
+class CacheHierarchy {
+ public:
+  /// capacities must be strictly increasing (inclusive hierarchy).
+  CacheHierarchy(std::vector<std::uint64_t> capacities,
+                 HierarchyPolicy policy);
+
+  /// Accesses one address; returns the level that hit (0-based), or the
+  /// level count if it missed everywhere (memory access).
+  std::size_t access(Addr a);
+
+  std::size_t levels() const noexcept { return caches_.size(); }
+  const LevelStats& level(std::size_t i) const { return stats_[i]; }
+
+  /// References that missed every level.
+  std::uint64_t memory_accesses() const noexcept { return memory_; }
+
+  void reset();
+
+ private:
+  HierarchyPolicy policy_;
+  std::vector<LruCache> caches_;
+  std::vector<LevelStats> stats_;
+  std::uint64_t memory_ = 0;
+};
+
+/// Predicted per-level hits for a global-LRU fully-associative hierarchy:
+/// level i captures references with capacities[i-1] <= d < capacities[i].
+/// Exact for HierarchyPolicy::kGlobalLru (asserted in tests).
+std::vector<std::uint64_t> predict_level_hits(
+    const Histogram& hist, const std::vector<std::uint64_t>& capacities);
+
+}  // namespace parda

@@ -1,0 +1,60 @@
+#include "cachesim/lru_cache.hpp"
+
+#include "util/check.hpp"
+
+namespace parda {
+
+LruCache::LruCache(std::uint64_t capacity) : capacity_(capacity) {
+  PARDA_CHECK(capacity >= 1);
+}
+
+bool LruCache::access(Addr a, bool is_write) {
+  if (const Timestamp* slot = index_.find(a)) {
+    lru_.splice(lru_.begin(), lru_, slots_[*slot]);  // move to MRU
+    lru_.front().dirty |= is_write;
+    ++hits_;
+    return true;
+  }
+  ++misses_;
+  if (lru_.size() >= capacity_) {
+    const Line victim = lru_.back();
+    lru_.pop_back();
+    if (victim.dirty) ++writebacks_;
+    const Timestamp* victim_slot = index_.find(victim.addr);
+    PARDA_DCHECK(victim_slot != nullptr);
+    free_slots_.push_back(*victim_slot);
+    index_.erase(victim.addr);
+  }
+  lru_.push_front(Line{a, is_write});
+  std::uint64_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    slots_[slot] = lru_.begin();
+  } else {
+    slot = slots_.size();
+    slots_.push_back(lru_.begin());
+  }
+  index_.insert_or_assign(a, slot);
+  return false;
+}
+
+std::uint64_t LruCache::dirty_resident() const noexcept {
+  std::uint64_t dirty = 0;
+  for (const Line& line : lru_) {
+    if (line.dirty) ++dirty;
+  }
+  return dirty;
+}
+
+void LruCache::reset() {
+  lru_.clear();
+  index_.clear();
+  slots_.clear();
+  free_slots_.clear();
+  hits_ = 0;
+  misses_ = 0;
+  writebacks_ = 0;
+}
+
+}  // namespace parda

@@ -1,0 +1,63 @@
+// Exact fully-associative LRU cache simulator.
+//
+// This is the model reuse distance analysis predicts (paper Section I,
+// advantage (1)): with capacity C, a reference hits iff its reuse distance
+// is < C. The integration tests drive the simulator and the analyzers over
+// the same traces and require hits == hist.hits_below(C) exactly.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <vector>
+
+#include "hash/addr_map.hpp"
+#include "util/types.hpp"
+
+namespace parda {
+
+class LruCache {
+ public:
+  explicit LruCache(std::uint64_t capacity);
+
+  /// Accesses one address; returns true on hit. Misses insert (and evict
+  /// the least recently used entry if full). Writes mark the line dirty;
+  /// evicting a dirty line counts a writeback (write-allocate,
+  /// write-back policy).
+  bool access(Addr a, bool is_write = false);
+
+  std::uint64_t capacity() const noexcept { return capacity_; }
+  std::uint64_t hits() const noexcept { return hits_; }
+  std::uint64_t misses() const noexcept { return misses_; }
+  std::uint64_t accesses() const noexcept { return hits_ + misses_; }
+  std::uint64_t writebacks() const noexcept { return writebacks_; }
+  /// Dirty lines still resident (flushed writebacks at program end).
+  std::uint64_t dirty_resident() const noexcept;
+  std::size_t resident() const noexcept { return lru_.size(); }
+
+  double miss_ratio() const noexcept {
+    const std::uint64_t n = accesses();
+    return n == 0 ? 0.0 : static_cast<double>(misses_) / static_cast<double>(n);
+  }
+
+  void reset();
+
+ private:
+  struct Line {
+    Addr addr;
+    bool dirty;
+  };
+
+  std::uint64_t capacity_;
+  // Recency list (front = MRU) plus an index from address to list node:
+  // AddrMap maps addr -> slot id, slots_ holds the list iterators (ids
+  // recycled through free_slots_).
+  std::list<Line> lru_;
+  AddrMap index_;
+  std::vector<std::list<Line>::iterator> slots_;
+  std::vector<std::uint64_t> free_slots_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t writebacks_ = 0;
+};
+
+}  // namespace parda

@@ -1,0 +1,56 @@
+#include "cachesim/set_assoc_cache.hpp"
+
+#include "util/check.hpp"
+#include "util/prng.hpp"
+
+namespace parda {
+
+SetAssocCache::SetAssocCache(const CacheConfig& config) : config_(config) {
+  PARDA_CHECK(config.ways >= 1);
+  PARDA_CHECK(config.block_words >= 1);
+  PARDA_CHECK(config.total_blocks % config.ways == 0);
+  PARDA_CHECK(config.num_sets() >= 1);
+  lines_.resize(config.total_blocks);
+}
+
+bool SetAssocCache::access(Addr a, bool is_write) {
+  const Addr block = a / config_.block_words;
+  // Hash the block number into a set so the synthetic region layout
+  // (disjoint high bits) does not alias pathologically.
+  const std::uint64_t set = mix64(block) % config_.num_sets();
+  Line* base = &lines_[set * config_.ways];
+  ++tick_;
+
+  Line* lru = base;
+  for (std::uint32_t w = 0; w < config_.ways; ++w) {
+    Line& line = base[w];
+    if (line.valid && line.tag == block) {
+      line.last_used = tick_;
+      line.dirty |= is_write;
+      ++hits_;
+      return true;
+    }
+    if (!line.valid) {
+      lru = &line;  // prefer an invalid way
+    } else if (lru->valid && line.last_used < lru->last_used) {
+      lru = &line;
+    }
+  }
+  ++misses_;
+  if (lru->valid && lru->dirty) ++writebacks_;
+  lru->tag = block;
+  lru->valid = true;
+  lru->dirty = is_write;
+  lru->last_used = tick_;
+  return false;
+}
+
+void SetAssocCache::reset() {
+  for (Line& line : lines_) line = Line{};
+  tick_ = 0;
+  hits_ = 0;
+  misses_ = 0;
+  writebacks_ = 0;
+}
+
+}  // namespace parda

@@ -1,0 +1,153 @@
+#include "comm/comm.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+
+#include "util/timer.hpp"
+
+namespace parda::comm {
+
+namespace detail {
+
+void Mailbox::push(Message msg) {
+  {
+    std::lock_guard lock(mu_);
+    queue_.push_back(std::move(msg));
+  }
+  cv_.notify_all();
+}
+
+Message Mailbox::pop(int src, int tag) {
+  std::unique_lock lock(mu_);
+  while (true) {
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (match(*it, src, tag)) {
+        Message msg = std::move(*it);
+        queue_.erase(it);
+        return msg;
+      }
+    }
+    cv_.wait(lock);
+  }
+}
+
+bool Mailbox::try_pop(int src, int tag, Message& out) {
+  std::lock_guard lock(mu_);
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (match(*it, src, tag)) {
+      out = std::move(*it);
+      queue_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+World::World(int np) {
+  PARDA_CHECK(np >= 1);
+  mailboxes_.reserve(static_cast<std::size_t>(np));
+  for (int i = 0; i < np; ++i)
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+}
+
+void World::barrier() {
+  std::unique_lock lock(barrier_mu_);
+  const std::uint64_t my_generation = barrier_generation_;
+  if (++barrier_count_ == size()) {
+    barrier_count_ = 0;
+    ++barrier_generation_;
+    barrier_cv_.notify_all();
+    return;
+  }
+  barrier_cv_.wait(lock,
+                   [&] { return barrier_generation_ != my_generation; });
+}
+
+}  // namespace detail
+
+std::vector<std::uint64_t> Comm::reduce_sum_u64(
+    std::span<const std::uint64_t> mine, int root, int tag) {
+  // Binomial-tree reduction in rank space relative to root, like a real
+  // MPI_Reduce: log2(np) rounds, each rank sends once.
+  const int np = size();
+  const int me = (rank_ - root + np) % np;  // virtual rank, root at 0
+  std::vector<std::uint64_t> acc(mine.begin(), mine.end());
+  for (int step = 1; step < np; step <<= 1) {
+    if ((me & step) != 0) {
+      const int dest = ((me - step) + root) % np;
+      send(dest, tag, std::span<const std::uint64_t>(acc));
+      return {};
+    }
+    if (me + step < np) {
+      const int src = (me + step + root) % np;
+      std::vector<std::uint64_t> incoming = recv<std::uint64_t>(src, tag);
+      if (incoming.size() > acc.size()) acc.resize(incoming.size(), 0);
+      for (std::size_t i = 0; i < incoming.size(); ++i) acc[i] += incoming[i];
+    }
+  }
+  return acc;
+}
+
+std::vector<std::uint64_t> Comm::allreduce_sum_u64(
+    std::span<const std::uint64_t> mine, int tag) {
+  std::vector<std::uint64_t> total = reduce_sum_u64(mine, 0, tag);
+  return broadcast(std::move(total), 0, tag);
+}
+
+RunStats run(int np, const std::function<void(Comm&)>& fn) {
+  detail::World world(np);
+  RunStats stats;
+  stats.ranks.resize(static_cast<std::size_t>(np));
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(np));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(np));
+
+  WallTimer wall;
+  for (int r = 0; r < np; ++r) {
+    threads.emplace_back([&, r] {
+      RankStats& rank_stats = stats.ranks[static_cast<std::size_t>(r)];
+      Comm comm(world, r, rank_stats);
+      ThreadCpuTimer cpu;
+      try {
+        fn(comm);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+      rank_stats.busy_seconds = cpu.seconds();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  stats.wall_seconds = wall.seconds();
+
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+  return stats;
+}
+
+double RunStats::max_busy() const noexcept {
+  double m = 0.0;
+  for (const RankStats& r : ranks) m = std::max(m, r.busy_seconds);
+  return m;
+}
+
+double RunStats::total_busy() const noexcept {
+  double s = 0.0;
+  for (const RankStats& r : ranks) s += r.busy_seconds;
+  return s;
+}
+
+std::uint64_t RunStats::total_bytes() const noexcept {
+  std::uint64_t s = 0;
+  for (const RankStats& r : ranks) s += r.bytes_sent;
+  return s;
+}
+
+std::uint64_t RunStats::total_messages() const noexcept {
+  std::uint64_t s = 0;
+  for (const RankStats& r : ranks) s += r.messages_sent;
+  return s;
+}
+
+}  // namespace parda::comm

@@ -1,0 +1,265 @@
+// A from-scratch message-passing runtime with MPI semantics, backed by
+// threads in one process.
+//
+// The original Parda runs on MVAPICH over Infiniband; this repository
+// substitutes a runtime with the same programming model — ranks, two-sided
+// tagged send/recv, barrier, gather/reduce/broadcast collectives — so the
+// algorithm code reads like the paper's pseudocode (Send(x, p-1),
+// S <- Recv(p+1), reduce_sum(hist)) while running portably on a laptop.
+//
+// Per-rank CPU-time accounting is built in: every rank's thread measures
+// its own CLOCK_THREAD_CPUTIME_ID, so blocked time (waiting in recv or
+// barrier) is not charged. On a single-core host this is what makes the
+// paper's scaling figures reproducible: simulated parallel time is the
+// maximum per-rank busy time, which the bench harnesses report alongside
+// wall clock.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace parda::comm {
+
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+/// Raw message envelope.
+struct Message {
+  int src = 0;
+  int tag = 0;
+  std::vector<std::byte> payload;
+};
+
+/// Per-rank statistics collected by the runtime.
+struct RankStats {
+  double busy_seconds = 0.0;  // thread CPU time inside the rank function
+  std::uint64_t messages_sent = 0;
+  std::uint64_t bytes_sent = 0;
+};
+
+/// Whole-run statistics returned by run().
+struct RunStats {
+  double wall_seconds = 0.0;
+  std::vector<RankStats> ranks;
+
+  /// Lower bound on parallel execution time with one core per rank: the
+  /// busiest rank's CPU time.
+  double max_busy() const noexcept;
+  /// Total CPU work across ranks (what a 1-core schedule must execute).
+  double total_busy() const noexcept;
+  std::uint64_t total_bytes() const noexcept;
+  std::uint64_t total_messages() const noexcept;
+};
+
+namespace detail {
+
+/// Inbound queue for one rank. Multiple producers, single consumer.
+class Mailbox {
+ public:
+  void push(Message msg);
+  /// Blocks until a message matching (src, tag) is available and removes
+  /// it. kAnySource / kAnyTag act as wildcards. Matching among eligible
+  /// messages is FIFO by arrival.
+  Message pop(int src, int tag);
+  bool try_pop(int src, int tag, Message& out);
+
+ private:
+  bool match(const Message& m, int src, int tag) const noexcept {
+    return (src == kAnySource || m.src == src) &&
+           (tag == kAnyTag || m.tag == tag);
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+};
+
+class World {
+ public:
+  explicit World(int np);
+
+  int size() const noexcept { return static_cast<int>(mailboxes_.size()); }
+  Mailbox& mailbox(int rank) { return *mailboxes_[rank]; }
+
+  /// Central sense-reversing barrier.
+  void barrier();
+
+ private:
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::mutex barrier_mu_;
+  std::condition_variable barrier_cv_;
+  int barrier_count_ = 0;
+  std::uint64_t barrier_generation_ = 0;
+};
+
+}  // namespace detail
+
+/// The per-rank communicator handle passed to the rank function.
+class Comm {
+ public:
+  Comm(detail::World& world, int rank, RankStats& stats)
+      : world_(world), rank_(rank), stats_(stats) {}
+
+  Comm(const Comm&) = delete;
+  Comm& operator=(const Comm&) = delete;
+
+  int rank() const noexcept { return rank_; }
+  int size() const noexcept { return world_.size(); }
+
+  /// Sends a contiguous buffer of trivially copyable elements.
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void send(int dest, int tag, std::span<const T> data) {
+    PARDA_CHECK(dest >= 0 && dest < size());
+    Message msg;
+    msg.src = rank_;
+    msg.tag = tag;
+    msg.payload.resize(data.size_bytes());
+    if (!data.empty())
+      std::memcpy(msg.payload.data(), data.data(), data.size_bytes());
+    stats_.messages_sent += 1;
+    stats_.bytes_sent += msg.payload.size();
+    world_.mailbox(dest).push(std::move(msg));
+  }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void send(int dest, int tag, const std::vector<T>& data) {
+    send(dest, tag, std::span<const T>(data));
+  }
+
+  /// Blocking receive; returns the payload reinterpreted as a vector<T>.
+  /// If actual_src / actual_tag are non-null they receive the matched
+  /// envelope fields (useful with wildcards).
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  std::vector<T> recv(int src, int tag, int* actual_src = nullptr,
+                      int* actual_tag = nullptr) {
+    Message msg = world_.mailbox(rank_).pop(src, tag);
+    PARDA_CHECK(msg.payload.size() % sizeof(T) == 0);
+    std::vector<T> out(msg.payload.size() / sizeof(T));
+    if (!out.empty())
+      std::memcpy(out.data(), msg.payload.data(), msg.payload.size());
+    if (actual_src != nullptr) *actual_src = msg.src;
+    if (actual_tag != nullptr) *actual_tag = msg.tag;
+    return out;
+  }
+
+  void barrier() { world_.barrier(); }
+
+  /// Gathers each rank's buffer at root; returns per-rank buffers at root
+  /// (indexed by rank), empty elsewhere.
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  std::vector<std::vector<T>> gather(std::span<const T> mine, int root,
+                                     int tag) {
+    if (rank_ != root) {
+      send(root, tag, mine);
+      return {};
+    }
+    std::vector<std::vector<T>> all(size());
+    all[root].assign(mine.begin(), mine.end());
+    for (int r = 0; r < size(); ++r) {
+      if (r == root) continue;
+      all[r] = recv<T>(r, tag);
+    }
+    return all;
+  }
+
+  /// Broadcast root's buffer to all ranks; returns the buffer everywhere.
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  std::vector<T> broadcast(std::vector<T> data, int root, int tag) {
+    if (rank_ == root) {
+      for (int r = 0; r < size(); ++r) {
+        if (r != root) send(r, tag, data);
+      }
+      return data;
+    }
+    return recv<T>(root, tag);
+  }
+
+  /// Scatters per-rank buffers from root: rank r receives pieces[r].
+  /// Only root reads `pieces` (it may be empty elsewhere); every rank
+  /// returns its own piece.
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  std::vector<T> scatterv(const std::vector<std::vector<T>>& pieces,
+                          int root, int tag) {
+    if (rank_ == root) {
+      PARDA_CHECK(static_cast<int>(pieces.size()) == size());
+      for (int r = 0; r < size(); ++r) {
+        if (r != root) send(r, tag, pieces[static_cast<std::size_t>(r)]);
+      }
+      return pieces[static_cast<std::size_t>(root)];
+    }
+    return recv<T>(root, tag);
+  }
+
+  /// Gather-to-all: every rank contributes a buffer and receives all of
+  /// them (gather at rank 0 + broadcast of the concatenation).
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  std::vector<std::vector<T>> allgather(std::span<const T> mine, int tag) {
+    std::vector<std::vector<T>> all = gather(mine, 0, tag);
+    // Flatten with a length prefix per rank, broadcast, and re-split.
+    std::vector<std::uint64_t> lengths(static_cast<std::size_t>(size()));
+    std::vector<T> flat;
+    if (rank_ == 0) {
+      for (int r = 0; r < size(); ++r) {
+        lengths[static_cast<std::size_t>(r)] =
+            all[static_cast<std::size_t>(r)].size();
+        flat.insert(flat.end(), all[static_cast<std::size_t>(r)].begin(),
+                    all[static_cast<std::size_t>(r)].end());
+      }
+    }
+    lengths = broadcast(std::move(lengths), 0, tag);
+    flat = broadcast(std::move(flat), 0, tag);
+    std::vector<std::vector<T>> out(static_cast<std::size_t>(size()));
+    std::size_t at = 0;
+    for (int r = 0; r < size(); ++r) {
+      const auto len =
+          static_cast<std::size_t>(lengths[static_cast<std::size_t>(r)]);
+      out[static_cast<std::size_t>(r)].assign(flat.begin() + at,
+                                              flat.begin() + at + len);
+      at += len;
+    }
+    return out;
+  }
+
+  /// Element-wise sum reduction of equal-or-ragged length u64 buffers at
+  /// root (ragged buffers are summed up to each buffer's length). Used for
+  /// the histogram reduction; returns the sum at root, empty elsewhere.
+  std::vector<std::uint64_t> reduce_sum_u64(
+      std::span<const std::uint64_t> mine, int root, int tag);
+
+  /// Allreduce: reduce_sum at rank 0 followed by a broadcast; every rank
+  /// returns the element-wise sum.
+  std::vector<std::uint64_t> allreduce_sum_u64(
+      std::span<const std::uint64_t> mine, int tag);
+
+  RankStats& stats() noexcept { return stats_; }
+
+ private:
+  detail::World& world_;
+  int rank_;
+  RankStats& stats_;
+};
+
+/// Spawns np threads, invokes fn(comm) on each, joins, and returns run
+/// statistics. Any exception thrown by a rank is rethrown (first one wins)
+/// after all threads are joined.
+RunStats run(int np, const std::function<void(Comm&)>& fn);
+
+}  // namespace parda::comm

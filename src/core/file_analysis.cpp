@@ -1,0 +1,35 @@
+#include "core/file_analysis.hpp"
+
+#include <thread>
+
+#include "trace/trace_io.hpp"
+#include "trace/trace_pipe.hpp"
+
+namespace parda {
+
+PardaResult parda_analyze_file(const std::string& path,
+                               const PardaOptions& options,
+                               std::size_t pipe_words) {
+  BinaryTraceReader reader(path);
+  TracePipe pipe(pipe_words);
+  std::exception_ptr producer_error;
+  std::thread producer([&] {
+    try {
+      const std::size_t block = std::max<std::size_t>(1, pipe_words / 4);
+      while (true) {
+        std::vector<Addr> chunk = reader.read_words(block);
+        if (chunk.empty()) break;
+        pipe.write(std::move(chunk));
+      }
+    } catch (...) {
+      producer_error = std::current_exception();
+    }
+    pipe.close();
+  });
+  PardaResult result = parda_analyze_stream(pipe, options);
+  producer.join();
+  if (producer_error) std::rethrow_exception(producer_error);
+  return result;
+}
+
+}  // namespace parda

@@ -1,0 +1,20 @@
+// Streaming analysis of on-disk traces: bridges a trace file into the
+// multi-phase online algorithm through a TracePipe, so traces larger than
+// memory are analyzed at O(pipe + rank state) footprint — the offline
+// counterpart of the Figure 3 framework.
+#pragma once
+
+#include <string>
+
+#include "core/parda.hpp"
+
+namespace parda {
+
+/// Analyzes a binary (.trc) trace file by streaming it through a bounded
+/// pipe into parda_analyze_stream. pipe_words controls the producer/
+/// consumer buffering (the paper's pipe-size knob).
+PardaResult parda_analyze_file(const std::string& path,
+                               const PardaOptions& options,
+                               std::size_t pipe_words = 1 << 20);
+
+}  // namespace parda

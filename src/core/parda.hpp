@@ -1,0 +1,269 @@
+// Parda: parallel reuse distance analysis (paper Algorithms 3-7).
+//
+// Two entry points:
+//  - parda_analyze:        offline analysis of an in-memory trace divided
+//                          into np contiguous chunks (Algorithm 3, with the
+//                          space-optimized merge of Algorithm 4 and the
+//                          cache bound of Algorithm 7).
+//  - parda_analyze_stream: online multi-phase analysis of a TracePipe fed
+//                          by a concurrent producer (Algorithms 5-6 with
+//                          the rank-reversal optimization), reproducing the
+//                          Figure 3 framework: producer -> pipe -> rank 0
+//                          -> scatter -> ranks -> merge -> reduce.
+//
+// Both run on the thread-backed comm runtime and return the histogram plus
+// per-rank work statistics (used for critical-path scaling reports).
+#pragma once
+
+#include <span>
+
+#include "comm/comm.hpp"
+#include "core/messages.hpp"
+#include "core/rank_state.hpp"
+#include "hist/histogram.hpp"
+#include "trace/trace_pipe.hpp"
+#include "tree/splay_tree.hpp"
+#include "util/check.hpp"
+#include "util/types.hpp"
+
+namespace parda {
+
+struct PardaOptions {
+  /// Number of ranks (the paper's np). Each becomes one thread.
+  int num_procs = 4;
+  /// Cache bound B of Algorithm 7 in distinct elements; kUnbounded for the
+  /// exact full-depth analysis.
+  std::uint64_t bound = kUnbounded;
+  /// Use the space-optimized local-infinity processing (Algorithm 4).
+  /// Bounded and streaming modes require it.
+  bool space_optimized = true;
+  /// Streaming only: per-rank chunk size C; each phase consumes np*C
+  /// references (Algorithm 5).
+  std::size_t chunk_words = 1 << 16;
+};
+
+/// Per-rank algorithm counters (beyond the comm-level RankStats): where
+/// the work went, for the load-balancing analysis of Algorithms 5-6.
+struct RankProfile {
+  std::uint64_t chunk_refs = 0;         // own-chunk references processed
+  std::uint64_t records_received = 0;   // incoming local infinities
+  std::uint64_t records_forwarded = 0;  // survivors sent further left
+  std::uint64_t hits_resolved = 0;      // finite distances recorded
+  std::uint64_t peak_resident = 0;      // max tree size observed
+  std::uint64_t phases = 0;             // phases participated in (stream)
+};
+
+struct PardaResult {
+  Histogram hist;
+  comm::RunStats stats;
+  std::vector<RankProfile> profiles;  // indexed by physical rank
+};
+
+/// Reduces each rank's histogram onto `root` with a binomial tree
+/// (the reduce_sum of Algorithm 3); returns the merged histogram at root
+/// and an empty histogram elsewhere.
+Histogram reduce_histogram(comm::Comm& comm, const Histogram& mine, int root);
+
+namespace detail {
+
+/// The merge stage driven at virtual rank v of np: runs the remaining
+/// np - v rounds of Algorithm 3's while-loop after the rank has processed
+/// its own chunk. phys_of maps virtual to physical ranks (identity in the
+/// offline algorithm; phase-reversed when streaming).
+template <OrderStatTree Tree, typename PhysOf>
+void run_merge_rounds(comm::Comm& comm, RankState<Tree>& state, int virt,
+                      PhysOf&& phys_of, std::uint64_t* forwarded = nullptr) {
+  const int np = comm.size();
+  for (int round = 0; round < np - virt; ++round) {
+    if (virt > 0) {
+      const std::vector<InfRecord> outgoing = state.take_local_infinities();
+      if (forwarded != nullptr) *forwarded += outgoing.size();
+      comm.send(phys_of(virt - 1), kTagInfinities,
+                std::span<const InfRecord>(outgoing));
+    } else {
+      state.flush_global_infinities();
+    }
+    if (virt < np - 1 && round < np - virt - 1) {
+      const std::vector<InfRecord> incoming =
+          comm.recv<InfRecord>(phys_of(virt + 1), kTagInfinities);
+      state.process_incoming(incoming);
+    }
+  }
+}
+
+/// Gathers each rank's profile at rank 0 (physical order).
+inline std::vector<RankProfile> gather_profiles(comm::Comm& comm,
+                                                const RankProfile& mine) {
+  static_assert(std::is_trivially_copyable_v<RankProfile>);
+  const auto pieces =
+      comm.gather(std::span<const RankProfile>(&mine, 1), 0, kTagProfile);
+  std::vector<RankProfile> out;
+  out.reserve(pieces.size());
+  for (const auto& piece : pieces) {
+    if (!piece.empty()) out.push_back(piece[0]);
+  }
+  return out;
+}
+
+}  // namespace detail
+
+/// Offline Parda (Algorithm 3): splits the trace into np contiguous chunks
+/// (chunk p owns global positions [p*ceil(N/np), ...)), analyzes them in
+/// parallel, and resolves cross-chunk reuses through the local-infinity
+/// pipeline. The result equals the sequential analysis exactly (unbounded),
+/// or the bounded sequential analysis when options.bound is set.
+template <OrderStatTree Tree = SplayTree>
+PardaResult parda_analyze(std::span<const Addr> trace,
+                          const PardaOptions& options) {
+  const int np = options.num_procs;
+  PARDA_CHECK(np >= 1);
+  const std::size_t n = trace.size();
+  const std::size_t chunk = (n + static_cast<std::size_t>(np) - 1) /
+                            static_cast<std::size_t>(np);
+
+  Histogram result;
+  std::vector<RankProfile> profiles;
+  comm::RunStats stats = comm::run(np, [&](comm::Comm& comm) {
+    const auto p = static_cast<std::size_t>(comm.rank());
+    RankState<Tree> state(options.bound, options.space_optimized);
+    RankProfile profile;
+
+    const std::size_t begin = std::min(p * chunk, n);
+    const std::size_t end = std::min(begin + chunk, n);
+    state.begin_merge_stage();
+    for (std::size_t t = begin; t < end; ++t) {
+      state.process_own(trace[t], static_cast<Timestamp>(t));
+    }
+    profile.chunk_refs = end - begin;
+
+    detail::run_merge_rounds(comm, state, comm.rank(),
+                             [](int virt) { return virt; },
+                             &profile.records_forwarded);
+    profile.records_received = state.received_count();
+    profile.hits_resolved = state.hist().finite_total();
+    profile.peak_resident = state.peak_resident();
+
+    std::vector<RankProfile> gathered = detail::gather_profiles(comm, profile);
+    Histogram reduced = reduce_histogram(comm, state.hist(), 0);
+    if (comm.rank() == 0) {
+      result = std::move(reduced);
+      profiles = std::move(gathered);
+    }
+  });
+
+  return PardaResult{std::move(result), std::move(stats),
+                     std::move(profiles)};
+}
+
+/// Online multi-phase Parda (Algorithms 5-6). Rank 0 drains the pipe in
+/// phases of np*C references and scatters per-virtual-rank chunks; after
+/// each phase all resident state is reduced onto the virtual rank np-1,
+/// which becomes virtual rank 0 of the next phase (rank reversal), so the
+/// global state never travels. Requires space optimization (the reduce
+/// step relies on the disjoint-residency property of Algorithm 4).
+template <OrderStatTree Tree = SplayTree>
+PardaResult parda_analyze_stream(TracePipe& pipe, const PardaOptions& options) {
+  const int np = options.num_procs;
+  const std::size_t chunk = options.chunk_words;
+  PARDA_CHECK(np >= 1);
+  PARDA_CHECK(chunk >= 1);
+  PARDA_CHECK(options.space_optimized);
+
+  Histogram result;
+  std::vector<RankProfile> profiles;
+  comm::RunStats stats = comm::run(np, [&](comm::Comm& comm) {
+    RankState<Tree> state(options.bound, /*space_optimized=*/true);
+    RankProfile profile;
+    const int me = comm.rank();
+    bool reversed = false;  // virtual<->physical map flips every phase
+    const auto phys_of = [&](int virt) {
+      return reversed ? np - 1 - virt : virt;
+    };
+    const auto virt_of = [&](int phys) {
+      return reversed ? np - 1 - phys : phys;
+    };
+    Timestamp phase_base = 0;
+
+    while (true) {
+      // --- Phase intake: rank 0 reads the pipe and scatters chunks
+      // (pieces are indexed by physical rank via the virtual mapping).
+      std::vector<std::vector<Addr>> pieces;
+      std::vector<std::uint64_t> header;
+      if (me == 0) {
+        std::vector<Addr> block =
+            pipe.read_words(chunk * static_cast<std::size_t>(np));
+        header = {block.size()};
+        pieces.resize(static_cast<std::size_t>(np));
+        for (int v = 0; v < np; ++v) {
+          const std::size_t lo = std::min(static_cast<std::size_t>(v) * chunk,
+                                          block.size());
+          const std::size_t hi = std::min(lo + chunk, block.size());
+          pieces[static_cast<std::size_t>(phys_of(v))]
+              .assign(block.begin() + static_cast<std::ptrdiff_t>(lo),
+                      block.begin() + static_cast<std::ptrdiff_t>(hi));
+        }
+      }
+      const std::uint64_t phase_words =
+          comm.broadcast(std::move(header), 0, kTagControl).at(0);
+      const std::vector<Addr> mine = comm.scatterv(pieces, 0, kTagChunk);
+      if (phase_words == 0) break;
+
+      // --- Chunk processing (Algorithm 7 / modified stack_dist).
+      const int virt = virt_of(me);
+      const Timestamp my_base =
+          phase_base + static_cast<Timestamp>(virt) * chunk;
+      state.begin_merge_stage();
+      for (std::size_t i = 0; i < mine.size(); ++i) {
+        state.process_own(mine[i], my_base + i);
+      }
+      profile.chunk_refs += mine.size();
+      ++profile.phases;
+
+      // --- Merge rounds (Algorithm 3's loop on virtual topology).
+      detail::run_merge_rounds(comm, state, virt, phys_of,
+                               &profile.records_forwarded);
+      profile.records_received += state.received_count();
+
+      // --- State reduction onto virtual np-1 (Algorithm 6).
+      const int holder_phys = phys_of(np - 1);
+      if (virt != np - 1) {
+        comm.send(holder_phys, kTagState,
+                  std::span<const InfRecord>(state.export_state()));
+      } else {
+        for (int v = 0; v < np - 1; ++v) {
+          const std::vector<InfRecord> incoming =
+              comm.recv<InfRecord>(phys_of(v), kTagState);
+          state.import_state(incoming);
+        }
+        state.prune_to_bound();
+      }
+
+      phase_base += phase_words;
+      reversed = !reversed;  // the holder is virtual rank 0 next phase
+      if (phase_words < chunk * static_cast<std::uint64_t>(np)) {
+        // Short phase: the pipe is exhausted; everyone agrees because
+        // phase_words was broadcast.
+        break;
+      }
+    }
+
+    profile.hits_resolved = state.hist().finite_total();
+    profile.peak_resident = state.peak_resident();
+    std::vector<RankProfile> gathered = detail::gather_profiles(comm, profile);
+    Histogram reduced = reduce_histogram(comm, state.hist(), 0);
+    if (me == 0) {
+      result = std::move(reduced);
+      profiles = std::move(gathered);
+    }
+  });
+
+  return PardaResult{std::move(result), std::move(stats),
+                     std::move(profiles)};
+}
+
+/// Convenience: sequential Olken analysis through the same result type,
+/// for side-by-side comparisons in benches.
+Histogram sequential_reference(std::span<const Addr> trace,
+                               std::uint64_t bound = kUnbounded);
+
+}  // namespace parda

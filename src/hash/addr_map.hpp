@@ -1,0 +1,84 @@
+// AddrMap: an open-addressing robin-hood hash map from Addr to Timestamp.
+//
+// This is the repository's stand-in for the GLib GHashTable the original
+// Parda implementation used: every sequential engine and every Parda rank
+// keeps one AddrMap from data address to the timestamp of its most recent
+// reference. Robin-hood probing with backward-shift deletion keeps probe
+// chains short under the heavy churn (insert + erase per reference) that
+// reuse distance analysis generates.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace parda {
+
+class AddrMap {
+ public:
+  AddrMap();
+  explicit AddrMap(std::size_t initial_capacity);
+
+  AddrMap(const AddrMap&) = default;
+  AddrMap(AddrMap&&) noexcept = default;
+  AddrMap& operator=(const AddrMap&) = default;
+  AddrMap& operator=(AddrMap&&) noexcept = default;
+
+  /// Returns a pointer to the mapped timestamp, or nullptr if absent. The
+  /// pointer is invalidated by any mutating call.
+  const Timestamp* find(Addr key) const noexcept;
+  Timestamp* find(Addr key) noexcept;
+
+  bool contains(Addr key) const noexcept { return find(key) != nullptr; }
+
+  /// Inserts or overwrites. Returns true if the key was newly inserted.
+  bool insert_or_assign(Addr key, Timestamp value);
+
+  /// Removes the key; returns true if it was present.
+  bool erase(Addr key) noexcept;
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  std::size_t capacity() const noexcept { return slots_.size(); }
+
+  void clear() noexcept;
+  void reserve(std::size_t n);
+
+  /// Invokes fn(addr, timestamp) for every entry, in unspecified order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const Slot& s : slots_) {
+      if (s.dib != kEmpty) fn(s.key, s.value);
+    }
+  }
+
+  /// All entries as (addr, timestamp) pairs; used to serialize rank state
+  /// for the multi-phase reduce step (Algorithm 6).
+  std::vector<std::pair<Addr, Timestamp>> entries() const;
+
+  /// Longest probe chain currently in the table (diagnostics / tests).
+  std::size_t max_probe_length() const noexcept;
+
+ private:
+  static constexpr std::uint8_t kEmpty = 0xFF;
+  static constexpr std::size_t kMinCapacity = 16;
+
+  struct Slot {
+    Addr key = 0;
+    Timestamp value = 0;
+    std::uint8_t dib = kEmpty;  // distance from ideal bucket
+  };
+
+  std::size_t bucket_of(Addr key) const noexcept;
+  void grow();
+  void insert_fresh(Addr key, Timestamp value);
+
+  std::vector<Slot> slots_;
+  std::size_t size_ = 0;
+  std::size_t mask_ = 0;
+};
+
+}  // namespace parda

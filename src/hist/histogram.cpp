@@ -1,0 +1,130 @@
+#include "hist/histogram.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace parda {
+
+void Histogram::record(Distance d, std::uint64_t count) {
+  if (count == 0) return;
+  if (d == kInfiniteDistance) {
+    infinities_ += count;
+  } else {
+    // A finite distance is bounded by the trace footprint; anything this
+    // large is an upstream bug (e.g. an underflowed subtraction), and
+    // growing the dense array for it would hang — fail loudly instead.
+    PARDA_CHECK(d < (1ULL << 48));
+    if (d >= counts_.size()) {
+      // Geometric growth so a rising max distance costs amortized O(1).
+      std::size_t cap = std::max<std::size_t>(16, counts_.size());
+      while (cap <= d) cap *= 2;
+      counts_.resize(cap, 0);
+    }
+    counts_[d] += count;
+  }
+  total_ += count;
+}
+
+std::uint64_t Histogram::at(Distance d) const noexcept {
+  if (d == kInfiniteDistance) return infinities_;
+  return d < counts_.size() ? counts_[d] : 0;
+}
+
+Distance Histogram::max_distance() const noexcept {
+  for (std::size_t i = counts_.size(); i > 0; --i) {
+    if (counts_[i - 1] != 0) return i - 1;
+  }
+  return 0;
+}
+
+std::uint64_t Histogram::hits_below(Distance d) const noexcept {
+  std::uint64_t hits = 0;
+  const std::size_t stop = std::min<std::size_t>(d, counts_.size());
+  for (std::size_t i = 0; i < stop; ++i) hits += counts_[i];
+  return hits;
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.counts_.size() > counts_.size())
+    counts_.resize(other.counts_.size(), 0);
+  for (std::size_t i = 0; i < other.counts_.size(); ++i)
+    counts_[i] += other.counts_[i];
+  infinities_ += other.infinities_;
+  total_ += other.total_;
+}
+
+void Histogram::clear() noexcept {
+  counts_.clear();
+  infinities_ = 0;
+  total_ = 0;
+}
+
+bool Histogram::operator==(const Histogram& other) const noexcept {
+  if (infinities_ != other.infinities_ || total_ != other.total_)
+    return false;
+  const std::size_t n = std::max(counts_.size(), other.counts_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (at(i) != other.at(i)) return false;
+  }
+  return true;
+}
+
+std::vector<std::uint64_t> Histogram::log2_buckets() const {
+  std::vector<std::uint64_t> buckets;
+  for (std::size_t d = 0; d < counts_.size(); ++d) {
+    if (counts_[d] == 0) continue;
+    std::size_t bucket = 0;
+    while ((1ULL << bucket) <= d) ++bucket;  // bucket i >= 1: [2^(i-1), 2^i)
+    if (bucket >= buckets.size()) buckets.resize(bucket + 1, 0);
+    buckets[bucket] += counts_[d];
+  }
+  return buckets;
+}
+
+double Histogram::mean_finite_distance() const noexcept {
+  const std::uint64_t n = finite_total();
+  if (n == 0) return 0.0;
+  double acc = 0.0;
+  for (std::size_t d = 0; d < counts_.size(); ++d) {
+    acc += static_cast<double>(d) * static_cast<double>(counts_[d]);
+  }
+  return acc / static_cast<double>(n);
+}
+
+Distance Histogram::finite_distance_percentile(double p) const noexcept {
+  const std::uint64_t n = finite_total();
+  if (n == 0) return 0;
+  const auto target = static_cast<std::uint64_t>(
+      p * static_cast<double>(n) + 0.5);
+  std::uint64_t seen = 0;
+  for (std::size_t d = 0; d < counts_.size(); ++d) {
+    seen += counts_[d];
+    if (seen >= target) return d;
+  }
+  return max_distance();
+}
+
+std::vector<std::uint64_t> Histogram::to_words() const {
+  const Distance top = counts_.empty() ? 0 : max_distance() + 1;
+  std::vector<std::uint64_t> words;
+  words.reserve(3 + top);
+  words.push_back(infinities_);
+  words.push_back(total_);
+  words.push_back(top);
+  words.insert(words.end(), counts_.begin(), counts_.begin() + top);
+  return words;
+}
+
+Histogram Histogram::from_words(const std::vector<std::uint64_t>& words) {
+  PARDA_CHECK(words.size() >= 3);
+  Histogram h;
+  h.infinities_ = words[0];
+  h.total_ = words[1];
+  const std::uint64_t n = words[2];
+  PARDA_CHECK(words.size() == 3 + n);
+  h.counts_.assign(words.begin() + 3, words.end());
+  return h;
+}
+
+}  // namespace parda

@@ -1,0 +1,60 @@
+#include "hist/mrc.hpp"
+
+#include "util/check.hpp"
+
+namespace parda {
+
+std::uint64_t miss_count(const Histogram& hist,
+                         std::uint64_t cache_size) noexcept {
+  return hist.total() - hist.hits_below(cache_size);
+}
+
+double miss_ratio(const Histogram& hist, std::uint64_t cache_size) noexcept {
+  if (hist.total() == 0) return 0.0;
+  return static_cast<double>(miss_count(hist, cache_size)) /
+         static_cast<double>(hist.total());
+}
+
+std::vector<MrcPoint> miss_ratio_curve(
+    const Histogram& hist, const std::vector<std::uint64_t>& sizes) {
+  std::vector<MrcPoint> curve;
+  curve.reserve(sizes.size());
+  for (std::uint64_t c : sizes) curve.push_back({c, miss_ratio(hist, c)});
+  return curve;
+}
+
+std::vector<MrcPoint> miss_ratio_curve_pow2(const Histogram& hist,
+                                            std::uint64_t max_size) {
+  std::vector<MrcPoint> curve;
+  const double floor_ratio =
+      hist.total() == 0
+          ? 0.0
+          : static_cast<double>(hist.infinities()) /
+                static_cast<double>(hist.total());
+  for (std::uint64_t c = 1; c <= max_size; c *= 2) {
+    const double r = miss_ratio(hist, c);
+    curve.push_back({c, r});
+    if (r <= floor_ratio) break;
+    if (c > max_size / 2) break;  // avoid overflow
+  }
+  return curve;
+}
+
+std::uint64_t cache_size_for_miss_ratio(const Histogram& hist, double target,
+                                        std::uint64_t max_size) noexcept {
+  // The miss ratio is non-increasing in cache size: binary search.
+  std::uint64_t lo = 0;
+  std::uint64_t hi = max_size;
+  if (miss_ratio(hist, max_size) > target) return max_size + 1;
+  while (lo < hi) {
+    const std::uint64_t mid = lo + (hi - lo) / 2;
+    if (miss_ratio(hist, mid) <= target) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+}  // namespace parda

@@ -1,0 +1,43 @@
+// Miss-ratio curve (MRC) derivation from a reuse distance histogram.
+//
+// This is the payoff that motivates reuse distance analysis (paper Section
+// I): with an LRU fully-associative cache of size C, every reference with
+// distance d < C hits and everything else misses, so one histogram yields
+// the miss ratio of *every* cache size at once.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hist/histogram.hpp"
+#include "util/types.hpp"
+
+namespace parda {
+
+struct MrcPoint {
+  std::uint64_t cache_size;  // in distinct data elements (words/blocks)
+  double miss_ratio;         // misses / total references
+};
+
+/// Miss ratio of an LRU cache holding `cache_size` distinct elements.
+double miss_ratio(const Histogram& hist, std::uint64_t cache_size) noexcept;
+
+/// Number of misses for the same model.
+std::uint64_t miss_count(const Histogram& hist,
+                         std::uint64_t cache_size) noexcept;
+
+/// The full curve sampled at the given cache sizes (ascending recommended).
+std::vector<MrcPoint> miss_ratio_curve(const Histogram& hist,
+                                       const std::vector<std::uint64_t>& sizes);
+
+/// Power-of-two sample points 1, 2, 4, ... up to the first size where the
+/// miss ratio reaches the compulsory floor (or max_size).
+std::vector<MrcPoint> miss_ratio_curve_pow2(const Histogram& hist,
+                                            std::uint64_t max_size);
+
+/// Smallest cache size whose miss ratio is <= target; returns max_size + 1
+/// if unattainable. Used by the cache-partitioning application.
+std::uint64_t cache_size_for_miss_ratio(const Histogram& hist, double target,
+                                        std::uint64_t max_size) noexcept;
+
+}  // namespace parda

@@ -1,0 +1,26 @@
+// CSV emission for histograms and miss-ratio curves, so bench harness
+// output can be plotted (gnuplot/python) without re-running experiments.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hist/histogram.hpp"
+#include "hist/mrc.hpp"
+
+namespace parda {
+
+/// CSV with header "distance,count" (finite rows ascending) and a final
+/// "inf,<count>" row.
+std::string histogram_to_csv(const Histogram& hist);
+
+/// CSV with header "bucket_low,bucket_high,count" over log2 buckets.
+std::string histogram_to_csv_log2(const Histogram& hist);
+
+/// CSV with header "cache_size,miss_ratio".
+std::string mrc_to_csv(const std::vector<MrcPoint>& curve);
+
+/// Writes content to path, throwing std::runtime_error on failure.
+void write_text_file(const std::string& path, const std::string& content);
+
+}  // namespace parda

@@ -1,0 +1,90 @@
+// Approximate reuse distance analysis by address sampling — the
+// accuracy-for-speed family the paper contrasts with (Ding & Zhong [4],
+// Zhong & Chang [19], Schuff et al. [15]).
+//
+// A hash of the address decides membership in the sampled sub-trace
+// (spatial sampling), the exact engine runs on the sample, and distances
+// and counts are scaled back by the sampling rate. Sampling by *address*
+// (not by reference) keeps every reuse pair of a sampled address intact,
+// so the scaled distance d/rate is an unbiased estimate of the true stack
+// distance. Parda is "compatible with ... approximate analysis techniques"
+// (Section VII); sampled_parda_analysis composes the two.
+#pragma once
+
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "core/parda.hpp"
+#include "hist/histogram.hpp"
+#include "seq/olken.hpp"
+#include "util/check.hpp"
+#include "util/prng.hpp"
+#include "util/types.hpp"
+
+namespace parda {
+
+/// True iff addr belongs to the sampled subset at the given rate.
+inline bool sample_selects(Addr addr, double rate,
+                           std::uint64_t seed) noexcept {
+  const auto threshold = static_cast<std::uint64_t>(
+      rate * 18446744073709551615.0);  // rate * (2^64 - 1)
+  return mix64(addr ^ (seed * 0x9e3779b97f4a7c15ULL)) <= threshold;
+}
+
+/// Extracts the sampled sub-trace.
+inline std::vector<Addr> sample_trace(std::span<const Addr> trace,
+                                      double rate, std::uint64_t seed) {
+  std::vector<Addr> sampled;
+  sampled.reserve(static_cast<std::size_t>(
+      static_cast<double>(trace.size()) * rate * 1.2) + 16);
+  for (Addr a : trace) {
+    if (sample_selects(a, rate, seed)) sampled.push_back(a);
+  }
+  return sampled;
+}
+
+/// Rescales a histogram measured on a rate-sampled sub-trace back to
+/// full-trace coordinates: distances and counts are multiplied by 1/rate.
+inline Histogram rescale_sampled_histogram(const Histogram& sampled,
+                                           double rate) {
+  PARDA_CHECK(rate > 0.0 && rate <= 1.0);
+  Histogram out;
+  const double inv = 1.0 / rate;
+  const auto& counts = sampled.counts();
+  for (std::size_t d = 0; d < counts.size(); ++d) {
+    if (counts[d] == 0) continue;
+    const auto scaled_d = static_cast<Distance>(
+        std::llround(static_cast<double>(d) * inv));
+    const auto scaled_count = static_cast<std::uint64_t>(
+        std::llround(static_cast<double>(counts[d]) * inv));
+    out.record(scaled_d, scaled_count);
+  }
+  out.record(kInfiniteDistance,
+             static_cast<std::uint64_t>(std::llround(
+                 static_cast<double>(sampled.infinities()) * inv)));
+  return out;
+}
+
+/// Sequential sampled analysis: exact Olken on the sampled addresses,
+/// rescaled. rate in (0, 1]; rate == 1 degenerates to the exact analysis.
+inline Histogram sampled_analysis(std::span<const Addr> trace, double rate,
+                                  std::uint64_t seed = 1) {
+  if (rate >= 1.0) return olken_analysis(trace);
+  const std::vector<Addr> sampled = sample_trace(trace, rate, seed);
+  return rescale_sampled_histogram(olken_analysis(sampled), rate);
+}
+
+/// Sampling composed with the parallel algorithm (Section VII: "our
+/// algorithm can be combined with approximate analysis techniques").
+inline Histogram sampled_parda_analysis(std::span<const Addr> trace,
+                                        double rate,
+                                        const PardaOptions& options,
+                                        std::uint64_t seed = 1) {
+  if (rate >= 1.0) return parda_analyze(trace, options).hist;
+  const std::vector<Addr> sampled = sample_trace(trace, rate, seed);
+  return rescale_sampled_histogram(parda_analyze(sampled, options).hist,
+                                   rate);
+}
+
+}  // namespace parda

@@ -1,0 +1,61 @@
+// The Bennett & Kruskal algorithm (1975, paper reference [2]): a hashing
+// pre-pass records each reference's previous-access time; a second pass
+// walks the trace keeping a bit per position ("this position was the last
+// access of its address so far") in a Fenwick tree, so the reuse distance
+// of a reference with previous access t0 is the number of set bits in
+// (t0, t) — each set bit is one distinct intervening address.
+//
+// Unlike Olken's O(M)-space structure this needs O(N) bits, which is why
+// Olken's tree superseded it; both are exposed for the engine ablation.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "hash/addr_map.hpp"
+#include "hist/histogram.hpp"
+#include "tree/fenwick.hpp"
+#include "util/types.hpp"
+
+namespace parda {
+
+/// Whole-trace analysis; requires the trace in memory (two passes).
+inline Histogram bennett_kruskal_analysis(std::span<const Addr> trace) {
+  const std::size_t n = trace.size();
+  Histogram hist;
+  if (n == 0) return hist;
+
+  // Pass 1: previous-occurrence index per reference (kNoTimestamp = first).
+  std::vector<Timestamp> previous(n);
+  {
+    AddrMap last_seen;
+    for (std::size_t t = 0; t < n; ++t) {
+      if (const Timestamp* last = last_seen.find(trace[t])) {
+        previous[t] = *last;
+      } else {
+        previous[t] = kNoTimestamp;
+      }
+      last_seen.insert_or_assign(trace[t], t);
+    }
+  }
+
+  // Pass 2: maintain "is live last-access" flags in a Fenwick tree.
+  FenwickTree live(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    if (previous[t] == kNoTimestamp) {
+      hist.record(kInfiniteDistance);
+    } else {
+      const auto t0 = static_cast<std::size_t>(previous[t]);
+      // Set bits strictly inside (t0, t) are the distinct addresses
+      // referenced since the previous access.
+      const std::int64_t distinct =
+          t0 + 1 <= t - 1 ? live.range_sum(t0 + 1, t - 1) : 0;
+      hist.record(static_cast<Distance>(distinct));
+      live.add(t0, -1);  // t0 is no longer its address's last access
+    }
+    live.add(t, +1);
+  }
+  return hist;
+}
+
+}  // namespace parda

@@ -1,0 +1,72 @@
+// Sequential bounded reuse distance analysis (the cache-bound idea of paper
+// Section V, Algorithm 7, without the parallel local-infinity plumbing).
+//
+// With bound B, the tree and hash table hold at most B entries — the B most
+// recently referenced distinct addresses — evicting LRU like a real cache of
+// size B. Every reference with true distance d < B is measured exactly;
+// everything else (evicted or first-ever) lands in the infinity bin, which
+// is all a cache of size <= B needs.
+#pragma once
+
+#include <span>
+
+#include "hash/addr_map.hpp"
+#include "hist/histogram.hpp"
+#include "tree/order_stat_tree.hpp"
+#include "tree/splay_tree.hpp"
+#include "util/types.hpp"
+
+namespace parda {
+
+template <OrderStatTree Tree>
+class BoundedAnalyzer {
+ public:
+  explicit BoundedAnalyzer(std::uint64_t bound) : bound_(bound) {}
+
+  /// Processes one reference; returns its distance, which is exact when
+  /// finite and kInfiniteDistance for first references *and* references
+  /// whose true distance is >= bound (capacity misses).
+  Distance access(Addr z) {
+    Distance d = kInfiniteDistance;
+    if (const Timestamp* last = table_.find(z)) {
+      d = tree_.count_greater(*last);
+      tree_.erase(*last);
+      table_.erase(z);
+    } else if (table_.size() >= bound_) {
+      const TreeEntry victim = tree_.pop_oldest();
+      table_.erase(victim.addr);
+    }
+    tree_.insert(now_, z);
+    table_.insert_or_assign(z, now_);
+    ++now_;
+    return d;
+  }
+
+  void access_and_record(Addr z, Histogram& hist) { hist.record(access(z)); }
+
+  std::uint64_t bound() const noexcept { return bound_; }
+  std::size_t resident() const noexcept { return tree_.size(); }
+  Timestamp time() const noexcept { return now_; }
+
+  void reset() {
+    tree_.clear();
+    table_.clear();
+    now_ = 0;
+  }
+
+ private:
+  std::uint64_t bound_;
+  Tree tree_;
+  AddrMap table_;
+  Timestamp now_ = 0;
+};
+
+template <OrderStatTree Tree = SplayTree>
+Histogram bounded_analysis(std::span<const Addr> trace, std::uint64_t bound) {
+  BoundedAnalyzer<Tree> analyzer(bound);
+  Histogram hist;
+  for (Addr z : trace) analyzer.access_and_record(z, hist);
+  return hist;
+}
+
+}  // namespace parda

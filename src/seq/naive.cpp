@@ -1,0 +1,26 @@
+#include "seq/naive.hpp"
+
+namespace parda {
+
+Distance NaiveStackAnalyzer::access(Addr z) {
+  for (std::size_t i = 0; i < stack_.size(); ++i) {
+    if (stack_[i] == z) {
+      // Move to front; the reuse distance is the number of distinct
+      // addresses above the old position, which is exactly its index.
+      stack_.erase(stack_.begin() + static_cast<std::ptrdiff_t>(i));
+      stack_.insert(stack_.begin(), z);
+      return static_cast<Distance>(i);
+    }
+  }
+  stack_.insert(stack_.begin(), z);
+  return kInfiniteDistance;
+}
+
+Histogram naive_stack_analysis(std::span<const Addr> trace) {
+  NaiveStackAnalyzer analyzer;
+  Histogram hist;
+  for (Addr z : trace) analyzer.access_and_record(z, hist);
+  return hist;
+}
+
+}  // namespace parda

@@ -1,0 +1,32 @@
+// The naive list-based stack algorithm of Mattson et al. (paper Section
+// III-A): an explicit LRU stack searched linearly from the head. O(N * M)
+// time; kept as the reference baseline and for the Olken81-vs-naive bench.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "hist/histogram.hpp"
+#include "util/types.hpp"
+
+namespace parda {
+
+class NaiveStackAnalyzer {
+ public:
+  /// Processes one reference; returns its reuse distance.
+  Distance access(Addr z);
+
+  void access_and_record(Addr z, Histogram& hist) { hist.record(access(z)); }
+
+  std::size_t footprint() const noexcept { return stack_.size(); }
+  void reset() { stack_.clear(); }
+
+ private:
+  // stack_[0] is the top (most recently used).
+  std::vector<Addr> stack_;
+};
+
+/// Runs the naive algorithm over a whole trace.
+Histogram naive_stack_analysis(std::span<const Addr> trace);
+
+}  // namespace parda

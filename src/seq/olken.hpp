@@ -1,0 +1,74 @@
+// Olken's tree-based sequential reuse distance analysis (paper Algorithm 1).
+//
+// State is a hash table (address -> last timestamp) plus an order-statistic
+// tree holding one entry per distinct address, keyed by last-reference
+// timestamp. Each reference costs one hash lookup and O(log M) tree work.
+// The tree engine is a template parameter; the paper's configuration is
+// OlkenAnalyzer<SplayTree>.
+#pragma once
+
+#include <span>
+
+#include "hash/addr_map.hpp"
+#include "hist/histogram.hpp"
+#include "tree/order_stat_tree.hpp"
+#include "tree/splay_tree.hpp"
+#include "util/types.hpp"
+
+namespace parda {
+
+template <OrderStatTree Tree>
+class OlkenAnalyzer {
+ public:
+  OlkenAnalyzer() = default;
+
+  /// Processes one reference and returns its reuse distance
+  /// (kInfiniteDistance for a first reference).
+  Distance access(Addr z) {
+    Distance d = kInfiniteDistance;
+    if (const Timestamp* last = table_.find(z)) {
+      d = tree_.count_greater(*last);
+      tree_.erase(*last);
+    }
+    tree_.insert(now_, z);
+    table_.insert_or_assign(z, now_);
+    ++now_;
+    return d;
+  }
+
+  /// Processes one reference and tallies it into hist.
+  void access_and_record(Addr z, Histogram& hist) { hist.record(access(z)); }
+
+  /// Next timestamp to be assigned (== number of references processed).
+  Timestamp time() const noexcept { return now_; }
+
+  /// Number of distinct addresses seen so far.
+  std::size_t footprint() const noexcept { return tree_.size(); }
+
+  const Tree& tree() const noexcept { return tree_; }
+  Tree& tree() noexcept { return tree_; }
+  const AddrMap& table() const noexcept { return table_; }
+  AddrMap& table() noexcept { return table_; }
+
+  void reset() {
+    tree_.clear();
+    table_.clear();
+    now_ = 0;
+  }
+
+ private:
+  Tree tree_;
+  AddrMap table_;
+  Timestamp now_ = 0;
+};
+
+/// Runs Algorithm 1 over a whole trace and returns the histogram.
+template <OrderStatTree Tree = SplayTree>
+Histogram olken_analysis(std::span<const Addr> trace) {
+  OlkenAnalyzer<Tree> analyzer;
+  Histogram hist;
+  for (Addr z : trace) analyzer.access_and_record(z, hist);
+  return hist;
+}
+
+}  // namespace parda

@@ -1,0 +1,121 @@
+#include "seq/opt.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+#include "hash/addr_map.hpp"
+#include "util/check.hpp"
+
+namespace parda {
+
+namespace {
+
+constexpr std::uint64_t kNever = std::numeric_limits<std::uint64_t>::max();
+
+/// next_use[t] = index of the next reference to trace[t]'s address after
+/// position t, or kNever.
+std::vector<std::uint64_t> compute_next_use(std::span<const Addr> trace) {
+  std::vector<std::uint64_t> next(trace.size(), kNever);
+  AddrMap upcoming;  // addr -> next position seen while scanning backwards
+  for (std::size_t t = trace.size(); t-- > 0;) {
+    if (const Timestamp* later = upcoming.find(trace[t])) {
+      next[t] = *later;
+    }
+    upcoming.insert_or_assign(trace[t], t);
+  }
+  return next;
+}
+
+}  // namespace
+
+std::vector<Distance> opt_distances(std::span<const Addr> trace) {
+  const std::vector<std::uint64_t> next_use = compute_next_use(trace);
+  std::vector<Distance> distances(trace.size(), kInfiniteDistance);
+
+  struct Entry {
+    Addr addr;
+    std::uint64_t next_use;  // always > current time while resident
+  };
+  std::vector<Entry> stack;  // stack[0] is the top
+
+  for (std::size_t t = 0; t < trace.size(); ++t) {
+    const Addr x = trace[t];
+    // Locate x (linear scan; its depth is the OPT stack distance).
+    std::size_t old_pos = stack.size();
+    for (std::size_t i = 0; i < stack.size(); ++i) {
+      if (stack[i].addr == x) {
+        old_pos = i;
+        break;
+      }
+    }
+    const bool was_present = old_pos != stack.size();
+    if (was_present) {
+      distances[t] = static_cast<Distance>(old_pos);
+    } else {
+      stack.emplace_back();  // the percolation chain runs to the bottom
+    }
+    // Percolate: x takes the top; the previous occupants of positions
+    // [0, old_pos) compete downward by next-use priority (sooner next use
+    // stays higher); the final loser settles at old_pos.
+    Entry displaced{x, next_use[t]};
+    for (std::size_t i = 0; i <= old_pos && i < stack.size(); ++i) {
+      if (i == old_pos) {
+        stack[i] = displaced;
+        break;
+      }
+      // The carried entry competes with the incumbent for this slot; the
+      // sooner next use wins (stays high), the loser keeps falling. On
+      // the first step the carried entry is x itself, which was just
+      // referenced and always takes the top.
+      if (i == 0 || displaced.next_use < stack[i].next_use) {
+        std::swap(stack[i], displaced);
+      }
+    }
+    PARDA_DCHECK(stack[0].addr == x);
+  }
+  return distances;
+}
+
+Histogram opt_distance_analysis(std::span<const Addr> trace) {
+  Histogram hist;
+  for (Distance d : opt_distances(trace)) hist.record(d);
+  return hist;
+}
+
+OptCacheSim::OptCacheSim(std::uint64_t capacity, std::span<const Addr> trace)
+    : capacity_(capacity),
+      trace_(trace.begin(), trace.end()),
+      next_use_(compute_next_use(trace)) {
+  PARDA_CHECK(capacity >= 1);
+}
+
+std::uint64_t OptCacheSim::run() {
+  // resident: addr -> next use position (kept current at each access).
+  std::unordered_map<Addr, std::uint64_t> resident;
+  resident.reserve(static_cast<std::size_t>(capacity_) * 2);
+  hits_ = 0;
+  misses_ = 0;
+  for (std::size_t t = 0; t < trace_.size(); ++t) {
+    const Addr x = trace_[t];
+    const auto it = resident.find(x);
+    if (it != resident.end()) {
+      ++hits_;
+      it->second = next_use_[t];
+      continue;
+    }
+    ++misses_;
+    if (resident.size() >= capacity_) {
+      // Belady: evict the farthest next use.
+      auto victim = resident.begin();
+      for (auto cur = resident.begin(); cur != resident.end(); ++cur) {
+        if (cur->second > victim->second) victim = cur;
+      }
+      resident.erase(victim);
+    }
+    resident.emplace(x, next_use_[t]);
+  }
+  return hits_;
+}
+
+}  // namespace parda

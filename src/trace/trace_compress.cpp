@@ -1,0 +1,132 @@
+#include "trace/trace_compress.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+namespace parda {
+
+namespace {
+
+inline std::uint64_t zigzag_encode(std::int64_t v) noexcept {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+inline std::int64_t zigzag_decode(std::uint64_t v) noexcept {
+  return static_cast<std::int64_t>(v >> 1) ^
+         -static_cast<std::int64_t>(v & 1);
+}
+
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+[[noreturn]] void fail(const std::string& what, const std::string& path) {
+  throw std::runtime_error(what + ": " + path);
+}
+
+struct FileCloser {
+  void operator()(std::FILE* f) const noexcept {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+}  // namespace
+
+std::vector<std::uint8_t> compress_trace(std::span<const Addr> trace) {
+  std::vector<std::uint8_t> out;
+  out.reserve(trace.size() * 2);
+  Addr prev = 0;
+  for (Addr a : trace) {
+    const auto delta =
+        static_cast<std::int64_t>(a) - static_cast<std::int64_t>(prev);
+    put_varint(out, zigzag_encode(delta));
+    prev = a;
+  }
+  return out;
+}
+
+std::vector<Addr> decompress_trace(std::span<const std::uint8_t> bytes,
+                                   std::size_t expected_count) {
+  std::vector<Addr> trace;
+  trace.reserve(expected_count);
+  Addr prev = 0;
+  std::size_t at = 0;
+  while (trace.size() < expected_count) {
+    std::uint64_t v = 0;
+    int shift = 0;
+    while (true) {
+      if (at >= bytes.size()) {
+        throw std::runtime_error("truncated compressed trace");
+      }
+      const std::uint8_t byte = bytes[at++];
+      v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+      if ((byte & 0x80) == 0) break;
+      shift += 7;
+      if (shift > 63) throw std::runtime_error("varint overflow");
+    }
+    prev = static_cast<Addr>(static_cast<std::int64_t>(prev) +
+                             zigzag_decode(v));
+    trace.push_back(prev);
+  }
+  if (at != bytes.size()) {
+    throw std::runtime_error("trailing bytes in compressed trace");
+  }
+  return trace;
+}
+
+void write_trace_compressed(const std::string& path,
+                            std::span<const Addr> trace) {
+  const std::vector<std::uint8_t> payload = compress_trace(trace);
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) fail("cannot open trace for writing", path);
+  const std::uint64_t version = 1;
+  const std::uint64_t count = trace.size();
+  const std::uint64_t bytes = payload.size();
+  if (std::fwrite(kCompressedTraceMagic, 1, sizeof(kCompressedTraceMagic),
+                  f.get()) != sizeof(kCompressedTraceMagic) ||
+      std::fwrite(&version, sizeof(version), 1, f.get()) != 1 ||
+      std::fwrite(&count, sizeof(count), 1, f.get()) != 1 ||
+      std::fwrite(&bytes, sizeof(bytes), 1, f.get()) != 1) {
+    fail("short write on compressed trace header", path);
+  }
+  if (!payload.empty() &&
+      std::fwrite(payload.data(), 1, payload.size(), f.get()) !=
+          payload.size()) {
+    fail("short write on compressed trace payload", path);
+  }
+}
+
+std::vector<Addr> read_trace_compressed(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) fail("cannot open trace for reading", path);
+  char magic[8];
+  std::uint64_t version = 0;
+  std::uint64_t count = 0;
+  std::uint64_t bytes = 0;
+  if (std::fread(magic, 1, sizeof(magic), f.get()) != sizeof(magic) ||
+      std::memcmp(magic, kCompressedTraceMagic, sizeof(magic)) != 0 ||
+      std::fread(&version, sizeof(version), 1, f.get()) != 1 ||
+      version != 1 ||
+      std::fread(&count, sizeof(count), 1, f.get()) != 1 ||
+      std::fread(&bytes, sizeof(bytes), 1, f.get()) != 1) {
+    fail("bad compressed trace header", path);
+  }
+  std::vector<std::uint8_t> payload(bytes);
+  if (bytes != 0 &&
+      std::fread(payload.data(), 1, bytes, f.get()) != bytes) {
+    fail("short read on compressed trace payload", path);
+  }
+  return decompress_trace(payload, static_cast<std::size_t>(count));
+}
+
+}  // namespace parda

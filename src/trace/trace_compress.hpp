@@ -1,0 +1,32 @@
+// Delta + varint compressed trace format (.trz).
+//
+// Address traces are massive (the paper's run to 100 billion references),
+// and consecutive addresses are strongly correlated, so the offline format
+// stores zigzag-encoded deltas in LEB128 varints: sequential sweeps cost
+// ~1 byte per reference instead of 8.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace parda {
+
+inline constexpr char kCompressedTraceMagic[8] = {'P', 'A', 'R', 'D',
+                                                  'A', 'T', 'R', 'Z'};
+
+/// In-memory codec (exposed for tests and for pipe-level compression).
+std::vector<std::uint8_t> compress_trace(std::span<const Addr> trace);
+std::vector<Addr> decompress_trace(std::span<const std::uint8_t> bytes,
+                                   std::size_t expected_count);
+
+/// File layout: magic, u64 version, u64 reference count, u64 payload
+/// bytes, payload.
+void write_trace_compressed(const std::string& path,
+                            std::span<const Addr> trace);
+std::vector<Addr> read_trace_compressed(const std::string& path);
+
+}  // namespace parda

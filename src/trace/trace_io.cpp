@@ -1,0 +1,120 @@
+#include "trace/trace_io.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+namespace parda {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what, const std::string& path) {
+  throw std::runtime_error(what + ": " + path);
+}
+
+struct FileCloser {
+  void operator()(std::FILE* f) const noexcept {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+}  // namespace
+
+void write_trace_binary(const std::string& path,
+                        std::span<const Addr> trace) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) fail("cannot open trace for writing", path);
+  const std::uint64_t version = kTraceVersion;
+  const std::uint64_t count = trace.size();
+  if (std::fwrite(kTraceMagic, 1, sizeof(kTraceMagic), f.get()) !=
+          sizeof(kTraceMagic) ||
+      std::fwrite(&version, sizeof(version), 1, f.get()) != 1 ||
+      std::fwrite(&count, sizeof(count), 1, f.get()) != 1) {
+    fail("short write on trace header", path);
+  }
+  if (!trace.empty() &&
+      std::fwrite(trace.data(), sizeof(Addr), trace.size(), f.get()) !=
+          trace.size()) {
+    fail("short write on trace body", path);
+  }
+}
+
+std::vector<Addr> read_trace_binary(const std::string& path) {
+  BinaryTraceReader reader(path);
+  std::vector<Addr> trace;
+  trace.reserve(reader.total_references());
+  while (true) {
+    std::vector<Addr> block = reader.read_words(1 << 20);
+    if (block.empty()) break;
+    trace.insert(trace.end(), block.begin(), block.end());
+  }
+  return trace;
+}
+
+void write_trace_text(const std::string& path, std::span<const Addr> trace) {
+  FilePtr f(std::fopen(path.c_str(), "w"));
+  if (!f) fail("cannot open trace for writing", path);
+  std::fprintf(f.get(), "# parda text trace, %zu references\n", trace.size());
+  for (Addr a : trace) std::fprintf(f.get(), "%" PRIu64 "\n", a);
+}
+
+std::vector<Addr> read_trace_text(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "r"));
+  if (!f) fail("cannot open trace for reading", path);
+  std::vector<Addr> trace;
+  char line[256];
+  while (std::fgets(line, sizeof(line), f.get()) != nullptr) {
+    if (line[0] == '#' || line[0] == '\n' || line[0] == '\0') continue;
+    char* end = nullptr;
+    const Addr a = std::strtoull(line, &end, 0);
+    if (end == line) fail("malformed trace line", path);
+    trace.push_back(a);
+  }
+  return trace;
+}
+
+BinaryTraceReader::BinaryTraceReader(const std::string& path)
+    : file_(std::fopen(path.c_str(), "rb")) {
+  if (file_ == nullptr) fail("cannot open trace for reading", path);
+  char magic[8];
+  std::uint64_t version = 0;
+  if (std::fread(magic, 1, sizeof(magic), file_) != sizeof(magic) ||
+      std::memcmp(magic, kTraceMagic, sizeof(magic)) != 0) {
+    std::fclose(file_);
+    file_ = nullptr;
+    fail("bad trace magic", path);
+  }
+  if (std::fread(&version, sizeof(version), 1, file_) != 1 ||
+      version != kTraceVersion ||
+      std::fread(&total_, sizeof(total_), 1, file_) != 1) {
+    std::fclose(file_);
+    file_ = nullptr;
+    fail("bad trace header", path);
+  }
+}
+
+BinaryTraceReader::~BinaryTraceReader() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+std::vector<Addr> BinaryTraceReader::read_words(std::size_t max_words) {
+  const std::uint64_t remaining = total_ - consumed_;
+  const std::size_t want =
+      static_cast<std::size_t>(std::min<std::uint64_t>(max_words, remaining));
+  std::vector<Addr> block(want);
+  if (want == 0) return {};
+  const std::size_t got =
+      std::fread(block.data(), sizeof(Addr), want, file_);
+  PARDA_CHECK(got == want);
+  consumed_ += got;
+  return block;
+}
+
+}  // namespace parda

@@ -1,0 +1,47 @@
+// Trace file I/O: binary (little-endian u64 per reference, with a small
+// header) and text (one address per line, '#' comments) formats for
+// storing and replaying reference traces offline.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace parda {
+
+/// Binary trace layout: 8-byte magic "PARDATRC", u64 version, u64 count,
+/// then count little-endian u64 addresses.
+inline constexpr char kTraceMagic[8] = {'P', 'A', 'R', 'D',
+                                        'A', 'T', 'R', 'C'};
+inline constexpr std::uint64_t kTraceVersion = 1;
+
+void write_trace_binary(const std::string& path, std::span<const Addr> trace);
+std::vector<Addr> read_trace_binary(const std::string& path);
+
+void write_trace_text(const std::string& path, std::span<const Addr> trace);
+std::vector<Addr> read_trace_text(const std::string& path);
+
+/// Streaming binary reader for traces too large to hold in memory.
+class BinaryTraceReader {
+ public:
+  explicit BinaryTraceReader(const std::string& path);
+  ~BinaryTraceReader();
+
+  BinaryTraceReader(const BinaryTraceReader&) = delete;
+  BinaryTraceReader& operator=(const BinaryTraceReader&) = delete;
+
+  std::uint64_t total_references() const noexcept { return total_; }
+
+  /// Reads up to max_words references; empty result means end of trace.
+  std::vector<Addr> read_words(std::size_t max_words);
+
+ private:
+  std::FILE* file_;
+  std::uint64_t total_ = 0;
+  std::uint64_t consumed_ = 0;
+};
+
+}  // namespace parda

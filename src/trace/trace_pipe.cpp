@@ -1,0 +1,74 @@
+#include "trace/trace_pipe.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace parda {
+
+TracePipe::TracePipe(std::size_t capacity_words) : capacity_(capacity_words) {
+  PARDA_CHECK(capacity_words > 0);
+}
+
+void TracePipe::write(std::vector<Addr> block) {
+  if (block.empty()) return;
+  std::unique_lock lock(mu_);
+  PARDA_CHECK(!closed_);
+  // A block larger than the whole pipe is admitted alone (buffered_ == 0),
+  // like a pipe write larger than the kernel buffer that proceeds in one
+  // blocking call from the analyzer's perspective.
+  can_write_.wait(lock, [&] { return has_space_locked(block.size()); });
+  buffered_ += block.size();
+  written_ += block.size();
+  blocks_.push_back(std::move(block));
+  can_read_.notify_one();
+}
+
+void TracePipe::write(std::span<const Addr> block) {
+  write(std::vector<Addr>(block.begin(), block.end()));
+}
+
+void TracePipe::close() {
+  {
+    std::lock_guard lock(mu_);
+    closed_ = true;
+  }
+  can_read_.notify_all();
+}
+
+bool TracePipe::read(std::vector<Addr>& block) {
+  std::unique_lock lock(mu_);
+  can_read_.wait(lock, [&] { return !blocks_.empty() || closed_; });
+  if (blocks_.empty()) return false;
+  block = std::move(blocks_.front());
+  blocks_.pop_front();
+  buffered_ -= block.size();
+  can_write_.notify_one();
+  return true;
+}
+
+std::vector<Addr> TracePipe::read_words(std::size_t max_words) {
+  std::vector<Addr> out;
+  out.reserve(max_words);
+  while (out.size() < max_words) {
+    if (partial_pos_ < partial_.size()) {
+      const std::size_t take = std::min(max_words - out.size(),
+                                        partial_.size() - partial_pos_);
+      out.insert(out.end(), partial_.begin() + partial_pos_,
+                 partial_.begin() + partial_pos_ + take);
+      partial_pos_ += take;
+      continue;
+    }
+    partial_.clear();
+    partial_pos_ = 0;
+    if (!read(partial_)) break;
+  }
+  return out;
+}
+
+std::uint64_t TracePipe::words_written() const noexcept {
+  std::lock_guard lock(mu_);
+  return written_;
+}
+
+}  // namespace parda

@@ -1,0 +1,69 @@
+// TracePipe: a bounded single-producer single-consumer channel of address
+// blocks — this repository's stand-in for the Linux pipe that carries the
+// Pin-generated trace to Parda's rank 0 (paper Figure 3).
+//
+// The capacity is expressed in words (addresses), mirroring the paper's
+// "64Mw pipe" configuration knob. The producer (a workload generator or the
+// instrumented VM) blocks when the pipe is full; the consumer blocks when
+// it is empty; close() signals end-of-trace.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace parda {
+
+class TracePipe {
+ public:
+  /// capacity_words: maximum addresses buffered in the pipe at once.
+  explicit TracePipe(std::size_t capacity_words);
+
+  TracePipe(const TracePipe&) = delete;
+  TracePipe& operator=(const TracePipe&) = delete;
+
+  /// Producer side: enqueue a block. Blocks while the pipe is full.
+  /// Must not be called after close().
+  void write(std::vector<Addr> block);
+  void write(std::span<const Addr> block);
+
+  /// Producer side: no more data will be written.
+  void close();
+
+  /// Consumer side: dequeue the next block. Returns false at end-of-trace
+  /// (pipe closed and drained).
+  bool read(std::vector<Addr>& block);
+
+  /// Consumer side: read up to max_words addresses, concatenating queued
+  /// blocks. Returns an empty vector at end-of-trace.
+  std::vector<Addr> read_words(std::size_t max_words);
+
+  std::size_t capacity_words() const noexcept { return capacity_; }
+
+  /// Total addresses that have passed through (producer side count).
+  std::uint64_t words_written() const noexcept;
+
+ private:
+  bool has_space_locked(std::size_t incoming) const noexcept {
+    return buffered_ + incoming <= capacity_ || buffered_ == 0;
+  }
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable can_write_;
+  std::condition_variable can_read_;
+  std::deque<std::vector<Addr>> blocks_;
+  std::size_t buffered_ = 0;  // words currently queued
+  std::uint64_t written_ = 0;
+  bool closed_ = false;
+  // Carry-over for read_words when a block is larger than requested.
+  std::vector<Addr> partial_;
+  std::size_t partial_pos_ = 0;
+};
+
+}  // namespace parda

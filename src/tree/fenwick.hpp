@@ -1,0 +1,54 @@
+// Fenwick (binary indexed) tree over trace positions — the substrate for
+// the Bennett & Kruskal reuse distance algorithm (paper reference [2]).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace parda {
+
+class FenwickTree {
+ public:
+  explicit FenwickTree(std::size_t size) : bits_(size + 1, 0) {}
+
+  std::size_t size() const noexcept { return bits_.size() - 1; }
+
+  /// Adds delta at position i (0-based).
+  void add(std::size_t i, std::int64_t delta) {
+    PARDA_DCHECK(i < size());
+    for (std::size_t k = i + 1; k < bits_.size(); k += k & (~k + 1)) {
+      bits_[k] += delta;
+    }
+  }
+
+  /// Sum of positions [0, i] (0-based, inclusive).
+  std::int64_t prefix_sum(std::size_t i) const {
+    PARDA_DCHECK(i < size());
+    std::int64_t sum = 0;
+    for (std::size_t k = i + 1; k > 0; k -= k & (~k + 1)) {
+      sum += bits_[k];
+    }
+    return sum;
+  }
+
+  /// Sum of positions [lo, hi] inclusive; 0 for an empty range.
+  std::int64_t range_sum(std::size_t lo, std::size_t hi) const {
+    if (lo > hi) return 0;
+    return prefix_sum(hi) - (lo == 0 ? 0 : prefix_sum(lo - 1));
+  }
+
+  /// Total sum.
+  std::int64_t total() const {
+    return size() == 0 ? 0 : prefix_sum(size() - 1);
+  }
+
+  void clear() { std::fill(bits_.begin(), bits_.end(), 0); }
+
+ private:
+  std::vector<std::int64_t> bits_;
+};
+
+}  // namespace parda

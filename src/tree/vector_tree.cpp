@@ -1,0 +1,59 @@
+#include "tree/vector_tree.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace parda {
+
+namespace {
+struct TsLess {
+  bool operator()(const TreeEntry& e, Timestamp ts) const {
+    return e.ts < ts;
+  }
+  bool operator()(Timestamp ts, const TreeEntry& e) const {
+    return ts < e.ts;
+  }
+};
+}  // namespace
+
+void VectorTree::insert(Timestamp ts, Addr addr) {
+  const auto it =
+      std::lower_bound(entries_.begin(), entries_.end(), ts, TsLess{});
+  PARDA_DCHECK(it == entries_.end() || it->ts != ts);
+  entries_.insert(it, TreeEntry{ts, addr});
+}
+
+bool VectorTree::erase(Timestamp ts) {
+  const auto it =
+      std::lower_bound(entries_.begin(), entries_.end(), ts, TsLess{});
+  if (it == entries_.end() || it->ts != ts) return false;
+  entries_.erase(it);
+  return true;
+}
+
+std::uint64_t VectorTree::count_greater(Timestamp ts) const noexcept {
+  const auto it =
+      std::upper_bound(entries_.begin(), entries_.end(), ts, TsLess{});
+  return static_cast<std::uint64_t>(entries_.end() - it);
+}
+
+TreeEntry VectorTree::oldest() const {
+  PARDA_CHECK(!entries_.empty());
+  return entries_.front();
+}
+
+TreeEntry VectorTree::pop_oldest() {
+  PARDA_CHECK(!entries_.empty());
+  const TreeEntry entry = entries_.front();
+  entries_.erase(entries_.begin());
+  return entry;
+}
+
+bool VectorTree::validate() const {
+  return std::is_sorted(
+      entries_.begin(), entries_.end(),
+      [](const TreeEntry& a, const TreeEntry& b) { return a.ts < b.ts; });
+}
+
+}  // namespace parda

@@ -1,0 +1,48 @@
+// VectorTree: a sorted-vector "tree" used as the correctness oracle in
+// property tests and as the list-based baseline of Mattson et al. [12].
+// Lookups are O(log n); insert/erase are O(n) memmoves.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "tree/order_stat_tree.hpp"
+#include "util/types.hpp"
+
+namespace parda {
+
+class VectorTree {
+ public:
+  VectorTree() = default;
+
+  void insert(Timestamp ts, Addr addr);
+  bool erase(Timestamp ts);
+  std::uint64_t count_greater(Timestamp ts) const noexcept;
+  std::uint64_t count_greater(Timestamp ts) noexcept {
+    return std::as_const(*this).count_greater(ts);
+  }
+
+  std::size_t size() const noexcept { return entries_.size(); }
+  bool empty() const noexcept { return entries_.empty(); }
+
+  TreeEntry oldest() const;
+  TreeEntry pop_oldest();
+
+  void clear() noexcept { entries_.clear(); }
+  void reserve(std::size_t n) { entries_.reserve(n); }
+
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const TreeEntry& e : entries_) fn(e);
+  }
+
+  bool validate() const;
+
+ private:
+  std::vector<TreeEntry> entries_;  // ascending by ts
+};
+
+static_assert(OrderStatTree<VectorTree>);
+
+}  // namespace parda

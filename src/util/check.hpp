@@ -1,0 +1,24 @@
+// Lightweight runtime checks. PARDA_CHECK is always on (cheap, used on cold
+// paths and in tests); PARDA_DCHECK compiles out in release builds and may
+// sit on hot paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+#define PARDA_CHECK(cond)                                                   \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "PARDA_CHECK failed: %s at %s:%d\n", #cond,      \
+                   __FILE__, __LINE__);                                     \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#ifndef NDEBUG
+#define PARDA_DCHECK(cond) PARDA_CHECK(cond)
+#else
+#define PARDA_DCHECK(cond) \
+  do {                     \
+  } while (0)
+#endif

@@ -1,0 +1,99 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace parda {
+
+CliParser::CliParser(std::string program_description)
+    : description_(std::move(program_description)) {}
+
+void CliParser::add_flag(const std::string& name, std::string* value,
+                         const std::string& help) {
+  flags_.push_back({name, Kind::kString, value, help});
+}
+
+void CliParser::add_flag(const std::string& name, std::uint64_t* value,
+                         const std::string& help) {
+  flags_.push_back({name, Kind::kUint, value, help});
+}
+
+void CliParser::add_flag(const std::string& name, double* value,
+                         const std::string& help) {
+  flags_.push_back({name, Kind::kDouble, value, help});
+}
+
+void CliParser::add_flag(const std::string& name, bool* value,
+                         const std::string& help) {
+  flags_.push_back({name, Kind::kBool, value, help});
+}
+
+void CliParser::usage_and_exit(int code) const {
+  std::fprintf(stderr, "%s\n\nusage: %s [flags]\n", description_.c_str(),
+               program_.c_str());
+  for (const Flag& f : flags_) {
+    std::fprintf(stderr, "  --%-18s %s\n", f.name.c_str(), f.help.c_str());
+  }
+  std::exit(code);
+}
+
+const CliParser::Flag* CliParser::find(const std::string& name) const {
+  for (const Flag& f : flags_) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+void CliParser::assign(const Flag& flag, const std::string& value) const {
+  switch (flag.kind) {
+    case Kind::kString:
+      *static_cast<std::string*>(flag.target) = value;
+      break;
+    case Kind::kUint:
+      *static_cast<std::uint64_t*>(flag.target) =
+          std::strtoull(value.c_str(), nullptr, 0);
+      break;
+    case Kind::kDouble:
+      *static_cast<double*>(flag.target) = std::strtod(value.c_str(), nullptr);
+      break;
+    case Kind::kBool:
+      *static_cast<bool*>(flag.target) =
+          value == "1" || value == "true" || value == "yes" || value.empty();
+      break;
+  }
+}
+
+void CliParser::parse(int argc, char** argv) {
+  program_ = argc > 0 ? argv[0] : "prog";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") usage_and_exit(0);
+    if (arg.rfind("--", 0) != 0) {
+      positionals_.push_back(std::move(arg));
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool have_value = false;
+    if (auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      have_value = true;
+    }
+    const Flag* flag = find(name);
+    if (flag == nullptr) {
+      std::fprintf(stderr, "unknown flag --%s\n", name.c_str());
+      usage_and_exit(1);
+    }
+    if (!have_value && flag->kind != Kind::kBool) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "flag --%s requires a value\n", name.c_str());
+        usage_and_exit(1);
+      }
+      value = argv[++i];
+    }
+    assign(*flag, value);
+  }
+}
+
+}  // namespace parda

@@ -1,0 +1,52 @@
+// A minimal command-line flag parser for the examples and bench harnesses.
+//
+// Flags take the form --name=value or --name value; bare --name sets a bool.
+// Unrecognized flags abort with a usage message listing registered flags.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace parda {
+
+class CliParser {
+ public:
+  explicit CliParser(std::string program_description);
+
+  /// Registers a flag; returns a handle whose value is filled by parse().
+  /// The pointed-to default remains if the flag is absent.
+  void add_flag(const std::string& name, std::string* value,
+                const std::string& help);
+  void add_flag(const std::string& name, std::uint64_t* value,
+                const std::string& help);
+  void add_flag(const std::string& name, double* value,
+                const std::string& help);
+  void add_flag(const std::string& name, bool* value, const std::string& help);
+
+  /// Parses argv. On --help prints usage and exits 0; on error prints usage
+  /// and exits 1. Positional arguments are collected into positionals().
+  void parse(int argc, char** argv);
+
+  const std::vector<std::string>& positionals() const { return positionals_; }
+
+ private:
+  enum class Kind { kString, kUint, kDouble, kBool };
+  struct Flag {
+    std::string name;
+    Kind kind;
+    void* target;
+    std::string help;
+  };
+
+  [[noreturn]] void usage_and_exit(int code) const;
+  const Flag* find(const std::string& name) const;
+  void assign(const Flag& flag, const std::string& value) const;
+
+  std::string description_;
+  std::string program_;
+  std::vector<Flag> flags_;
+  std::vector<std::string> positionals_;
+};
+
+}  // namespace parda

@@ -1,0 +1,136 @@
+#include "util/prng.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace parda {
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  std::uint64_t s = x;
+  return splitmix64(s);
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) noexcept {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+}
+
+Xoshiro256::result_type Xoshiro256::operator()() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Xoshiro256::below(std::uint64_t bound) noexcept {
+  PARDA_DCHECK(bound != 0);
+  // Lemire's nearly-divisionless unbiased bounded sampling.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (lo < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::uint64_t Xoshiro256::range(std::uint64_t lo, std::uint64_t hi) noexcept {
+  PARDA_DCHECK(lo <= hi);
+  return lo + below(hi - lo + 1);
+}
+
+double Xoshiro256::uniform() noexcept {
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+void Xoshiro256::jump() noexcept {
+  static constexpr std::uint64_t kJump[] = {
+      0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL, 0xa9582618e03fc9aaULL,
+      0x39abdc4529b1661cULL};
+  std::uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  for (std::uint64_t word : kJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (word & (1ULL << b)) {
+        s0 ^= s_[0];
+        s1 ^= s_[1];
+        s2 ^= s_[2];
+        s3 ^= s_[3];
+      }
+      (*this)();
+    }
+  }
+  s_ = {s0, s1, s2, s3};
+}
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double alpha)
+    : n_(n), alpha_(alpha) {
+  PARDA_CHECK(n >= 1);
+  PARDA_CHECK(alpha >= 0.0);
+  h_x1_ = h(1.5) - 1.0;
+  h_n_ = h(static_cast<double>(n) + 0.5);
+  s_ = 2.0 - h_inv(h(2.5) - std::pow(2.0, -alpha));
+}
+
+double ZipfSampler::h(double x) const noexcept {
+  // Integral of x^-alpha; the alpha == 1 limit is log.
+  if (alpha_ == 1.0) return std::log(x);
+  return std::pow(x, 1.0 - alpha_) / (1.0 - alpha_);
+}
+
+double ZipfSampler::h_inv(double x) const noexcept {
+  if (alpha_ == 1.0) return std::exp(x);
+  return std::pow((1.0 - alpha_) * x, 1.0 / (1.0 - alpha_));
+}
+
+std::uint64_t ZipfSampler::operator()(Xoshiro256& rng) const noexcept {
+  if (n_ == 1) return 0;
+  while (true) {
+    const double u = h_n_ + rng.uniform() * (h_x1_ - h_n_);
+    const double x = h_inv(u);
+    auto k = static_cast<std::uint64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n_) k = n_;
+    if (static_cast<double>(k) - x <= s_ ||
+        u >= h(static_cast<double>(k) + 0.5) -
+                 std::pow(static_cast<double>(k), -alpha_)) {
+      return k - 1;  // 0-based rank
+    }
+  }
+}
+
+std::vector<std::uint64_t> random_permutation(std::uint64_t n,
+                                              Xoshiro256& rng) {
+  std::vector<std::uint64_t> perm(n);
+  for (std::uint64_t i = 0; i < n; ++i) perm[i] = i;
+  for (std::uint64_t i = n; i > 1; --i) {
+    const std::uint64_t j = rng.below(i);
+    std::swap(perm[i - 1], perm[j]);
+  }
+  return perm;
+}
+
+}  // namespace parda

@@ -1,0 +1,79 @@
+// Deterministic pseudo-random number generation for workload synthesis.
+//
+// We implement xoshiro256** (Blackman & Vigna) seeded through splitmix64
+// rather than relying on std::mt19937_64: it is faster, has a tiny state,
+// and guarantees bit-identical streams across standard libraries, which the
+// test suite depends on.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace parda {
+
+/// splitmix64 step; used for seeding and as a cheap stateless mixer.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// Stateless 64-bit mix of a value (one splitmix64 round).
+std::uint64_t mix64(std::uint64_t x) noexcept;
+
+/// xoshiro256** generator. Satisfies UniformRandomBitGenerator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  result_type operator()() noexcept;
+
+  /// Uniform in [0, bound). bound must be nonzero. Uses Lemire's
+  /// multiply-shift rejection method (unbiased).
+  std::uint64_t below(std::uint64_t bound) noexcept;
+
+  /// Uniform in [lo, hi] inclusive.
+  std::uint64_t range(std::uint64_t lo, std::uint64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Jump function: advances the stream by 2^128 steps; used to derive
+  /// independent per-rank streams from one seed.
+  void jump() noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> s_;
+};
+
+/// Samples ranks 0..n-1 with probability proportional to 1/(rank+1)^alpha.
+/// Uses the classic rejection-inversion method of Hörmann & Derflinger so
+/// setup is O(1) and sampling is O(1) expected, independent of n.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::uint64_t n, double alpha);
+
+  std::uint64_t operator()(Xoshiro256& rng) const noexcept;
+
+  std::uint64_t n() const noexcept { return n_; }
+  double alpha() const noexcept { return alpha_; }
+
+ private:
+  double h(double x) const noexcept;
+  double h_inv(double x) const noexcept;
+
+  std::uint64_t n_;
+  double alpha_;
+  double h_x1_;
+  double h_n_;
+  double s_;
+};
+
+/// A random permutation of [0, n) built with Fisher-Yates; used to scatter
+/// logical indices over a synthetic address space.
+std::vector<std::uint64_t> random_permutation(std::uint64_t n,
+                                              Xoshiro256& rng);
+
+}  // namespace parda

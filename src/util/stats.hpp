@@ -1,0 +1,28 @@
+// Small statistics helpers shared by the benchmark harnesses and the
+// phase-detection application.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace parda {
+
+double mean(std::span<const double> xs) noexcept;
+double stdev(std::span<const double> xs) noexcept;
+double median(std::vector<double> xs) noexcept;
+
+/// p in [0,100]; linear interpolation between order statistics.
+double percentile(std::vector<double> xs, double p) noexcept;
+
+/// Geometric mean; all inputs must be positive.
+double geomean(std::span<const double> xs) noexcept;
+
+/// Pretty-print a count with thousands separators, e.g. 12,081,037.
+std::string with_commas(unsigned long long value);
+
+/// Human-readable byte/word sizes, e.g. "2Mw", "512Kw", "64w".
+std::string words_human(unsigned long long words);
+
+}  // namespace parda

@@ -1,0 +1,29 @@
+// Fixed-width ASCII table printer used by the bench harnesses to emit the
+// paper's tables and figure series in a readable, diffable form.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace parda {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders to the given stream (default stdout) with a header rule.
+  void print(std::FILE* out = stdout) const;
+
+  /// Helpers for formatting numeric cells.
+  static std::string fmt(double v, int precision = 2);
+  static std::string fmt_u64(unsigned long long v);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace parda

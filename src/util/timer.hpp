@@ -1,0 +1,48 @@
+// Wall-clock and CPU timers used by the benchmark harnesses and the comm
+// runtime's per-rank busy-time accounting.
+#pragma once
+
+#include <chrono>
+#include <ctime>
+
+namespace parda {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() noexcept : start_(clock::now()) {}
+
+  void reset() noexcept { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Per-thread CPU-time stopwatch (CLOCK_THREAD_CPUTIME_ID). Used to charge
+/// each simulated rank only for its own work so parallel-scaling figures can
+/// be reproduced on a single-core host via critical-path accounting.
+class ThreadCpuTimer {
+ public:
+  ThreadCpuTimer() noexcept : start_(now()) {}
+
+  void reset() noexcept { start_ = now(); }
+
+  double seconds() const noexcept { return now() - start_; }
+
+ private:
+  static double now() noexcept {
+    timespec ts{};
+    clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+  }
+  double start_;
+};
+
+}  // namespace parda

@@ -1,0 +1,38 @@
+// A small two-pass assembler for the instrumented VM, so traced programs
+// can be written as text instead of hand-built Instr vectors.
+//
+// Syntax (one statement per line; ';' or '#' start comments):
+//
+//   .name  vecsum          ; program name
+//   .mem   1024            ; data memory words
+//   .data  5 7 9           ; initial memory image, appended in order
+//
+//   start:                 ; labels end with ':'
+//     movi r1, 0
+//     movi r2, 100
+//   loop:
+//     load r4, r1, 0       ; r4 = mem[r1 + 0]
+//     add  r3, r3, r4
+//     addi r1, r1, 1
+//     blt  r1, r2, loop    ; branch targets are labels or absolute ints
+//     halt
+//
+// Mnemonics: halt, movi, mov, add, addi, mul, shr, load, store, jmp,
+// bne, blt. Registers are r0..r15.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "vm/machine.hpp"
+
+namespace parda::vm {
+
+/// Assembles source text into a Program; throws std::invalid_argument
+/// with a line-numbered message on any syntax error.
+Program assemble(std::string_view source);
+
+/// Reads and assembles a file.
+Program assemble_file(const std::string& path);
+
+}  // namespace parda::vm

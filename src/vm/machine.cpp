@@ -1,0 +1,103 @@
+#include "vm/machine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+namespace parda::vm {
+
+Machine::Machine(const Program& program) : program_(program) { reset(); }
+
+void Machine::reset() {
+  mem_.assign(program_.memory_words, 0);
+  const std::size_t init =
+      std::min(program_.initial_memory.size(), mem_.size());
+  std::copy_n(program_.initial_memory.begin(), init, mem_.begin());
+  for (std::int64_t& r : regs_) r = 0;
+  accesses_ = 0;
+}
+
+std::uint64_t Machine::run(const AccessHook& hook, std::uint64_t max_steps) {
+  std::uint64_t pc = 0;
+  std::uint64_t steps = 0;
+  const std::vector<Instr>& code = program_.code;
+
+  auto mem_at = [&](std::int64_t addr) -> std::int64_t& {
+    if (addr < 0 || static_cast<std::uint64_t>(addr) >= mem_.size()) {
+      throw std::runtime_error(program_.name + ": memory access out of bounds");
+    }
+    return mem_[static_cast<std::uint64_t>(addr)];
+  };
+
+  while (steps < max_steps) {
+    if (pc >= code.size()) {
+      throw std::runtime_error(program_.name + ": pc out of bounds");
+    }
+    const Instr& ins = code[pc];
+    ++steps;
+    switch (ins.op) {
+      case Op::kHalt:
+        return steps;
+      case Op::kMovi:
+        regs_[ins.a] = ins.imm;
+        break;
+      case Op::kMov:
+        regs_[ins.a] = regs_[ins.b];
+        break;
+      case Op::kAdd:
+        regs_[ins.a] = regs_[ins.b] + regs_[ins.c];
+        break;
+      case Op::kAddi:
+        regs_[ins.a] = regs_[ins.b] + ins.imm;
+        break;
+      case Op::kMul:
+        regs_[ins.a] = regs_[ins.b] * regs_[ins.c];
+        break;
+      case Op::kShr:
+        regs_[ins.a] = regs_[ins.b] >> ins.imm;
+        break;
+      case Op::kLoad: {
+        const std::int64_t addr = regs_[ins.b] + ins.imm;
+        regs_[ins.a] = mem_at(addr);
+        ++accesses_;
+        if (hook) hook(static_cast<Addr>(addr));
+        break;
+      }
+      case Op::kStore: {
+        const std::int64_t addr = regs_[ins.b] + ins.imm;
+        mem_at(addr) = regs_[ins.a];
+        ++accesses_;
+        if (hook) hook(static_cast<Addr>(addr));
+        break;
+      }
+      case Op::kJmp:
+        pc = static_cast<std::uint64_t>(ins.imm);
+        continue;
+      case Op::kBne:
+        if (regs_[ins.a] != regs_[ins.b]) {
+          pc = static_cast<std::uint64_t>(ins.imm);
+          continue;
+        }
+        break;
+      case Op::kBlt:
+        if (regs_[ins.a] < regs_[ins.b]) {
+          pc = static_cast<std::uint64_t>(ins.imm);
+          continue;
+        }
+        break;
+    }
+    ++pc;
+  }
+  return steps;
+}
+
+std::vector<Addr> trace_program(const Program& program,
+                                std::uint64_t max_steps) {
+  Machine machine(program);
+  std::vector<Addr> trace;
+  machine.run([&](Addr a) { trace.push_back(a); }, max_steps);
+  return trace;
+}
+
+}  // namespace parda::vm

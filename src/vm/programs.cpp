@@ -1,0 +1,228 @@
+#include "vm/programs.hpp"
+
+#include <cstdint>
+
+#include "util/check.hpp"
+#include "util/prng.hpp"
+
+namespace parda::vm {
+
+namespace {
+
+/// Tiny assembler: emit() returns the instruction's index so branch targets
+/// can be patched after the fact.
+class Asm {
+ public:
+  std::size_t emit(Op op, std::uint8_t a = 0, std::uint8_t b = 0,
+                   std::uint8_t c = 0, std::int64_t imm = 0) {
+    code_.push_back(Instr{op, a, b, c, imm});
+    return code_.size() - 1;
+  }
+
+  std::size_t here() const noexcept { return code_.size(); }
+
+  void patch(std::size_t instr, std::int64_t target) {
+    code_[instr].imm = target;
+  }
+
+  std::vector<Instr> take() { return std::move(code_); }
+
+ private:
+  std::vector<Instr> code_;
+};
+
+}  // namespace
+
+Program vector_sum(std::uint64_t n) {
+  PARDA_CHECK(n >= 1);
+  Asm a;
+  a.emit(Op::kMovi, 1, 0, 0, 0);                        // r1 = i = 0
+  a.emit(Op::kMovi, 2, 0, 0, static_cast<std::int64_t>(n));  // r2 = n
+  a.emit(Op::kMovi, 3, 0, 0, 0);                        // r3 = sum
+  const std::size_t loop = a.here();
+  a.emit(Op::kLoad, 4, 1, 0, 0);    // r4 = a[i]
+  a.emit(Op::kAdd, 3, 3, 4);        // sum += r4
+  a.emit(Op::kAddi, 1, 1, 0, 1);    // ++i
+  a.emit(Op::kBlt, 1, 2, 0, static_cast<std::int64_t>(loop));
+  a.emit(Op::kHalt);
+  return Program{"vector_sum", a.take(), n, {}};
+}
+
+Program smooth_passes(std::uint64_t n, std::uint64_t iterations) {
+  PARDA_CHECK(n >= 2);
+  PARDA_CHECK(iterations >= 1);
+  Asm a;
+  a.emit(Op::kMovi, 5, 0, 0, 0);  // r5 = pass
+  a.emit(Op::kMovi, 6, 0, 0, static_cast<std::int64_t>(iterations));
+  const std::size_t pass_loop = a.here();
+  a.emit(Op::kMovi, 1, 0, 0, 0);  // r1 = i
+  a.emit(Op::kMovi, 2, 0, 0, static_cast<std::int64_t>(n - 1));
+  const std::size_t loop = a.here();
+  a.emit(Op::kLoad, 3, 1, 0, 0);  // a[i]
+  a.emit(Op::kLoad, 4, 1, 0, 1);  // a[i+1]
+  a.emit(Op::kAdd, 3, 3, 4);
+  a.emit(Op::kStore, 3, 1, 0, static_cast<std::int64_t>(n));  // b[i]
+  a.emit(Op::kAddi, 1, 1, 0, 1);
+  a.emit(Op::kBlt, 1, 2, 0, static_cast<std::int64_t>(loop));
+  a.emit(Op::kAddi, 5, 5, 0, 1);
+  a.emit(Op::kBlt, 5, 6, 0, static_cast<std::int64_t>(pass_loop));
+  a.emit(Op::kHalt);
+  return Program{"smooth_passes", a.take(), 2 * n, {}};
+}
+
+Program matmul(std::uint64_t n) {
+  PARDA_CHECK(n >= 1);
+  const auto nn = static_cast<std::int64_t>(n);
+  const std::int64_t b_base = nn * nn;
+  const std::int64_t c_base = 2 * nn * nn;
+  Asm a;
+  a.emit(Op::kMovi, 4, 0, 0, nn);  // r4 = n
+  a.emit(Op::kMovi, 1, 0, 0, 0);   // r1 = i
+  const std::size_t iloop = a.here();
+  a.emit(Op::kMovi, 2, 0, 0, 0);  // r2 = j
+  const std::size_t jloop = a.here();
+  a.emit(Op::kMovi, 3, 0, 0, 0);  // r3 = k
+  a.emit(Op::kMovi, 7, 0, 0, 0);  // r7 = acc
+  const std::size_t kloop = a.here();
+  a.emit(Op::kMul, 10, 1, 4);      // r10 = i*n
+  a.emit(Op::kAdd, 10, 10, 3);     // + k
+  a.emit(Op::kLoad, 5, 10, 0, 0);  // A[i][k]
+  a.emit(Op::kMul, 11, 3, 4);      // r11 = k*n
+  a.emit(Op::kAdd, 11, 11, 2);     // + j
+  a.emit(Op::kLoad, 6, 11, 0, b_base);  // B[k][j]
+  a.emit(Op::kMul, 5, 5, 6);
+  a.emit(Op::kAdd, 7, 7, 5);
+  a.emit(Op::kAddi, 3, 3, 0, 1);
+  a.emit(Op::kBlt, 3, 4, 0, static_cast<std::int64_t>(kloop));
+  a.emit(Op::kMul, 10, 1, 4);
+  a.emit(Op::kAdd, 10, 10, 2);          // i*n + j
+  a.emit(Op::kLoad, 8, 10, 0, c_base);  // C[i][j]
+  a.emit(Op::kAdd, 8, 8, 7);
+  a.emit(Op::kStore, 8, 10, 0, c_base);
+  a.emit(Op::kAddi, 2, 2, 0, 1);
+  a.emit(Op::kBlt, 2, 4, 0, static_cast<std::int64_t>(jloop));
+  a.emit(Op::kAddi, 1, 1, 0, 1);
+  a.emit(Op::kBlt, 1, 4, 0, static_cast<std::int64_t>(iloop));
+  a.emit(Op::kHalt);
+  return Program{"matmul", a.take(), 3 * n * n, {}};
+}
+
+Program list_chase(std::uint64_t nodes, std::uint64_t rounds) {
+  PARDA_CHECK(nodes >= 1);
+  PARDA_CHECK(rounds >= 1);
+  // Data segment: next[i] forms one random Hamiltonian cycle.
+  Xoshiro256 rng(nodes * 0x9e3779b9ULL + 7);
+  const std::vector<std::uint64_t> perm = random_permutation(nodes, rng);
+  std::vector<std::int64_t> next(nodes);
+  for (std::uint64_t i = 0; i < nodes; ++i) {
+    next[perm[i]] = static_cast<std::int64_t>(perm[(i + 1) % nodes]);
+  }
+
+  Asm a;
+  a.emit(Op::kMovi, 1, 0, 0, 0);  // r1 = cur
+  a.emit(Op::kMovi, 2, 0, 0,
+         static_cast<std::int64_t>(nodes * rounds));  // r2 = total steps
+  a.emit(Op::kMovi, 3, 0, 0, 0);                      // r3 = counter
+  const std::size_t loop = a.here();
+  a.emit(Op::kLoad, 1, 1, 0, 0);  // cur = next[cur]
+  a.emit(Op::kAddi, 3, 3, 0, 1);
+  a.emit(Op::kBlt, 3, 2, 0, static_cast<std::int64_t>(loop));
+  a.emit(Op::kHalt);
+  return Program{"list_chase", a.take(), nodes, std::move(next)};
+}
+
+Program binary_search(std::uint64_t n, std::uint64_t queries) {
+  PARDA_CHECK(n >= 2);
+  PARDA_CHECK(queries >= 1);
+  // Data segment: the sorted array 0..n-1.
+  std::vector<std::int64_t> data(n);
+  for (std::uint64_t i = 0; i < n; ++i) data[i] = static_cast<std::int64_t>(i);
+
+  // r4 = n, r7 = query counter, r8 = query budget, r9 = key,
+  // r10 = key stride (coprime-ish walk over the key space).
+  Asm a;
+  a.emit(Op::kMovi, 4, 0, 0, static_cast<std::int64_t>(n));
+  a.emit(Op::kMovi, 7, 0, 0, 0);
+  a.emit(Op::kMovi, 8, 0, 0, static_cast<std::int64_t>(queries));
+  a.emit(Op::kMovi, 9, 0, 0, 0);
+  a.emit(Op::kMovi, 10, 0, 0, static_cast<std::int64_t>(n / 3 * 2 + 1));
+  const std::size_t query_loop = a.here();
+  // key = (key + stride) mod n, by conditional subtraction (stride < n...
+  // stride may exceed n, so subtract until in range).
+  a.emit(Op::kAdd, 9, 9, 10);
+  const std::size_t mod_loop = a.here();
+  const std::size_t blt_in_range = a.emit(Op::kBlt, 9, 4, 0, 0);  // patched
+  a.emit(Op::kMov, 11, 4);
+  a.emit(Op::kMovi, 12, 0, 0, -1);
+  a.emit(Op::kMul, 11, 11, 12);   // r11 = -n
+  a.emit(Op::kAdd, 9, 9, 11);     // key -= n
+  a.emit(Op::kJmp, 0, 0, 0, static_cast<std::int64_t>(mod_loop));
+  const std::size_t search_setup = a.here();
+  a.patch(blt_in_range, static_cast<std::int64_t>(search_setup));
+  a.emit(Op::kMovi, 1, 0, 0, 0);  // lo = 0
+  a.emit(Op::kMov, 2, 4);         // hi = n
+  const std::size_t search_loop = a.here();
+  const std::size_t blt_continue = a.emit(Op::kBlt, 1, 2, 0, 0);  // patched
+  const std::size_t next_query_jmp = a.emit(Op::kJmp, 0, 0, 0, 0);
+  const std::size_t body = a.here();
+  a.patch(blt_continue, static_cast<std::int64_t>(body));
+  a.emit(Op::kAdd, 3, 1, 2);
+  a.emit(Op::kShr, 3, 3, 0, 1);   // mid = (lo + hi) >> 1
+  a.emit(Op::kLoad, 5, 3, 0, 0);  // a[mid]
+  const std::size_t blt_go_right = a.emit(Op::kBlt, 5, 9, 0, 0);  // patched
+  const std::size_t blt_go_left = a.emit(Op::kBlt, 9, 5, 0, 0);   // patched
+  const std::size_t found_jmp = a.emit(Op::kJmp, 0, 0, 0, 0);     // found
+  const std::size_t go_right = a.here();
+  a.patch(blt_go_right, static_cast<std::int64_t>(go_right));
+  a.emit(Op::kAddi, 1, 3, 0, 1);  // lo = mid + 1
+  a.emit(Op::kJmp, 0, 0, 0, static_cast<std::int64_t>(search_loop));
+  const std::size_t go_left = a.here();
+  a.patch(blt_go_left, static_cast<std::int64_t>(go_left));
+  a.emit(Op::kMov, 2, 3);  // hi = mid
+  a.emit(Op::kJmp, 0, 0, 0, static_cast<std::int64_t>(search_loop));
+  const std::size_t next_query = a.here();
+  a.patch(next_query_jmp, static_cast<std::int64_t>(next_query));
+  a.patch(found_jmp, static_cast<std::int64_t>(next_query));
+  a.emit(Op::kAddi, 7, 7, 0, 1);
+  a.emit(Op::kBlt, 7, 8, 0, static_cast<std::int64_t>(query_loop));
+  a.emit(Op::kHalt);
+  return Program{"binary_search", a.take(), n, std::move(data)};
+}
+
+Program bubble_sort(std::uint64_t n) {
+  PARDA_CHECK(n >= 2);
+  // Data segment: a deterministic pseudo-random permutation to sort.
+  Xoshiro256 rng(n * 31 + 5);
+  const std::vector<std::uint64_t> perm = random_permutation(n, rng);
+  std::vector<std::int64_t> data(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    data[i] = static_cast<std::int64_t>(perm[i]);
+  }
+
+  // r4 = n-1 (inner bound), r5 = pass, r6 = n (pass bound), r1 = j.
+  Asm a;
+  a.emit(Op::kMovi, 4, 0, 0, static_cast<std::int64_t>(n - 1));
+  a.emit(Op::kMovi, 5, 0, 0, 0);
+  a.emit(Op::kMovi, 6, 0, 0, static_cast<std::int64_t>(n));
+  const std::size_t pass_loop = a.here();
+  a.emit(Op::kMovi, 1, 0, 0, 0);
+  const std::size_t inner_loop = a.here();
+  a.emit(Op::kLoad, 2, 1, 0, 0);  // a[j]
+  a.emit(Op::kLoad, 3, 1, 0, 1);  // a[j+1]
+  const std::size_t blt_swap = a.emit(Op::kBlt, 3, 2, 0, 0);  // patched
+  const std::size_t no_swap_jmp = a.emit(Op::kJmp, 0, 0, 0, 0);
+  const std::size_t do_swap = a.here();
+  a.patch(blt_swap, static_cast<std::int64_t>(do_swap));
+  a.emit(Op::kStore, 3, 1, 0, 0);
+  a.emit(Op::kStore, 2, 1, 0, 1);
+  const std::size_t after_swap = a.here();
+  a.patch(no_swap_jmp, static_cast<std::int64_t>(after_swap));
+  a.emit(Op::kAddi, 1, 1, 0, 1);
+  a.emit(Op::kBlt, 1, 4, 0, static_cast<std::int64_t>(inner_loop));
+  a.emit(Op::kAddi, 5, 5, 0, 1);
+  a.emit(Op::kBlt, 5, 6, 0, static_cast<std::int64_t>(pass_loop));
+  a.emit(Op::kHalt);
+  return Program{"bubble_sort", a.take(), n, std::move(data)};
+}
+
+}  // namespace parda::vm

@@ -1,0 +1,36 @@
+// Ready-made VM programs whose address traces have analytically known
+// structure, used by the online-analysis examples and tests.
+#pragma once
+
+#include <cstdint>
+
+#include "vm/machine.hpp"
+
+namespace parda::vm {
+
+/// sum += a[i] for i in [0, n): n loads, footprint n, all infinities.
+Program vector_sum(std::uint64_t n);
+
+/// b[i] = a[i] + a[i+1] for i in [0, n-1) repeated `passes` times:
+/// short-distance intra-pass reuse plus long-distance inter-pass reuse.
+Program smooth_passes(std::uint64_t n, std::uint64_t iterations);
+
+/// Naive n x n x n matrix multiply C[i][j] += A[i][k] * B[k][j]; classic
+/// loop-nest locality (B columns at distance ~n).
+Program matmul(std::uint64_t n);
+
+/// Builds a pseudo-random singly linked list of `nodes` nodes, then chases
+/// it `rounds` times: mcf-style pointer chasing with full-footprint reuse
+/// distances between rounds.
+Program list_chase(std::uint64_t nodes, std::uint64_t rounds);
+
+/// `queries` binary searches over a sorted array of n elements; the data
+/// segment holds 0..n-1 so every search succeeds. Log-depth access trees
+/// with a heavily reused top (the root is touched by every query).
+Program binary_search(std::uint64_t n, std::uint64_t queries);
+
+/// In-place bubble sort of a pseudo-randomly permuted array: O(n^2)
+/// references with strong short-distance reuse between adjacent passes.
+Program bubble_sort(std::uint64_t n);
+
+}  // namespace parda::vm

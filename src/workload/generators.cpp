@@ -1,0 +1,371 @@
+#include "workload/generators.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace parda {
+
+std::vector<Addr> generate_trace(Workload& workload, std::size_t n) {
+  std::vector<Addr> trace(n);
+  workload.fill(trace);
+  return trace;
+}
+
+std::vector<Addr> take_trace(Workload& workload, std::size_t n) {
+  workload.reset();
+  return generate_trace(workload, n);
+}
+
+Addr region_base(std::uint32_t region) noexcept {
+  return static_cast<Addr>(region) << 40;
+}
+
+// --- SequentialWorkload ----------------------------------------------------
+
+SequentialWorkload::SequentialWorkload(std::uint64_t footprint,
+                                       std::uint32_t region)
+    : footprint_(footprint), base_(region_base(region)) {
+  PARDA_CHECK(footprint >= 1);
+}
+
+void SequentialWorkload::fill(std::span<Addr> out) {
+  for (Addr& a : out) {
+    a = base_ + pos_;
+    pos_ = pos_ + 1 == footprint_ ? 0 : pos_ + 1;
+  }
+}
+
+std::string SequentialWorkload::name() const {
+  return "seq(m=" + std::to_string(footprint_) + ")";
+}
+
+// --- StridedWorkload --------------------------------------------------------
+
+StridedWorkload::StridedWorkload(std::uint64_t footprint, std::uint64_t stride,
+                                 std::uint32_t region)
+    : footprint_(footprint), stride_(stride), base_(region_base(region)) {
+  PARDA_CHECK(footprint >= 1);
+  PARDA_CHECK(stride >= 1);
+}
+
+void StridedWorkload::fill(std::span<Addr> out) {
+  // Walk positions 0, s, 2s, ... mod footprint; a full walk touches every
+  // residue class because we offset by pos_/ceil(footprint/stride) lapping.
+  for (Addr& a : out) {
+    const std::uint64_t idx =
+        (pos_ * stride_ + pos_ / footprint_) % footprint_;
+    a = base_ + idx;
+    ++pos_;
+  }
+}
+
+std::string StridedWorkload::name() const {
+  return "strided(m=" + std::to_string(footprint_) +
+         ",s=" + std::to_string(stride_) + ")";
+}
+
+// --- UniformRandomWorkload ---------------------------------------------------
+
+UniformRandomWorkload::UniformRandomWorkload(std::uint64_t footprint,
+                                             std::uint64_t seed,
+                                             std::uint32_t region)
+    : footprint_(footprint),
+      seed_(seed),
+      base_(region_base(region)),
+      rng_(seed) {
+  PARDA_CHECK(footprint >= 1);
+}
+
+void UniformRandomWorkload::fill(std::span<Addr> out) {
+  for (Addr& a : out) a = base_ + rng_.below(footprint_);
+}
+
+std::string UniformRandomWorkload::name() const {
+  return "uniform(m=" + std::to_string(footprint_) + ")";
+}
+
+// --- ZipfWorkload ------------------------------------------------------------
+
+ZipfWorkload::ZipfWorkload(std::uint64_t footprint, double alpha,
+                           std::uint64_t seed, std::uint32_t region)
+    : footprint_(footprint),
+      seed_(seed),
+      base_(region_base(region)),
+      sampler_(footprint, alpha),
+      rng_(seed) {}
+
+void ZipfWorkload::fill(std::span<Addr> out) {
+  // Reuse distance is invariant under address renaming, so ranks map to
+  // addresses directly: rank 0 (the hottest element) lives at base_.
+  for (Addr& a : out) a = base_ + sampler_(rng_);
+}
+
+std::string ZipfWorkload::name() const {
+  return "zipf(m=" + std::to_string(footprint_) +
+         ",a=" + std::to_string(sampler_.alpha()) + ")";
+}
+
+// --- PointerChaseWorkload -----------------------------------------------------
+
+PointerChaseWorkload::PointerChaseWorkload(std::uint64_t nodes,
+                                           std::uint64_t seed,
+                                           std::uint32_t region)
+    : base_(region_base(region)), seed_(seed) {
+  PARDA_CHECK(nodes >= 1);
+  PARDA_CHECK(nodes <= 0xFFFFFFFFull);
+  Xoshiro256 rng(seed);
+  const std::vector<std::uint64_t> perm = random_permutation(nodes, rng);
+  // Build one Hamiltonian cycle: perm[i] -> perm[i+1].
+  next_.resize(nodes);
+  for (std::uint64_t i = 0; i < nodes; ++i) {
+    next_[perm[i]] =
+        static_cast<std::uint32_t>(perm[(i + 1) % nodes]);
+  }
+}
+
+void PointerChaseWorkload::fill(std::span<Addr> out) {
+  for (Addr& a : out) {
+    a = base_ + cursor_;
+    cursor_ = next_[cursor_];
+  }
+}
+
+std::string PointerChaseWorkload::name() const {
+  return "ptrchase(m=" + std::to_string(next_.size()) + ")";
+}
+
+// --- MatrixMultiplyWorkload ----------------------------------------------------
+
+MatrixMultiplyWorkload::MatrixMultiplyWorkload(std::uint64_t n,
+                                               std::uint64_t tile,
+                                               std::uint32_t region)
+    : n_(n), tile_(tile), base_(region_base(region)) {
+  PARDA_CHECK(n >= 1);
+  refill_pass();
+}
+
+void MatrixMultiplyWorkload::refill_pass() {
+  pass_.clear();
+  const Addr a0 = base_;
+  const Addr b0 = base_ + n_ * n_;
+  const Addr c0 = base_ + 2 * n_ * n_;
+  const std::uint64_t tile = tile_ == 0 ? n_ : tile_;
+  for (std::uint64_t ii = 0; ii < n_; ii += tile) {
+    for (std::uint64_t kk = 0; kk < n_; kk += tile) {
+      for (std::uint64_t jj = 0; jj < n_; jj += tile) {
+        for (std::uint64_t i = ii; i < std::min(ii + tile, n_); ++i) {
+          for (std::uint64_t k = kk; k < std::min(kk + tile, n_); ++k) {
+            pass_.push_back(a0 + i * n_ + k);  // A[i][k]
+            for (std::uint64_t j = jj; j < std::min(jj + tile, n_); ++j) {
+              pass_.push_back(b0 + k * n_ + j);  // B[k][j]
+              pass_.push_back(c0 + i * n_ + j);  // C[i][j]
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void MatrixMultiplyWorkload::fill(std::span<Addr> out) {
+  for (Addr& a : out) {
+    a = pass_[pos_];
+    pos_ = pos_ + 1 == pass_.size() ? 0 : pos_ + 1;
+  }
+}
+
+void MatrixMultiplyWorkload::reset() { pos_ = 0; }
+
+std::string MatrixMultiplyWorkload::name() const {
+  return "matmul(n=" + std::to_string(n_) + ",t=" + std::to_string(tile_) +
+         ")";
+}
+
+// --- StencilWorkload ------------------------------------------------------------
+
+StencilWorkload::StencilWorkload(std::uint64_t width, std::uint64_t height,
+                                 std::uint32_t region)
+    : width_(width), height_(height), base_(region_base(region)) {
+  PARDA_CHECK(width >= 3);
+  PARDA_CHECK(height >= 3);
+  queue_pos_ = queue_.size();
+}
+
+void StencilWorkload::fill(std::span<Addr> out) {
+  const std::uint64_t plane = width_ * height_;
+  for (Addr& a : out) {
+    if (queue_pos_ >= queue_.size()) {
+      // Emit the reads + write for cell (x_, y_): 5-point read from the
+      // source plane, one write to the destination plane.
+      queue_.clear();
+      queue_pos_ = 0;
+      const Addr src = base_ + (flip_ ? plane : 0);
+      const Addr dst = base_ + (flip_ ? 0 : plane);
+      const std::uint64_t x = 1 + x_ % (width_ - 2);
+      const std::uint64_t y = 1 + y_ % (height_ - 2);
+      queue_.push_back(src + y * width_ + x);
+      queue_.push_back(src + y * width_ + x - 1);
+      queue_.push_back(src + y * width_ + x + 1);
+      queue_.push_back(src + (y - 1) * width_ + x);
+      queue_.push_back(src + (y + 1) * width_ + x);
+      queue_.push_back(dst + y * width_ + x);
+      if (++x_ % (width_ - 2) == 0) {
+        x_ = 0;
+        if (++y_ % (height_ - 2) == 0) {
+          y_ = 0;
+          flip_ = !flip_;  // next sweep reads what this one wrote
+        }
+      }
+    }
+    a = queue_[queue_pos_++];
+  }
+}
+
+std::string StencilWorkload::name() const {
+  return "stencil(" + std::to_string(width_) + "x" + std::to_string(height_) +
+         ")";
+}
+
+// --- StackDistWorkload ------------------------------------------------------------
+
+StackDistWorkload::StackDistWorkload(std::vector<std::uint64_t> depths,
+                                     std::vector<double> weights,
+                                     double miss_weight, std::uint64_t seed,
+                                     std::uint32_t region)
+    : depths_(std::move(depths)),
+      seed_(seed),
+      base_(region_base(region)),
+      rng_(seed) {
+  PARDA_CHECK(depths_.size() == weights.size());
+  double total = miss_weight;
+  for (double w : weights) total += w;
+  PARDA_CHECK(total > 0.0);
+  double acc = 0.0;
+  cumulative_.reserve(weights.size() + 1);
+  for (double w : weights) {
+    acc += w / total;
+    cumulative_.push_back(acc);
+  }
+  cumulative_.push_back(1.0);  // miss bucket
+}
+
+Addr StackDistWorkload::generate_one() {
+  const double u = rng_.uniform();
+  std::size_t pick = cumulative_.size() - 1;
+  for (std::size_t i = 0; i < cumulative_.size(); ++i) {
+    if (u < cumulative_[i]) {
+      pick = i;
+      break;
+    }
+  }
+  Addr chosen;
+  if (pick < depths_.size() && depths_[pick] < stack_.size()) {
+    // Reuse the element at the prescribed stack depth: its reuse distance
+    // is exactly depths_[pick].
+    const std::size_t depth = depths_[pick];
+    chosen = stack_[depth];
+    stack_.erase(stack_.begin() + static_cast<std::ptrdiff_t>(depth));
+  } else {
+    chosen = base_ + next_fresh_++;  // a compulsory miss
+  }
+  stack_.insert(stack_.begin(), chosen);
+  return chosen;
+}
+
+void StackDistWorkload::fill(std::span<Addr> out) {
+  for (Addr& a : out) a = generate_one();
+}
+
+void StackDistWorkload::reset() {
+  rng_ = Xoshiro256(seed_);
+  stack_.clear();
+  next_fresh_ = 0;
+}
+
+std::string StackDistWorkload::name() const {
+  return "stackdist(levels=" + std::to_string(depths_.size()) + ")";
+}
+
+// --- MixWorkload ------------------------------------------------------------------
+
+MixWorkload::MixWorkload(std::vector<std::unique_ptr<Workload>> children,
+                         std::vector<double> weights, std::uint64_t seed)
+    : children_(std::move(children)), seed_(seed), rng_(seed) {
+  PARDA_CHECK(!children_.empty());
+  PARDA_CHECK(children_.size() == weights.size());
+  double total = 0.0;
+  for (double w : weights) total += w;
+  PARDA_CHECK(total > 0.0);
+  double acc = 0.0;
+  for (double w : weights) {
+    acc += w / total;
+    cumulative_.push_back(acc);
+  }
+}
+
+void MixWorkload::fill(std::span<Addr> out) {
+  for (Addr& a : out) {
+    const double u = rng_.uniform();
+    std::size_t pick = children_.size() - 1;
+    for (std::size_t i = 0; i < cumulative_.size(); ++i) {
+      if (u < cumulative_[i]) {
+        pick = i;
+        break;
+      }
+    }
+    children_[pick]->fill(std::span<Addr>(&a, 1));
+  }
+}
+
+void MixWorkload::reset() {
+  rng_ = Xoshiro256(seed_);
+  for (auto& child : children_) child->reset();
+}
+
+std::string MixWorkload::name() const {
+  std::string out = "mix(";
+  for (std::size_t i = 0; i < children_.size(); ++i) {
+    if (i != 0) out += ",";
+    out += children_[i]->name();
+  }
+  return out + ")";
+}
+
+// --- PhasedWorkload ----------------------------------------------------------------
+
+PhasedWorkload::PhasedWorkload(std::vector<std::unique_ptr<Workload>> children,
+                               std::uint64_t phase_length)
+    : children_(std::move(children)), phase_length_(phase_length) {
+  PARDA_CHECK(!children_.empty());
+  PARDA_CHECK(phase_length >= 1);
+}
+
+void PhasedWorkload::fill(std::span<Addr> out) {
+  std::size_t done = 0;
+  while (done < out.size()) {
+    const std::size_t phase =
+        static_cast<std::size_t>((emitted_ / phase_length_) %
+                                 children_.size());
+    const std::uint64_t left_in_phase =
+        phase_length_ - (emitted_ % phase_length_);
+    const std::size_t take = static_cast<std::size_t>(
+        std::min<std::uint64_t>(left_in_phase, out.size() - done));
+    children_[phase]->fill(out.subspan(done, take));
+    done += take;
+    emitted_ += take;
+  }
+}
+
+void PhasedWorkload::reset() {
+  emitted_ = 0;
+  for (auto& child : children_) child->reset();
+}
+
+std::string PhasedWorkload::name() const {
+  return "phased(k=" + std::to_string(children_.size()) +
+         ",len=" + std::to_string(phase_length_) + ")";
+}
+
+}  // namespace parda

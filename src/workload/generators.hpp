@@ -1,0 +1,214 @@
+// The library of synthetic reference-stream generators.
+//
+// Each models a locality archetype observed in the SPEC CPU2006 suite the
+// paper evaluates: streaming (lbm/libquantum), strided array sweeps (milc),
+// pointer chasing over a large working set (mcf), hot/cold skew (perlbench,
+// povray), loop nests (namd/calculix via matrix multiply and stencils),
+// and phase alternation (gcc). StackDistWorkload generates traces with a
+// *prescribed* reuse distance distribution, which gives the tests traces
+// whose histogram is known by construction.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/prng.hpp"
+#include "workload/workload.hpp"
+
+namespace parda {
+
+/// Disjoint address regions per generator so mixtures never alias.
+/// Region r covers [r << 40, (r+1) << 40).
+Addr region_base(std::uint32_t region) noexcept;
+
+/// Cyclic sweep over a footprint of `footprint` addresses: 0,1,..,M-1,0,...
+class SequentialWorkload final : public Workload {
+ public:
+  SequentialWorkload(std::uint64_t footprint, std::uint32_t region = 0);
+  void fill(std::span<Addr> out) override;
+  void reset() override { pos_ = 0; }
+  std::string name() const override;
+
+ private:
+  std::uint64_t footprint_;
+  Addr base_;
+  std::uint64_t pos_ = 0;
+};
+
+/// Cyclic sweep with a stride (gcd(stride, footprint) need not be 1; the
+/// stream walks stride-apart addresses and advances by one on wraparound,
+/// touching the whole footprint like a blocked column walk).
+class StridedWorkload final : public Workload {
+ public:
+  StridedWorkload(std::uint64_t footprint, std::uint64_t stride,
+                  std::uint32_t region = 0);
+  void fill(std::span<Addr> out) override;
+  void reset() override { pos_ = 0; }
+  std::string name() const override;
+
+ private:
+  std::uint64_t footprint_;
+  std::uint64_t stride_;
+  Addr base_;
+  std::uint64_t pos_ = 0;
+};
+
+/// Independent uniform references over the footprint.
+class UniformRandomWorkload final : public Workload {
+ public:
+  UniformRandomWorkload(std::uint64_t footprint, std::uint64_t seed,
+                        std::uint32_t region = 0);
+  void fill(std::span<Addr> out) override;
+  void reset() override { rng_ = Xoshiro256(seed_); }
+  std::string name() const override;
+
+ private:
+  std::uint64_t footprint_;
+  std::uint64_t seed_;
+  Addr base_;
+  Xoshiro256 rng_;
+};
+
+/// Zipf-skewed references: rank r touched with probability ~ 1/(r+1)^alpha,
+/// ranks scattered over the footprint by a pseudo-random bijection.
+class ZipfWorkload final : public Workload {
+ public:
+  ZipfWorkload(std::uint64_t footprint, double alpha, std::uint64_t seed,
+               std::uint32_t region = 0);
+  void fill(std::span<Addr> out) override;
+  void reset() override { rng_ = Xoshiro256(seed_); }
+  std::string name() const override;
+
+ private:
+  std::uint64_t footprint_;
+  std::uint64_t seed_;
+  Addr base_;
+  ZipfSampler sampler_;
+  Xoshiro256 rng_;
+};
+
+/// Pointer chasing around a random Hamiltonian cycle over `nodes` nodes —
+/// the classic mcf-style pattern: almost no short-distance reuse, footprint
+/// touched in a fixed pseudo-random order.
+class PointerChaseWorkload final : public Workload {
+ public:
+  PointerChaseWorkload(std::uint64_t nodes, std::uint64_t seed,
+                       std::uint32_t region = 0);
+  void fill(std::span<Addr> out) override;
+  void reset() override { cursor_ = 0; }
+  std::string name() const override;
+
+ private:
+  Addr base_;
+  std::vector<std::uint32_t> next_;
+  std::uint64_t seed_;
+  std::uint32_t cursor_ = 0;
+};
+
+/// The address stream of a (tiled) n x n x n matrix multiply C += A * B in
+/// i-k-j order, one word per element; repeats passes forever.
+class MatrixMultiplyWorkload final : public Workload {
+ public:
+  /// tile == 0 disables tiling.
+  MatrixMultiplyWorkload(std::uint64_t n, std::uint64_t tile,
+                         std::uint32_t region = 0);
+  void fill(std::span<Addr> out) override;
+  void reset() override;
+  std::string name() const override;
+
+ private:
+  void refill_pass();
+
+  std::uint64_t n_;
+  std::uint64_t tile_;
+  Addr base_;
+  std::vector<Addr> pass_;  // one full pass, replayed cyclically
+  std::size_t pos_ = 0;
+};
+
+/// 5-point stencil sweeps over a width x height grid (reads 5, writes 1 per
+/// cell, two arrays ping-ponged) — namd/milc-style structured locality.
+class StencilWorkload final : public Workload {
+ public:
+  StencilWorkload(std::uint64_t width, std::uint64_t height,
+                  std::uint32_t region = 0);
+  void fill(std::span<Addr> out) override;
+  void reset() override {
+    x_ = y_ = 0;
+    flip_ = false;
+    queue_pos_ = queue_.size();
+  }
+  std::string name() const override;
+
+ private:
+  std::uint64_t width_;
+  std::uint64_t height_;
+  Addr base_;
+  std::uint64_t x_ = 0;
+  std::uint64_t y_ = 0;
+  bool flip_ = false;
+  std::vector<Addr> queue_;
+  std::size_t queue_pos_ = 0;
+};
+
+/// Generates a stream whose reuse distance distribution is prescribed:
+/// with probability weights[i] the next reference reuses the stack entry at
+/// depth depths[i]; the reserved weight `miss_weight` emits a brand-new
+/// address (an infinity). The exact expected histogram is known by
+/// construction, making this the tests' ground-truth workload.
+class StackDistWorkload final : public Workload {
+ public:
+  StackDistWorkload(std::vector<std::uint64_t> depths,
+                    std::vector<double> weights, double miss_weight,
+                    std::uint64_t seed, std::uint32_t region = 0);
+  void fill(std::span<Addr> out) override;
+  void reset() override;
+  std::string name() const override;
+
+ private:
+  Addr generate_one();
+
+  std::vector<std::uint64_t> depths_;
+  std::vector<double> cumulative_;  // cumulative weights incl. miss at end
+  std::uint64_t seed_;
+  Addr base_;
+  Xoshiro256 rng_;
+  std::vector<Addr> stack_;  // front = most recent
+  Addr next_fresh_ = 0;
+};
+
+/// Interleaves children randomly with the given weights (per-reference
+/// choice) — used to compose the SPEC-like profiles.
+class MixWorkload final : public Workload {
+ public:
+  MixWorkload(std::vector<std::unique_ptr<Workload>> children,
+              std::vector<double> weights, std::uint64_t seed);
+  void fill(std::span<Addr> out) override;
+  void reset() override;
+  std::string name() const override;
+
+ private:
+  std::vector<std::unique_ptr<Workload>> children_;
+  std::vector<double> cumulative_;
+  std::uint64_t seed_;
+  Xoshiro256 rng_;
+};
+
+/// Runs children in long alternating phases (gcc-style phase behaviour and
+/// the input for the phase-detection application).
+class PhasedWorkload final : public Workload {
+ public:
+  PhasedWorkload(std::vector<std::unique_ptr<Workload>> children,
+                 std::uint64_t phase_length);
+  void fill(std::span<Addr> out) override;
+  void reset() override;
+  std::string name() const override;
+
+ private:
+  std::vector<std::unique_ptr<Workload>> children_;
+  std::uint64_t phase_length_;
+  std::uint64_t emitted_ = 0;
+};
+
+}  // namespace parda

@@ -1,0 +1,274 @@
+#include "workload/parse.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "workload/generators.hpp"
+#include "workload/spec.hpp"
+
+namespace parda {
+
+namespace {
+
+[[noreturn]] void bad(std::string_view spec, const std::string& why) {
+  throw std::invalid_argument("workload spec '" + std::string(spec) +
+                              "': " + why);
+}
+
+std::vector<std::string_view> split(std::string_view s, char sep) {
+  std::vector<std::string_view> parts;
+  std::size_t at = 0;
+  while (true) {
+    const std::size_t next = s.find(sep, at);
+    if (next == std::string_view::npos) {
+      parts.push_back(s.substr(at));
+      return parts;
+    }
+    parts.push_back(s.substr(at, next - at));
+    at = next + 1;
+  }
+}
+
+/// key=value arguments after the generator name.
+struct Args {
+  std::string_view spec;  // for error messages
+  std::unordered_map<std::string, std::string> kv;
+
+  bool has(const std::string& key) const { return kv.count(key) != 0; }
+
+  std::uint64_t u64(const std::string& key, std::uint64_t fallback,
+                    bool required = false) const {
+    const auto it = kv.find(key);
+    if (it == kv.end()) {
+      if (required) bad(spec, "missing required argument '" + key + "'");
+      return fallback;
+    }
+    char* end = nullptr;
+    const std::uint64_t v = std::strtoull(it->second.c_str(), &end, 0);
+    if (end == it->second.c_str() || *end != '\0') {
+      bad(spec, "argument '" + key + "' is not a number");
+    }
+    return v;
+  }
+
+  double f64(const std::string& key, double fallback) const {
+    const auto it = kv.find(key);
+    if (it == kv.end()) return fallback;
+    char* end = nullptr;
+    const double v = std::strtod(it->second.c_str(), &end);
+    if (end == it->second.c_str() || *end != '\0') {
+      bad(spec, "argument '" + key + "' is not a number");
+    }
+    return v;
+  }
+
+  std::vector<double> f64_list(const std::string& key) const {
+    std::vector<double> out;
+    const auto it = kv.find(key);
+    if (it == kv.end()) return out;
+    for (std::string_view part : split(it->second, '/')) {
+      out.push_back(std::strtod(std::string(part).c_str(), nullptr));
+    }
+    return out;
+  }
+
+  std::vector<std::uint64_t> u64_list(const std::string& key) const {
+    std::vector<std::uint64_t> out;
+    const auto it = kv.find(key);
+    if (it == kv.end()) return out;
+    for (std::string_view part : split(it->second, '/')) {
+      out.push_back(std::strtoull(std::string(part).c_str(), nullptr, 0));
+    }
+    return out;
+  }
+};
+
+Args parse_args(std::string_view spec, std::string_view text) {
+  Args args;
+  args.spec = spec;
+  if (text.empty()) return args;
+  for (std::string_view part : split(text, ',')) {
+    const std::size_t eq = part.find('=');
+    if (eq == std::string_view::npos) {
+      bad(spec, "malformed argument '" + std::string(part) +
+                    "' (expected key=value)");
+    }
+    args.kv.emplace(std::string(part.substr(0, eq)),
+                    std::string(part.substr(eq + 1)));
+  }
+  return args;
+}
+
+std::unique_ptr<Workload> parse_one(std::string_view spec, std::uint64_t seed,
+                                    std::uint32_t region);
+
+/// Splits "mix:child|child|...,w=..." composite bodies: children are
+/// '|'-separated specs; trailing top-level args (w=, len=) are the last
+/// ','-separated tokens containing '=' but no ':'.
+struct CompositeBody {
+  std::vector<std::string> children;
+  std::string args;  // comma-joined trailing key=value pairs
+};
+
+CompositeBody parse_composite(std::string_view body) {
+  CompositeBody out;
+  for (std::string_view part : split(body, '|')) {
+    out.children.emplace_back(part);
+  }
+  // The final child may carry trailing composite args: strip key=value
+  // suffixes that do not belong to a generator (heuristic: tokens after
+  // the last ',' chain with keys 'w' or 'len').
+  if (!out.children.empty()) {
+    std::string& last = out.children.back();
+    auto tokens = split(last, ',');
+    std::size_t keep = tokens.size();
+    std::vector<std::string> trailing;
+    while (keep > 0) {
+      const std::string token(tokens[keep - 1]);
+      if (token.rfind("w=", 0) == 0 || token.rfind("len=", 0) == 0) {
+        trailing.insert(trailing.begin(), token);
+        --keep;
+      } else {
+        break;
+      }
+    }
+    if (!trailing.empty()) {
+      std::string rebuilt;
+      for (std::size_t i = 0; i < keep; ++i) {
+        if (i != 0) rebuilt += ',';
+        rebuilt += std::string(tokens[i]);
+      }
+      last = rebuilt;
+      for (std::size_t i = 0; i < trailing.size(); ++i) {
+        if (i != 0) out.args += ',';
+        out.args += trailing[i];
+      }
+    }
+  }
+  return out;
+}
+
+std::unique_ptr<Workload> parse_one(std::string_view spec, std::uint64_t seed,
+                                    std::uint32_t region) {
+  const std::size_t colon = spec.find(':');
+  const std::string_view name =
+      colon == std::string_view::npos ? spec : spec.substr(0, colon);
+  const std::string_view body =
+      colon == std::string_view::npos ? std::string_view{}
+                                      : spec.substr(colon + 1);
+
+  if (name == "mix" || name == "phased") {
+    const CompositeBody composite = parse_composite(body);
+    if (composite.children.empty() || composite.children[0].empty()) {
+      bad(spec, "composite needs at least one child");
+    }
+    const Args args = parse_args(spec, composite.args);
+    std::vector<std::unique_ptr<Workload>> kids;
+    for (std::size_t i = 0; i < composite.children.size(); ++i) {
+      kids.push_back(parse_one(composite.children[i], seed + i + 1,
+                               region + static_cast<std::uint32_t>(i)));
+    }
+    if (name == "phased") {
+      return std::make_unique<PhasedWorkload>(std::move(kids),
+                                              args.u64("len", 65536));
+    }
+    std::vector<double> weights = args.f64_list("w");
+    if (weights.empty()) weights.assign(kids.size(), 1.0);
+    if (weights.size() != kids.size()) {
+      bad(spec, "mix weight count does not match child count");
+    }
+    return std::make_unique<MixWorkload>(std::move(kids), std::move(weights),
+                                         seed);
+  }
+
+  if (name == "spec") {
+    // "spec:mcf,scale=8000" — first bare token is the profile name. Must
+    // be handled before generic argument parsing (the name has no '=').
+    const auto parts = split(body, ',');
+    if (parts.empty() || parts[0].empty() ||
+        parts[0].find('=') != std::string_view::npos) {
+      bad(spec, "spec needs a profile name, e.g. spec:mcf");
+    }
+    std::string rest;
+    for (std::size_t i = 1; i < parts.size(); ++i) {
+      if (i != 1) rest += ',';
+      rest += std::string(parts[i]);
+    }
+    const Args spec_args = parse_args(spec, rest);
+    const SpecProfile* profile = find_spec_profile(parts[0]);
+    if (profile == nullptr) {
+      bad(spec, "unknown SPEC profile '" + std::string(parts[0]) + "'");
+    }
+    return make_spec_workload(*profile,
+                              spec_args.u64("scale", kDefaultSpecScale),
+                              seed);
+  }
+
+  const Args args = parse_args(spec, body);
+  if (name == "seq") {
+    return std::make_unique<SequentialWorkload>(args.u64("m", 0, true),
+                                                region);
+  }
+  if (name == "strided") {
+    return std::make_unique<StridedWorkload>(args.u64("m", 0, true),
+                                             args.u64("s", 1), region);
+  }
+  if (name == "uniform") {
+    return std::make_unique<UniformRandomWorkload>(args.u64("m", 0, true),
+                                                   seed, region);
+  }
+  if (name == "zipf") {
+    return std::make_unique<ZipfWorkload>(args.u64("m", 0, true),
+                                          args.f64("a", 1.0), seed, region);
+  }
+  if (name == "ptrchase") {
+    return std::make_unique<PointerChaseWorkload>(args.u64("m", 0, true),
+                                                  seed, region);
+  }
+  if (name == "matmul") {
+    return std::make_unique<MatrixMultiplyWorkload>(args.u64("n", 0, true),
+                                                    args.u64("t", 0), region);
+  }
+  if (name == "stencil") {
+    return std::make_unique<StencilWorkload>(args.u64("w", 0, true),
+                                             args.u64("h", 0, true), region);
+  }
+  if (name == "stackdist") {
+    std::vector<std::uint64_t> depths = args.u64_list("d");
+    std::vector<double> weights = args.f64_list("w");
+    if (depths.empty() || depths.size() != weights.size()) {
+      bad(spec, "stackdist needs matching d= and w= lists");
+    }
+    return std::make_unique<StackDistWorkload>(std::move(depths),
+                                               std::move(weights),
+                                               args.f64("miss", 0.1), seed,
+                                               region);
+  }
+  bad(spec, "unknown generator '" + std::string(name) + "'");
+}
+
+}  // namespace
+
+std::unique_ptr<Workload> parse_workload(std::string_view spec,
+                                         std::uint64_t seed) {
+  if (spec.empty()) {
+    throw std::invalid_argument("workload spec is empty");
+  }
+  return parse_one(spec, seed, /*region=*/0);
+}
+
+bool workload_spec_valid(std::string_view spec) {
+  try {
+    parse_workload(spec);
+    return true;
+  } catch (const std::invalid_argument&) {
+    return false;
+  } catch (...) {
+    return false;
+  }
+}
+
+}  // namespace parda

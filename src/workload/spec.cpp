@@ -1,0 +1,192 @@
+#include "workload/spec.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "util/check.hpp"
+#include "workload/generators.hpp"
+
+namespace parda {
+
+namespace {
+
+// Table IV of the paper, verbatim.
+constexpr std::array<SpecProfile, 15> kProfiles{{
+    {"perlbench", 23'857'981, 11'194'845'654, 5.93, 106.43, 180.71, 7624.85,
+     243.42},
+    {"bzip2", 11'425'324, 8'311'245'775, 5.41, 59.13, 86.88, 6939.13, 180.91},
+    {"gcc", 4'530'518, 1'328'074'710, 1.34, 25.99, 30.53, 475.50, 67.25},
+    {"mcf", 55'675'001, 9'552'209'709, 19.49, 85.09, 153.69, 5898.61, 268.29},
+    {"milc", 12'081'037, 13'232'307'302, 17.11, 105.44, 185.09, 9746.86,
+     365.60},
+    {"namd", 7'204'133, 22'067'031'445, 15.87, 152.11, 282.85, 7936.16,
+     431.55},
+    {"gobmk", 3'758'950, 7'149'796'931, 6.83, 80.65, 108.50, 2798.21, 186.21},
+    {"dealII", 31'386'407, 66'801'413'934, 39.59, 522.24, 674.06, 20542.37,
+     1250.43},
+    {"soplex", 18'858'173, 3'432'521'697, 3.87, 32.25, 52.24, 187.19, 102.59},
+    {"povray", 616'821, 15'871'518'510, 12.69, 133.96, 238.53, 7503.35,
+     307.91},
+    {"calculix", 10'366'947, 2'511'568'698, 2.18, 24.45, 42.18, 1771.96,
+     78.74},
+    {"libquantum", 570'074, 1'700'539'806, 2.43, 13.56, 26.93, 715.78, 58.81},
+    {"lbm", 53'628'988, 48'739'982'166, 43.47, 339.75, 674.09, 26858.27,
+     1211.35},
+    {"astar", 48'641'983, 54'587'054'078, 59.29, 468.92, 776.14, 23275.32,
+     1107.70},
+    {"sphinx3", 8'625'694, 12'284'649'018, 12.24, 91.44, 174.105, 15331.22,
+     290.51},
+}};
+
+std::unique_ptr<Workload> mix(std::vector<std::unique_ptr<Workload>> children,
+                              std::vector<double> weights,
+                              std::uint64_t seed) {
+  return std::make_unique<MixWorkload>(std::move(children), std::move(weights),
+                                       seed);
+}
+
+std::uint64_t at_least(std::uint64_t v, std::uint64_t floor) {
+  return v < floor ? floor : v;
+}
+
+}  // namespace
+
+std::span<const SpecProfile> spec_profiles() { return kProfiles; }
+
+const SpecProfile* find_spec_profile(std::string_view name) noexcept {
+  for (const SpecProfile& p : kProfiles) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+const SpecProfile& spec_profile(std::string_view name) {
+  if (const SpecProfile* p = find_spec_profile(name)) return *p;
+  std::fprintf(stderr, "unknown SPEC profile: %.*s\n",
+               static_cast<int>(name.size()), name.data());
+  std::abort();
+}
+
+std::unique_ptr<Workload> make_spec_workload(const SpecProfile& profile,
+                                             std::uint64_t scale,
+                                             std::uint64_t seed) {
+  const std::uint64_t m = at_least(profile.scaled_m(scale), 64);
+  std::vector<std::unique_ptr<Workload>> kids;
+  std::vector<double> w;
+
+  const std::string_view n = profile.name;
+  if (n == "perlbench") {
+    // Interpreter: hot dispatch structures plus a wide heap.
+    kids.push_back(std::make_unique<ZipfWorkload>(m * 7 / 10, 0.9, seed, 0));
+    kids.push_back(std::make_unique<SequentialWorkload>(m * 3 / 10, 1));
+    w = {0.7, 0.3};
+  } else if (n == "bzip2") {
+    // Block compressor: sliding windows with sorted-suffix randomness.
+    kids.push_back(std::make_unique<StridedWorkload>(m / 2, 64, 0));
+    kids.push_back(
+        std::make_unique<UniformRandomWorkload>(m / 2, seed + 1, 1));
+    w = {0.5, 0.5};
+  } else if (n == "gcc") {
+    // Compiler: alternating pass behaviour (also feeds phase detection).
+    std::vector<std::unique_ptr<Workload>> phases;
+    phases.push_back(std::make_unique<ZipfWorkload>(m / 2, 0.9, seed, 0));
+    phases.push_back(std::make_unique<SequentialWorkload>(m / 4, 1));
+    phases.push_back(
+        std::make_unique<PointerChaseWorkload>(at_least(m / 4, 64), seed + 2,
+                                               2));
+    return std::make_unique<PhasedWorkload>(std::move(phases),
+                                            at_least(m / 4, 4096));
+  } else if (n == "mcf") {
+    // Network simplex: pointer chasing over a huge arc/node graph.
+    kids.push_back(std::make_unique<PointerChaseWorkload>(
+        at_least(m * 9 / 10, 64), seed, 0));
+    kids.push_back(std::make_unique<ZipfWorkload>(
+        at_least(m / 10, 64), 1.0, seed + 1, 1));
+    w = {0.8, 0.2};
+  } else if (n == "milc") {
+    // Lattice QCD: strided sweeps over large field arrays.
+    kids.push_back(std::make_unique<StridedWorkload>(m * 8 / 10, 16, 0));
+    kids.push_back(std::make_unique<SequentialWorkload>(m * 2 / 10, 1));
+    w = {0.75, 0.25};
+  } else if (n == "namd") {
+    // Molecular dynamics: structured neighbour sweeps + hot parameters.
+    const auto side = at_least(
+        static_cast<std::uint64_t>(std::sqrt(static_cast<double>(m) / 2.0)),
+        8);
+    kids.push_back(std::make_unique<StencilWorkload>(side, side, 0));
+    kids.push_back(std::make_unique<ZipfWorkload>(
+        at_least(m / 8, 64), 1.0, seed + 1, 1));
+    w = {0.8, 0.2};
+  } else if (n == "gobmk") {
+    // Game tree search: skewed board/hash accesses.
+    kids.push_back(std::make_unique<ZipfWorkload>(m, 0.8, seed, 0));
+    kids.push_back(
+        std::make_unique<UniformRandomWorkload>(at_least(m / 4, 64),
+                                                seed + 1, 1));
+    w = {0.7, 0.3};
+  } else if (n == "dealII") {
+    // FEM: dense linear algebra kernels + large mesh traversal.
+    const auto dim = at_least(
+        static_cast<std::uint64_t>(
+            std::sqrt(static_cast<double>(m) * 0.6 / 3.0)),
+        8);
+    kids.push_back(std::make_unique<MatrixMultiplyWorkload>(dim, 16, 0));
+    kids.push_back(std::make_unique<ZipfWorkload>(
+        at_least(m * 4 / 10, 64), 0.7, seed + 1, 1));
+    w = {0.6, 0.4};
+  } else if (n == "soplex") {
+    // Simplex LP: column/row strided sweeps over the tableau.
+    kids.push_back(std::make_unique<StridedWorkload>(m * 7 / 10, 8, 0));
+    kids.push_back(
+        std::make_unique<UniformRandomWorkload>(at_least(m * 3 / 10, 64),
+                                                seed + 1, 1));
+    w = {0.7, 0.3};
+  } else if (n == "povray") {
+    // Ray tracer: tiny hot footprint, heavy reuse.
+    return std::make_unique<ZipfWorkload>(m, 1.1, seed, 0);
+  } else if (n == "calculix") {
+    const auto dim = at_least(
+        static_cast<std::uint64_t>(
+            std::sqrt(static_cast<double>(m) / 2.0 / 3.0)),
+        8);
+    kids.push_back(std::make_unique<MatrixMultiplyWorkload>(dim, 0, 0));
+    kids.push_back(std::make_unique<StridedWorkload>(m / 2, 4, 1));
+    w = {0.6, 0.4};
+  } else if (n == "libquantum") {
+    // Quantum register simulation: pure streaming over one vector.
+    return std::make_unique<SequentialWorkload>(m, 0);
+  } else if (n == "lbm") {
+    // Lattice Boltzmann: streaming over a huge grid.
+    kids.push_back(std::make_unique<SequentialWorkload>(m * 95 / 100, 0));
+    kids.push_back(
+        std::make_unique<UniformRandomWorkload>(at_least(m / 20, 64),
+                                                seed + 1, 1));
+    w = {0.9, 0.1};
+  } else if (n == "astar") {
+    // Path finding: pointer-heavy open/closed lists over a big map.
+    kids.push_back(std::make_unique<PointerChaseWorkload>(
+        at_least(m * 7 / 10, 64), seed, 0));
+    kids.push_back(std::make_unique<ZipfWorkload>(
+        at_least(m * 3 / 10, 64), 0.9, seed + 1, 1));
+    w = {0.7, 0.3};
+  } else if (n == "sphinx3") {
+    // Speech recognition: skewed acoustic model + linear feature scans.
+    kids.push_back(std::make_unique<ZipfWorkload>(m * 6 / 10, 0.8, seed, 0));
+    kids.push_back(std::make_unique<SequentialWorkload>(m * 4 / 10, 1));
+    w = {0.6, 0.4};
+  } else {
+    PARDA_CHECK(false && "unhandled SPEC profile");
+  }
+  return mix(std::move(kids), std::move(w), seed + 17);
+}
+
+std::unique_ptr<Workload> make_spec_workload(std::string_view name,
+                                             std::uint64_t scale,
+                                             std::uint64_t seed) {
+  return make_spec_workload(spec_profile(name), scale, seed);
+}
+
+}  // namespace parda

@@ -1,0 +1,61 @@
+// SPEC CPU2006 workload profiles mirroring the paper's Table IV.
+//
+// We cannot run Pin over the real SPEC binaries here, so each benchmark is
+// modelled by a synthetic mixture whose footprint and locality character
+// match its published M (distinct addresses) and N (trace length), scaled
+// down by a configurable factor (DESIGN.md, substitutions). The paper's
+// measured numbers are embedded so the bench harnesses can print
+// paper-vs-measured side by side.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string_view>
+
+#include "workload/workload.hpp"
+
+namespace parda {
+
+struct SpecProfile {
+  std::string_view name;
+  std::uint64_t paper_m;  // distinct addresses (Table IV column M)
+  std::uint64_t paper_n;  // trace length (Table IV column N)
+  // Table IV timings, seconds, on the paper's testbed:
+  double paper_orig;    // uninstrumented runtime
+  double paper_pin;     // + Pin instrumentation
+  double paper_pipe;    // + pipe transfer
+  double paper_olken;   // sequential Olken81 analysis
+  double paper_parda;   // Parda, 64 procs, 64Mw pipe, 2Mw bound
+
+  std::uint64_t scaled_m(std::uint64_t scale) const {
+    return paper_m / scale == 0 ? 1 : paper_m / scale;
+  }
+  std::uint64_t scaled_n(std::uint64_t scale) const {
+    return paper_n / scale == 0 ? 1 : paper_n / scale;
+  }
+};
+
+/// All 15 benchmarks of Table IV, in the paper's order.
+std::span<const SpecProfile> spec_profiles();
+
+/// Looks up a profile by name; aborts on unknown names.
+const SpecProfile& spec_profile(std::string_view name);
+
+/// Non-fatal lookup; nullptr when the name is unknown.
+const SpecProfile* find_spec_profile(std::string_view name) noexcept;
+
+/// Builds the synthetic reference generator for a profile with footprint
+/// ~= paper_m / scale.
+std::unique_ptr<Workload> make_spec_workload(const SpecProfile& profile,
+                                             std::uint64_t scale,
+                                             std::uint64_t seed);
+std::unique_ptr<Workload> make_spec_workload(std::string_view name,
+                                             std::uint64_t scale,
+                                             std::uint64_t seed);
+
+/// The default down-scaling factor used by tests and benches; override via
+/// the PARDA_BENCH_SCALE environment variable in the bench harnesses.
+inline constexpr std::uint64_t kDefaultSpecScale = 8000;
+
+}  // namespace parda

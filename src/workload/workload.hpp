@@ -1,0 +1,39 @@
+// Workload: the abstract synthetic reference-stream generator.
+//
+// Generators stand in for the Pin-instrumented SPEC CPU2006 binaries of the
+// paper's evaluation (see DESIGN.md, substitutions). Every generator is an
+// infinite deterministic stream: same constructor arguments + seed => same
+// addresses, which the test suite relies on.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace parda {
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  /// Fills `out` completely with the next references of the stream.
+  virtual void fill(std::span<Addr> out) = 0;
+
+  /// Restarts the stream from the beginning.
+  virtual void reset() = 0;
+
+  /// Human-readable identity, e.g. "zipf(m=4096,a=0.8)".
+  virtual std::string name() const = 0;
+};
+
+/// Materializes the first n references of a workload.
+std::vector<Addr> generate_trace(Workload& workload, std::size_t n);
+
+/// Convenience: reset + materialize.
+std::vector<Addr> take_trace(Workload& workload, std::size_t n);
+
+}  // namespace parda

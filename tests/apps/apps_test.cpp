@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "apps/miss_rate.hpp"
+#include "apps/partition.hpp"
+#include "apps/phase_detect.hpp"
+#include "seq/olken.hpp"
+#include "workload/generators.hpp"
+
+namespace parda {
+namespace {
+
+TEST(MissRateTest, PredictionMatchesLruSimulationExactly) {
+  ZipfWorkload w(500, 0.9, 31);
+  const auto trace = generate_trace(w, 20000);
+  const Histogram hist = olken_analysis(trace);
+  const auto report =
+      predict_miss_rates(trace, hist, {1, 8, 64, 256, 1024});
+  ASSERT_EQ(report.size(), 5u);
+  EXPECT_DOUBLE_EQ(lru_prediction_error(report), 0.0);
+  for (const auto& row : report) {
+    EXPECT_DOUBLE_EQ(row.predicted, row.simulated_lru);
+  }
+}
+
+TEST(MissRateTest, SetAssociativeTracksFullyAssociative) {
+  ZipfWorkload w(400, 1.0, 7);
+  const auto trace = generate_trace(w, 15000);
+  const Histogram hist = olken_analysis(trace);
+  const auto report = predict_miss_rates(trace, hist, {64, 256});
+  for (const auto& row : report) {
+    // An 8-way cache deviates from fully associative LRU, but for a
+    // zipf-skewed stream it should stay in the same ballpark.
+    EXPECT_NEAR(row.simulated_set_assoc, row.simulated_lru, 0.15);
+  }
+}
+
+TEST(MissRateTest, MissRatioDecreasesWithCacheSize) {
+  UniformRandomWorkload w(300, 3);
+  const auto trace = generate_trace(w, 10000);
+  const Histogram hist = olken_analysis(trace);
+  const auto report =
+      predict_miss_rates(trace, hist, {1, 4, 16, 64, 256, 512});
+  for (std::size_t i = 1; i < report.size(); ++i) {
+    EXPECT_LE(report[i].predicted, report[i - 1].predicted);
+    EXPECT_LE(report[i].simulated_lru, report[i - 1].simulated_lru);
+  }
+}
+
+TEST(PhaseDetectTest, FindsInjectedPhaseChanges) {
+  // Three radically different locality regimes, 40k references each.
+  std::vector<std::unique_ptr<Workload>> kids;
+  kids.push_back(std::make_unique<SequentialWorkload>(10000, 0));
+  kids.push_back(std::make_unique<ZipfWorkload>(64, 1.2, 5, 1));
+  kids.push_back(std::make_unique<UniformRandomWorkload>(4096, 6, 2));
+  PhasedWorkload w(std::move(kids), 40960);
+  const auto trace = generate_trace(w, 3 * 40960);
+
+  PhaseDetectOptions options;
+  options.window = 8192;
+  options.threshold = 0.4;
+  const PhaseReport report = detect_phases(trace, options);
+
+  // Expect a boundary near 40960 and near 81920 (within one window).
+  bool near_first = false;
+  bool near_second = false;
+  for (const PhaseBoundary& b : report.boundaries) {
+    if (b.position >= 40960 - 8192 && b.position <= 40960 + 8192) {
+      near_first = true;
+    }
+    if (b.position >= 81920 - 8192 && b.position <= 81920 + 8192) {
+      near_second = true;
+    }
+  }
+  EXPECT_TRUE(near_first);
+  EXPECT_TRUE(near_second);
+  // And not dozens of spurious ones.
+  EXPECT_LE(report.boundaries.size(), 6u);
+}
+
+TEST(PhaseDetectTest, HomogeneousTraceHasNoBoundaries) {
+  ZipfWorkload w(256, 0.9, 13);
+  const auto trace = generate_trace(w, 100000);
+  PhaseDetectOptions options;
+  options.window = 8192;
+  options.threshold = 0.4;
+  const PhaseReport report = detect_phases(trace, options);
+  EXPECT_TRUE(report.boundaries.empty());
+}
+
+TEST(PhaseDetectTest, SignatureDistanceBasics) {
+  const std::vector<double> a{1.0, 0.0};
+  const std::vector<double> b{0.0, 1.0};
+  EXPECT_DOUBLE_EQ(signature_distance(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(signature_distance(a, b), 2.0);
+  const std::vector<double> longer{0.5, 0.0, 0.5};
+  EXPECT_DOUBLE_EQ(signature_distance(a, longer), 1.0);
+}
+
+TEST(PhaseDetectTest, EmptyTrace) {
+  const PhaseReport report = detect_phases({}, PhaseDetectOptions{});
+  EXPECT_TRUE(report.boundaries.empty());
+  EXPECT_TRUE(report.signatures.empty());
+}
+
+Histogram hist_of(Workload&& w, std::size_t n) {
+  auto trace = generate_trace(w, n);
+  return olken_analysis(trace);
+}
+
+TEST(PartitionTest, GreedyFavorsCacheFriendlyStream) {
+  // Stream A: tiny hot set (all reuse at short distance); stream B: large
+  // uniform (reuse mostly beyond any small cache). A should win the ways
+  // up to its footprint, then extra capacity flows to B.
+  std::vector<Histogram> streams;
+  streams.push_back(hist_of(ZipfWorkload(32, 1.2, 3), 20000));
+  streams.push_back(hist_of(UniformRandomWorkload(100000, 4), 20000));
+  const PartitionResult greedy = partition_greedy(streams, 64);
+  EXPECT_GE(greedy.allocation[0], 24u);
+  EXPECT_EQ(greedy.allocation[0] + greedy.allocation[1], 64u);
+  // Greedy is a heuristic on non-convex miss curves, so compare it to the
+  // even split with a small slack; the DP allocation must beat both.
+  const PartitionResult even = partition_even(streams, 64);
+  EXPECT_LE(static_cast<double>(greedy.total_misses),
+            static_cast<double>(even.total_misses) * 1.01);
+  const PartitionResult optimal = partition_optimal(streams, 64);
+  EXPECT_LE(optimal.total_misses, even.total_misses);
+  EXPECT_LE(optimal.total_misses, greedy.total_misses);
+}
+
+TEST(PartitionTest, OptimalNeverWorseThanGreedyOrEven) {
+  std::vector<Histogram> streams;
+  streams.push_back(hist_of(ZipfWorkload(64, 1.0, 5), 10000));
+  streams.push_back(hist_of(SequentialWorkload(48), 10000));
+  streams.push_back(hist_of(UniformRandomWorkload(512, 6), 10000));
+  for (std::uint64_t budget : {8u, 32u, 96u, 256u}) {
+    const auto optimal = partition_optimal(streams, budget);
+    const auto greedy = partition_greedy(streams, budget);
+    const auto even = partition_even(streams, budget);
+    EXPECT_LE(optimal.total_misses, greedy.total_misses) << budget;
+    EXPECT_LE(optimal.total_misses, even.total_misses) << budget;
+    std::uint64_t sum = 0;
+    for (std::uint64_t a : optimal.allocation) sum += a;
+    EXPECT_EQ(sum, budget);
+  }
+}
+
+TEST(PartitionTest, SingleStreamGetsEverything) {
+  std::vector<Histogram> streams;
+  streams.push_back(hist_of(ZipfWorkload(128, 0.8, 7), 5000));
+  const auto result = partition_greedy(streams, 16);
+  EXPECT_EQ(result.allocation, (std::vector<std::uint64_t>{16}));
+  EXPECT_EQ(result.total_misses, stream_misses(streams[0], 16));
+}
+
+TEST(PartitionTest, ZeroBudget) {
+  std::vector<Histogram> streams;
+  streams.push_back(hist_of(SequentialWorkload(10), 100));
+  streams.push_back(hist_of(SequentialWorkload(10, 1), 100));
+  const auto result = partition_optimal(streams, 0);
+  EXPECT_EQ(result.allocation, (std::vector<std::uint64_t>{0, 0}));
+  EXPECT_EQ(result.total_misses, 200u);
+}
+
+TEST(PartitionTest, StreamMissesMatchesMrc) {
+  Histogram h;
+  h.record(0, 10);
+  h.record(5, 10);
+  h.record(kInfiniteDistance, 10);
+  EXPECT_EQ(stream_misses(h, 0), 30u);
+  EXPECT_EQ(stream_misses(h, 1), 20u);
+  EXPECT_EQ(stream_misses(h, 6), 10u);
+}
+
+}  // namespace
+}  // namespace parda

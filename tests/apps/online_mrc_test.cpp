@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "apps/online_mrc.hpp"
+#include "hist/mrc.hpp"
+#include "seq/bounded.hpp"
+#include "workload/generators.hpp"
+
+namespace parda {
+namespace {
+
+TEST(OnlineMrcTest, NoDecayMatchesBoundedAnalysis) {
+  ZipfWorkload w(300, 0.9, 3);
+  const auto trace = generate_trace(w, 20000);
+  OnlineMrcMonitor monitor(/*bound=*/256, /*window=*/1000, /*decay=*/1.0);
+  for (Addr a : trace) monitor.access(a);
+  const Histogram reference = bounded_analysis(trace, 256);
+  EXPECT_TRUE(monitor.snapshot() == reference);
+  for (std::uint64_t c : {1u, 16u, 128u, 256u}) {
+    EXPECT_DOUBLE_EQ(monitor.miss_ratio(c), miss_ratio(reference, c));
+  }
+  EXPECT_EQ(monitor.references_seen(), trace.size());
+  EXPECT_EQ(monitor.windows_completed(), trace.size() / 1000);
+}
+
+TEST(OnlineMrcTest, DecayTracksPhaseChange) {
+  // Phase 1: tiny hot set (low miss ratio at C=64). Phase 2: huge uniform
+  // (high miss ratio). A decaying monitor converges to phase 2's regime;
+  // a non-decaying one stays anchored to the long phase-1 history.
+  std::vector<std::unique_ptr<Workload>> kids;
+  kids.push_back(std::make_unique<ZipfWorkload>(32, 1.2, 5, 0));
+  kids.push_back(std::make_unique<UniformRandomWorkload>(100000, 7, 1));
+  PhasedWorkload w(std::move(kids), 50000);
+  const auto trace = generate_trace(w, 100000);
+
+  OnlineMrcMonitor decaying(1024, 2000, 0.5);
+  OnlineMrcMonitor cumulative(1024, 2000, 1.0);
+  for (Addr a : trace) {
+    decaying.access(a);
+    cumulative.access(a);
+  }
+  const double fresh = decaying.miss_ratio(64);
+  const double stale = cumulative.miss_ratio(64);
+  // Phase 2 misses virtually everything at C=64.
+  EXPECT_GT(fresh, 0.9);
+  // The cumulative monitor still averages in the hit-heavy first phase.
+  EXPECT_LT(stale, 0.7);
+}
+
+TEST(OnlineMrcTest, PartialWindowIsVisibleImmediately) {
+  OnlineMrcMonitor monitor(64, 1000000, 1.0);  // window never completes
+  monitor.access(1);
+  monitor.access(1);
+  EXPECT_EQ(monitor.references_seen(), 2u);
+  EXPECT_EQ(monitor.windows_completed(), 0u);
+  // One infinity + one distance-0 hit: miss ratio at C=1 is 0.5.
+  EXPECT_DOUBLE_EQ(monitor.miss_ratio(1), 0.5);
+}
+
+TEST(OnlineMrcTest, StateStaysBounded) {
+  OnlineMrcMonitor monitor(128, 512, 0.9);
+  UniformRandomWorkload w(50000, 9);
+  const auto trace = generate_trace(w, 30000);
+  for (Addr a : trace) monitor.access(a);
+  EXPECT_EQ(monitor.bound(), 128u);
+  // Everything beyond the bound is folded into infinities: no finite
+  // distance can reach the bound.
+  EXPECT_LT(monitor.snapshot().max_distance(), 128u);
+  EXPECT_GT(monitor.snapshot().infinities(), 0u);
+}
+
+}  // namespace
+}  // namespace parda

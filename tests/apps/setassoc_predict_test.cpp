@@ -1,0 +1,110 @@
+// Tests for Smith's set-associative miss model driven by reuse distance
+// histograms (the Marin & Mellor-Crummey application, paper ref [11]).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "apps/miss_rate.hpp"
+#include "cachesim/set_assoc_cache.hpp"
+#include "hist/mrc.hpp"
+#include "seq/olken.hpp"
+#include "workload/generators.hpp"
+
+namespace parda {
+namespace {
+
+TEST(SetAssocProbabilityTest, ZeroDistanceNeverMisses) {
+  EXPECT_DOUBLE_EQ(set_assoc_miss_probability(0, 64, 8), 0.0);
+  EXPECT_DOUBLE_EQ(set_assoc_miss_probability(7, 64, 8), 0.0);
+}
+
+TEST(SetAssocProbabilityTest, FullyAssociativeStepFunction) {
+  // One set of A ways == fully associative cache of A entries: miss iff
+  // d >= A with probability 1 (every intervening block is in the set).
+  for (Distance d : {0u, 3u, 7u}) {
+    EXPECT_DOUBLE_EQ(set_assoc_miss_probability(d, 1, 8), 0.0) << d;
+  }
+  for (Distance d : {8u, 9u, 100u}) {
+    EXPECT_DOUBLE_EQ(set_assoc_miss_probability(d, 1, 8), 1.0) << d;
+  }
+}
+
+TEST(SetAssocProbabilityTest, MonotoneInDistance) {
+  double prev = 0.0;
+  for (Distance d = 0; d < 4000; d += 37) {
+    const double p = set_assoc_miss_probability(d, 128, 4);
+    EXPECT_GE(p, prev - 1e-12) << d;
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    prev = p;
+  }
+}
+
+TEST(SetAssocProbabilityTest, MoreSetsFewerMisses) {
+  const Distance d = 500;
+  EXPECT_GT(set_assoc_miss_probability(d, 16, 4),
+            set_assoc_miss_probability(d, 64, 4));
+  EXPECT_GT(set_assoc_miss_probability(d, 64, 2),
+            set_assoc_miss_probability(d, 64, 8));
+}
+
+TEST(SetAssocPredictTest, EmptyHistogram) {
+  EXPECT_DOUBLE_EQ(predict_set_assoc_miss_ratio(Histogram{}, 64, 8), 0.0);
+}
+
+TEST(SetAssocPredictTest, AllInfinitiesMissEverywhere) {
+  Histogram h;
+  h.record(kInfiniteDistance, 100);
+  EXPECT_DOUBLE_EQ(predict_set_assoc_miss_ratio(h, 64, 8), 1.0);
+}
+
+TEST(SetAssocPredictTest, ShortDistancesAlwaysHit) {
+  Histogram h;
+  h.record(0, 50);
+  h.record(3, 50);
+  // d < ways can never gather enough evictors.
+  EXPECT_DOUBLE_EQ(predict_set_assoc_miss_ratio(h, 16, 8), 0.0);
+}
+
+TEST(SetAssocPredictTest, SingleSetMatchesFullyAssociativeModel) {
+  Histogram h;
+  h.record(2, 10);   // hit in a 1x8 cache
+  h.record(20, 10);  // miss
+  h.record(kInfiniteDistance, 20);
+  EXPECT_NEAR(predict_set_assoc_miss_ratio(h, 1, 8), 30.0 / 40.0, 1e-9);
+}
+
+TEST(SetAssocPredictTest, TracksSimulationOnRandomWorkload) {
+  // The binomial model's home turf: addresses spread uniformly over sets.
+  UniformRandomWorkload w(2000, 7);
+  const auto trace = generate_trace(w, 60000);
+  const Histogram hist = olken_analysis(trace);
+
+  for (const auto& [blocks, ways] : std::vector<std::pair<std::uint64_t,
+                                                          std::uint32_t>>{
+           {256, 4}, {512, 8}, {1024, 16}}) {
+    SetAssocCache sim(CacheConfig{blocks, ways, 1});
+    for (Addr a : trace) sim.access(a);
+    const double predicted =
+        predict_set_assoc_miss_ratio(hist, blocks / ways, ways);
+    EXPECT_NEAR(predicted, sim.miss_ratio(), 0.06)
+        << blocks << "x" << ways;
+  }
+}
+
+TEST(SetAssocPredictTest, PredictionBetweenDirectMappedAndFullyAssoc) {
+  ZipfWorkload w(1000, 0.8, 3);
+  const auto trace = generate_trace(w, 30000);
+  const Histogram hist = olken_analysis(trace);
+  const std::uint64_t capacity = 256;
+  const double direct = predict_set_assoc_miss_ratio(hist, capacity, 1);
+  const double eight_way =
+      predict_set_assoc_miss_ratio(hist, capacity / 8, 8);
+  const double fully = miss_ratio(hist, capacity);
+  // Higher associativity at equal capacity approaches the LRU model.
+  EXPECT_GE(direct, eight_way - 1e-9);
+  EXPECT_GE(eight_way, fully - 1e-9);
+}
+
+}  // namespace
+}  // namespace parda

@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "apps/superpage.hpp"
+#include "workload/generators.hpp"
+
+namespace parda {
+namespace {
+
+TEST(FoldToPagesTest, Folding) {
+  const std::vector<Addr> trace{0, 1, 511, 512, 1024, 1025};
+  EXPECT_EQ(fold_to_pages(trace, 512),
+            (std::vector<Addr>{0, 0, 0, 1, 2, 2}));
+  EXPECT_EQ(fold_to_pages(trace, 1), trace);
+}
+
+TEST(AnalyzePageSizeTest, FootprintShrinksWithPageSize) {
+  SequentialWorkload w(8192);
+  const auto trace = generate_trace(w, 20000);
+  const PageSizeReport small = analyze_page_size(trace, 64);
+  const PageSizeReport large = analyze_page_size(trace, 1024);
+  EXPECT_EQ(small.pages_touched, 8192u / 64);
+  EXPECT_EQ(large.pages_touched, 8192u / 1024);
+  EXPECT_GT(small.pages_touched, large.pages_touched);
+}
+
+TEST(AnalyzePageSizeTest, TlbMissRatioDropsWithBiggerPages) {
+  // A cyclic sweep over 8192 words under a 16-entry TLB: with 64-word
+  // pages the 128-page cycle evicts every entry (one miss per page run);
+  // with 1024-word pages the 8-page cycle fits and only faults cold.
+  SequentialWorkload w(8192);
+  const auto trace = generate_trace(w, 40000);
+  const double small = analyze_page_size(trace, 64).tlb_miss_ratio(16);
+  const double large = analyze_page_size(trace, 1024).tlb_miss_ratio(16);
+  EXPECT_NEAR(small, 1.0 / 64.0, 0.003);  // one miss per 64-ref page run
+  EXPECT_LT(large, 0.001);                // compulsory misses only
+  EXPECT_GT(small, 10 * large);
+}
+
+TEST(RecommendPageSizeTest, PicksSmallestSufficientPage) {
+  SequentialWorkload w(4096);
+  const auto trace = generate_trace(w, 30000);
+  // 16-entry TLB over a 4096-word cyclic sweep: 256-word pages (16-page
+  // cycle) are the first size whose steady state never faults; 128-word
+  // pages still fault once per 128-ref run (ratio ~1/128), which the
+  // 0.005 tolerance rejects.
+  const SuperpageChoice choice = recommend_page_size(
+      trace, {64, 128, 256, 512, 1024}, 16, /*tolerance=*/0.005);
+  EXPECT_EQ(choice.page_words, 256u);
+  EXPECT_LT(choice.tlb_miss_ratio, 0.002);
+  EXPECT_EQ(choice.mapped_words, 4096u);
+}
+
+TEST(RecommendPageSizeTest, TinyFootprintPicksSmallestPage) {
+  // Everything fits at every page size: the smallest page wins (no waste).
+  ZipfWorkload w(64, 1.0, 3);
+  const auto trace = generate_trace(w, 5000);
+  const SuperpageChoice choice =
+      recommend_page_size(trace, {16, 64, 256}, 64);
+  EXPECT_EQ(choice.page_words, 16u);
+}
+
+TEST(RecommendPageSizeTest, CandidateOrderIrrelevant) {
+  SequentialWorkload w(4096);
+  const auto trace = generate_trace(w, 20000);
+  const SuperpageChoice a =
+      recommend_page_size(trace, {1024, 64, 256, 512, 128}, 16);
+  const SuperpageChoice b =
+      recommend_page_size(trace, {64, 128, 256, 512, 1024}, 16);
+  EXPECT_EQ(a.page_words, b.page_words);
+}
+
+}  // namespace
+}  // namespace parda

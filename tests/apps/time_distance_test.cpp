@@ -1,0 +1,61 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "apps/time_distance.hpp"
+#include "seq/olken.hpp"
+#include "workload/generators.hpp"
+
+namespace parda {
+namespace {
+
+TEST(TimeDistanceTest, SimpleTrace) {
+  // a b a a: time distances inf, inf, 1, 0.
+  const std::vector<Addr> trace{'a', 'b', 'a', 'a'};
+  const Histogram h = time_distance_histogram(trace);
+  EXPECT_EQ(h.infinities(), 2u);
+  EXPECT_EQ(h.at(1), 1u);
+  EXPECT_EQ(h.at(0), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(TimeDistanceTest, AgreesWithReuseOnDistinctIntervening) {
+  // When all intervening references are distinct, both metrics coincide.
+  const std::vector<Addr> trace{1, 2, 3, 4, 1};
+  const Histogram td = time_distance_histogram(trace);
+  const Histogram rd = olken_analysis(trace);
+  EXPECT_EQ(td.at(3), 1u);
+  EXPECT_EQ(rd.at(3), 1u);
+}
+
+TEST(TimeDistanceTest, ExceedsReuseWithRepeats) {
+  // x a a a a x: time distance 4, reuse distance 1.
+  const std::vector<Addr> trace{'x', 'a', 'a', 'a', 'a', 'x'};
+  const LocalityComparison cmp = compare_locality_metrics(trace);
+  EXPECT_EQ(cmp.time.at(4), 1u);
+  EXPECT_EQ(cmp.reuse.at(1), 1u);
+  EXPECT_GE(cmp.mean_gap(), 0.0);
+}
+
+TEST(TimeDistanceTest, SectionOneClaimTwo) {
+  // Paper Section I, advantage (2): reuse distance is bounded by the
+  // footprint M; time distance is not.
+  ZipfWorkload w(50, 1.0, 7);
+  const auto trace = generate_trace(w, 20000);
+  const LocalityComparison cmp = compare_locality_metrics(trace);
+  EXPECT_LT(cmp.reuse.max_distance(), 50u);          // < M
+  EXPECT_GT(cmp.time.max_distance(), 50u);           // unbounded in M
+  EXPECT_GE(cmp.mean_gap(), 0.0);                    // TD >= RD pointwise
+  EXPECT_EQ(cmp.reuse.total(), cmp.time.total());
+  EXPECT_EQ(cmp.reuse.infinities(), cmp.time.infinities());
+}
+
+TEST(TimeDistanceTest, ImmediateReuseIsZeroInBoth) {
+  const std::vector<Addr> trace{9, 9, 9};
+  const LocalityComparison cmp = compare_locality_metrics(trace);
+  EXPECT_EQ(cmp.time.at(0), 2u);
+  EXPECT_EQ(cmp.reuse.at(0), 2u);
+}
+
+}  // namespace
+}  // namespace parda

@@ -1,0 +1,297 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "comm/comm.hpp"
+
+namespace parda::comm {
+namespace {
+
+TEST(CommTest, SingleRankRuns) {
+  int calls = 0;
+  const RunStats stats = run(1, [&](Comm& comm) {
+    EXPECT_EQ(comm.rank(), 0);
+    EXPECT_EQ(comm.size(), 1);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(stats.ranks.size(), 1u);
+}
+
+TEST(CommTest, PingPong) {
+  run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 7, std::vector<std::uint64_t>{1, 2, 3});
+      const auto back = comm.recv<std::uint64_t>(1, 8);
+      ASSERT_EQ(back.size(), 3u);
+      EXPECT_EQ(back[0], 2u);
+      EXPECT_EQ(back[2], 4u);
+    } else {
+      auto data = comm.recv<std::uint64_t>(0, 7);
+      for (auto& x : data) ++x;
+      comm.send(0, 8, data);
+    }
+  });
+}
+
+TEST(CommTest, EmptyMessage) {
+  run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 1, std::vector<std::uint64_t>{});
+    } else {
+      EXPECT_TRUE(comm.recv<std::uint64_t>(0, 1).empty());
+    }
+  });
+}
+
+TEST(CommTest, TagMatchingOutOfOrder) {
+  run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, /*tag=*/1, std::vector<int>{10});
+      comm.send(1, /*tag=*/2, std::vector<int>{20});
+    } else {
+      // Receive tag 2 first even though tag 1 arrived first.
+      EXPECT_EQ(comm.recv<int>(0, 2).at(0), 20);
+      EXPECT_EQ(comm.recv<int>(0, 1).at(0), 10);
+    }
+  });
+}
+
+TEST(CommTest, FifoPerSourceAndTag) {
+  run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      for (int i = 0; i < 100; ++i) comm.send(1, 5, std::vector<int>{i});
+    } else {
+      for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(comm.recv<int>(0, 5).at(0), i);
+      }
+    }
+  });
+}
+
+TEST(CommTest, WildcardSource) {
+  run(3, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      bool seen1 = false;
+      bool seen2 = false;
+      for (int i = 0; i < 2; ++i) {
+        int src = -2;
+        const auto v = comm.recv<int>(kAnySource, 9, &src);
+        EXPECT_EQ(v.at(0), src * 100);
+        seen1 |= src == 1;
+        seen2 |= src == 2;
+      }
+      EXPECT_TRUE(seen1);
+      EXPECT_TRUE(seen2);
+    } else {
+      comm.send(0, 9, std::vector<int>{comm.rank() * 100});
+    }
+  });
+}
+
+TEST(CommTest, BarrierSynchronizes) {
+  std::atomic<int> before{0};
+  std::atomic<int> after_ok{0};
+  run(4, [&](Comm& comm) {
+    (void)comm;
+    before.fetch_add(1);
+    comm.barrier();
+    if (before.load() == 4) after_ok.fetch_add(1);
+  });
+  EXPECT_EQ(after_ok.load(), 4);
+}
+
+TEST(CommTest, RepeatedBarriers) {
+  std::atomic<int> counter{0};
+  run(3, [&](Comm& comm) {
+    for (int round = 0; round < 50; ++round) {
+      comm.barrier();
+      counter.fetch_add(1);
+      comm.barrier();
+      EXPECT_EQ(counter.load() % 3, 0) << "round " << round;
+    }
+  });
+}
+
+TEST(CommTest, GatherCollectsAllRanks) {
+  run(4, [](Comm& comm) {
+    const std::vector<std::uint64_t> mine{
+        static_cast<std::uint64_t>(comm.rank()),
+        static_cast<std::uint64_t>(comm.rank() * 2)};
+    auto all = comm.gather(std::span<const std::uint64_t>(mine), 2, 11);
+    if (comm.rank() == 2) {
+      ASSERT_EQ(all.size(), 4u);
+      for (int r = 0; r < 4; ++r) {
+        ASSERT_EQ(all[r].size(), 2u);
+        EXPECT_EQ(all[r][0], static_cast<std::uint64_t>(r));
+        EXPECT_EQ(all[r][1], static_cast<std::uint64_t>(r * 2));
+      }
+    } else {
+      EXPECT_TRUE(all.empty());
+    }
+  });
+}
+
+TEST(CommTest, BroadcastReachesEveryone) {
+  run(5, [](Comm& comm) {
+    std::vector<int> data;
+    if (comm.rank() == 3) data = {42, 43};
+    data = comm.broadcast(std::move(data), 3, 12);
+    ASSERT_EQ(data.size(), 2u);
+    EXPECT_EQ(data[0], 42);
+    EXPECT_EQ(data[1], 43);
+  });
+}
+
+TEST(CommTest, ReduceSumU64EqualLengths) {
+  for (int np : {1, 2, 3, 4, 7, 8}) {
+    run(np, [np](Comm& comm) {
+      const std::vector<std::uint64_t> mine{
+          1, static_cast<std::uint64_t>(comm.rank())};
+      const auto total =
+          comm.reduce_sum_u64(std::span<const std::uint64_t>(mine), 0, 13);
+      if (comm.rank() == 0) {
+        ASSERT_EQ(total.size(), 2u);
+        EXPECT_EQ(total[0], static_cast<std::uint64_t>(np));
+        EXPECT_EQ(total[1],
+                  static_cast<std::uint64_t>(np) * (np - 1) / 2);
+      } else {
+        EXPECT_TRUE(total.empty());
+      }
+    });
+  }
+}
+
+TEST(CommTest, ReduceSumU64RaggedLengths) {
+  run(4, [](Comm& comm) {
+    // Rank r contributes r+1 ones.
+    const std::vector<std::uint64_t> mine(
+        static_cast<std::size_t>(comm.rank() + 1), 1);
+    const auto total =
+        comm.reduce_sum_u64(std::span<const std::uint64_t>(mine), 0, 14);
+    if (comm.rank() == 0) {
+      ASSERT_EQ(total.size(), 4u);
+      EXPECT_EQ(total[0], 4u);  // all ranks
+      EXPECT_EQ(total[1], 3u);
+      EXPECT_EQ(total[2], 2u);
+      EXPECT_EQ(total[3], 1u);
+    }
+  });
+}
+
+TEST(CommTest, ReduceSumNonZeroRoot) {
+  run(3, [](Comm& comm) {
+    const std::vector<std::uint64_t> mine{10};
+    const auto total =
+        comm.reduce_sum_u64(std::span<const std::uint64_t>(mine), 2, 15);
+    if (comm.rank() == 2) {
+      ASSERT_EQ(total.size(), 1u);
+      EXPECT_EQ(total[0], 30u);
+    }
+  });
+}
+
+TEST(CommTest, ScattervDistributesPieces) {
+  run(4, [](Comm& comm) {
+    std::vector<std::vector<int>> pieces;
+    if (comm.rank() == 1) {
+      pieces = {{0}, {1, 11}, {2, 22, 222}, {}};
+    }
+    const std::vector<int> mine = comm.scatterv(pieces, 1, 30);
+    switch (comm.rank()) {
+      case 0:
+        EXPECT_EQ(mine, (std::vector<int>{0}));
+        break;
+      case 1:
+        EXPECT_EQ(mine, (std::vector<int>{1, 11}));
+        break;
+      case 2:
+        EXPECT_EQ(mine, (std::vector<int>{2, 22, 222}));
+        break;
+      default:
+        EXPECT_TRUE(mine.empty());
+    }
+  });
+}
+
+TEST(CommTest, AllgatherGivesEveryoneEverything) {
+  run(3, [](Comm& comm) {
+    const std::vector<std::uint64_t> mine(
+        static_cast<std::size_t>(comm.rank()) + 1,
+        static_cast<std::uint64_t>(comm.rank()));
+    const auto all =
+        comm.allgather(std::span<const std::uint64_t>(mine), 31);
+    ASSERT_EQ(all.size(), 3u);
+    for (int r = 0; r < 3; ++r) {
+      ASSERT_EQ(all[static_cast<std::size_t>(r)].size(),
+                static_cast<std::size_t>(r) + 1);
+      for (std::uint64_t v : all[static_cast<std::size_t>(r)]) {
+        EXPECT_EQ(v, static_cast<std::uint64_t>(r));
+      }
+    }
+  });
+}
+
+TEST(CommTest, AllreduceSumReachesAllRanks) {
+  run(5, [](Comm& comm) {
+    const std::vector<std::uint64_t> mine{
+        static_cast<std::uint64_t>(comm.rank()), 1};
+    const auto total = comm.allreduce_sum_u64(
+        std::span<const std::uint64_t>(mine), 32);
+    ASSERT_EQ(total.size(), 2u);
+    EXPECT_EQ(total[0], 10u);  // 0+1+2+3+4
+    EXPECT_EQ(total[1], 5u);
+  });
+}
+
+TEST(CommTest, ExceptionPropagates) {
+  EXPECT_THROW(run(2,
+                   [](Comm& comm) {
+                     if (comm.rank() == 1) {
+                       throw std::runtime_error("rank 1 exploded");
+                     }
+                   }),
+               std::runtime_error);
+}
+
+TEST(CommTest, StatsCountMessagesAndBytes) {
+  const RunStats stats = run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 1, std::vector<std::uint64_t>(10, 0));
+    } else {
+      comm.recv<std::uint64_t>(0, 1);
+    }
+  });
+  EXPECT_EQ(stats.total_messages(), 1u);
+  EXPECT_EQ(stats.total_bytes(), 80u);
+  EXPECT_GE(stats.wall_seconds, 0.0);
+  EXPECT_GE(stats.max_busy(), 0.0);
+  EXPECT_LE(stats.max_busy(), stats.total_busy() + 1e-9);
+}
+
+TEST(CommTest, ManyRanksPipelineStress) {
+  // Chain: rank i sends to i-1, mirroring Parda's infinity pipeline.
+  const int np = 8;
+  run(np, [np](Comm& comm) {
+    const int r = comm.rank();
+    for (int round = 0; round < 20; ++round) {
+      if (r < np - 1) {
+        const auto incoming = comm.recv<std::uint64_t>(r + 1, 21);
+        EXPECT_EQ(incoming.at(0),
+                  static_cast<std::uint64_t>(r + 1 + round * 1000));
+      }
+      if (r > 0) {
+        comm.send(r - 1, 21,
+                  std::vector<std::uint64_t>{
+                      static_cast<std::uint64_t>(r + round * 1000)});
+      }
+    }
+  });
+}
+
+}  // namespace
+}  // namespace parda::comm

@@ -1,0 +1,275 @@
+// Property tests for the parallel algorithm: Parda must equal the
+// sequential analysis exactly, for every rank count, chunking, engine,
+// bound, and with or without the space optimization (paper Section IV-B).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/parda.hpp"
+#include "core/rank_state.hpp"
+#include "seq/bounded.hpp"
+#include "seq/olken.hpp"
+#include "tree/avl_tree.hpp"
+#include "tree/treap.hpp"
+#include "workload/generators.hpp"
+#include "workload/spec.hpp"
+
+namespace parda {
+namespace {
+
+std::vector<Addr> mixed_trace(std::size_t n, std::uint64_t seed) {
+  std::vector<std::unique_ptr<Workload>> kids;
+  kids.push_back(std::make_unique<ZipfWorkload>(400, 0.9, seed, 0));
+  kids.push_back(std::make_unique<SequentialWorkload>(150, 1));
+  kids.push_back(std::make_unique<PointerChaseWorkload>(200, seed + 1, 2));
+  MixWorkload mix(std::move(kids), {0.5, 0.3, 0.2}, seed + 2);
+  return generate_trace(mix, n);
+}
+
+class PardaEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<int, bool>> {};
+
+TEST_P(PardaEquivalenceTest, MatchesSequentialUnbounded) {
+  const auto [np, space_opt] = GetParam();
+  const auto trace = mixed_trace(6000, 42);
+  const Histogram expected = olken_analysis(trace);
+
+  PardaOptions options;
+  options.num_procs = np;
+  options.space_optimized = space_opt;
+  const PardaResult result = parda_analyze(trace, options);
+  EXPECT_TRUE(result.hist == expected)
+      << "np=" << np << " space_opt=" << space_opt;
+  EXPECT_EQ(result.stats.ranks.size(), static_cast<std::size_t>(np));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RankAndOptimization, PardaEquivalenceTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5, 7, 8, 16),
+                       ::testing::Bool()),
+    [](const auto& info) {
+      return "np" + std::to_string(std::get<0>(info.param)) +
+             (std::get<1>(info.param) ? "_spaceopt" : "_plain");
+    });
+
+class PardaBoundedTest
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(PardaBoundedTest, MatchesSequentialBounded) {
+  const auto [np, bound] = GetParam();
+  const auto trace = mixed_trace(6000, 1234);
+  const Histogram expected = bounded_analysis(trace, bound);
+
+  PardaOptions options;
+  options.num_procs = np;
+  options.bound = bound;
+  const PardaResult result = parda_analyze(trace, options);
+  EXPECT_TRUE(result.hist == expected) << "np=" << np << " B=" << bound;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RankAndBound, PardaBoundedTest,
+    ::testing::Combine(::testing::Values(1, 2, 4, 7),
+                       ::testing::Values(1, 4, 16, 64, 256, 1024)),
+    [](const auto& info) {
+      return "np" + std::to_string(std::get<0>(info.param)) + "_B" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(PardaTest, EmptyTrace) {
+  PardaOptions options;
+  options.num_procs = 4;
+  const PardaResult result = parda_analyze({}, options);
+  EXPECT_EQ(result.hist.total(), 0u);
+}
+
+TEST(PardaTest, TraceShorterThanRankCount) {
+  const std::vector<Addr> trace{1, 2, 1};
+  PardaOptions options;
+  options.num_procs = 8;
+  const PardaResult result = parda_analyze(trace, options);
+  EXPECT_TRUE(result.hist == olken_analysis(trace));
+}
+
+TEST(PardaTest, SingleAddressTrace) {
+  const std::vector<Addr> trace(100, 7);
+  PardaOptions options;
+  options.num_procs = 4;
+  const PardaResult result = parda_analyze(trace, options);
+  EXPECT_EQ(result.hist.infinities(), 1u);
+  EXPECT_EQ(result.hist.at(0), 99u);
+}
+
+TEST(PardaTest, AllDistinctTrace) {
+  std::vector<Addr> trace(512);
+  for (std::size_t i = 0; i < trace.size(); ++i) trace[i] = i;
+  PardaOptions options;
+  options.num_procs = 4;
+  const PardaResult result = parda_analyze(trace, options);
+  EXPECT_EQ(result.hist.infinities(), 512u);
+  EXPECT_EQ(result.hist.finite_total(), 0u);
+}
+
+TEST(PardaTest, WorksWithEveryTreeEngine) {
+  const auto trace = mixed_trace(3000, 5);
+  const Histogram expected = olken_analysis(trace);
+  PardaOptions options;
+  options.num_procs = 3;
+  EXPECT_TRUE(parda_analyze<SplayTree>(trace, options).hist == expected);
+  EXPECT_TRUE(parda_analyze<AvlTree>(trace, options).hist == expected);
+  EXPECT_TRUE(parda_analyze<Treap>(trace, options).hist == expected);
+}
+
+TEST(PardaTest, SpecWorkloadsRoundTrip) {
+  // End-to-end over three scaled SPEC profiles with awkward rank counts.
+  for (std::string_view name : {"mcf", "libquantum", "povray"}) {
+    auto w = make_spec_workload(name, /*scale=*/200000, /*seed=*/9);
+    const auto trace = generate_trace(*w, 8000);
+    const Histogram expected = olken_analysis(trace);
+    PardaOptions options;
+    options.num_procs = 5;
+    EXPECT_TRUE(parda_analyze(trace, options).hist == expected)
+        << std::string(name);
+  }
+}
+
+TEST(PardaTest, BoundedWithBoundLargerThanFootprintEqualsExact) {
+  const auto trace = mixed_trace(4000, 77);
+  PardaOptions options;
+  options.num_procs = 4;
+  options.bound = 1 << 20;
+  EXPECT_TRUE(parda_analyze(trace, options).hist == olken_analysis(trace));
+}
+
+// --- RankState unit behaviour ----------------------------------------------
+
+TEST(PardaProfileTest, OfflineProfilesAreConsistent) {
+  const auto trace = mixed_trace(6000, 99);
+  PardaOptions options;
+  options.num_procs = 4;
+  const PardaResult result = parda_analyze(trace, options);
+  ASSERT_EQ(result.profiles.size(), 4u);
+
+  std::uint64_t chunk_total = 0;
+  std::uint64_t hits_total = 0;
+  for (const RankProfile& p : result.profiles) {
+    chunk_total += p.chunk_refs;
+    hits_total += p.hits_resolved;
+    EXPECT_GT(p.peak_resident, 0u);
+  }
+  EXPECT_EQ(chunk_total, trace.size());
+  EXPECT_EQ(hits_total, result.hist.finite_total());
+  // Rank 0 forwards nothing; the rightmost rank receives nothing.
+  EXPECT_EQ(result.profiles[0].records_forwarded, 0u);
+  EXPECT_EQ(result.profiles[3].records_received, 0u);
+  // Everything rank 1 forwards, rank 0 receives.
+  EXPECT_EQ(result.profiles[0].records_received,
+            result.profiles[1].records_forwarded);
+}
+
+TEST(PardaProfileTest, BoundedCapsPeakResidency) {
+  const auto trace = mixed_trace(6000, 7);
+  PardaOptions options;
+  options.num_procs = 3;
+  options.bound = 32;
+  const PardaResult result = parda_analyze(trace, options);
+  for (const RankProfile& p : result.profiles) {
+    EXPECT_LE(p.peak_resident, 32u);
+  }
+}
+
+TEST(RankStateTest, LocalInfinityPerDistinctElement) {
+  // Property 4.2: one local-infinity entry per distinct element of the
+  // chunk.
+  RankState<> state;
+  const std::vector<Addr> chunk{5, 6, 5, 7, 6, 6, 8};
+  for (std::size_t i = 0; i < chunk.size(); ++i) {
+    state.process_own(chunk[i], i);
+  }
+  const auto inf = state.take_local_infinities();
+  ASSERT_EQ(inf.size(), 4u);
+  EXPECT_EQ(inf[0], (InfRecord{5, 0}));
+  EXPECT_EQ(inf[1], (InfRecord{6, 1}));
+  EXPECT_EQ(inf[2], (InfRecord{7, 3}));
+  EXPECT_EQ(inf[3], (InfRecord{8, 6}));
+}
+
+TEST(RankStateTest, SpaceOptimizedDeletesResolvedEntries) {
+  RankState<> state;  // space-optimized by default
+  state.process_own(1, 0);
+  state.process_own(2, 1);
+  EXPECT_EQ(state.resident(), 2u);
+  // Incoming infinity for address 1 resolves and removes the replica.
+  state.process_incoming(std::vector<InfRecord>{{1, 10}});
+  EXPECT_EQ(state.resident(), 1u);
+  EXPECT_EQ(state.received_count(), 1u);
+  EXPECT_EQ(state.hist().at(1), 1u);  // one distinct element (2) intervened
+}
+
+TEST(RankStateTest, UnoptimizedKeepsAndReplaysEntries) {
+  RankState<> state(kUnbounded, /*space_optimized=*/false);
+  state.process_own(1, 0);
+  state.process_own(2, 1);
+  state.take_local_infinities();
+  state.process_incoming(std::vector<InfRecord>{{1, 10}, {3, 11}});
+  // Hit re-inserted, miss inserted: 3 residents (1@10, 2@1, 3@11).
+  EXPECT_EQ(state.resident(), 3u);
+  EXPECT_EQ(state.hist().at(1), 1u);
+  const auto forwarded = state.take_local_infinities();
+  ASSERT_EQ(forwarded.size(), 1u);
+  EXPECT_EQ(forwarded[0], (InfRecord{3, 11}));
+}
+
+TEST(RankStateTest, CountOffsetsIncomingDistances) {
+  // Algorithm 4's count: misses processed earlier offset later hits.
+  RankState<> state;
+  state.process_own(100, 0);
+  state.take_local_infinities();
+  // Two unseen addresses pass through, then a hit on 100: the two strangers
+  // are distinct elements between the reuse pair.
+  state.process_incoming(std::vector<InfRecord>{{200, 5}, {300, 6}});
+  state.process_incoming(std::vector<InfRecord>{{100, 7}});
+  EXPECT_EQ(state.hist().at(2), 1u);
+}
+
+TEST(RankStateTest, ExportImportRoundTrip) {
+  RankState<> a;
+  a.process_own(10, 0);
+  a.process_own(20, 1);
+  a.take_local_infinities();
+  RankState<> b;
+  b.process_own(30, 2);
+  b.take_local_infinities();
+  auto exported = a.export_state();
+  EXPECT_EQ(a.resident(), 0u);
+  b.import_state(exported);
+  EXPECT_EQ(b.resident(), 3u);
+  // b can now resolve reuses of a's addresses.
+  b.process_incoming(std::vector<InfRecord>{{10, 50}});
+  EXPECT_EQ(b.hist().at(2), 1u);  // 20 and 30 intervene
+}
+
+TEST(RankStateTest, PruneToBoundKeepsMostRecent) {
+  RankState<> state(/*bound=*/2, /*space_optimized=*/true);
+  state.import_state(std::vector<InfRecord>{{1, 10}, {2, 20}, {3, 30}});
+  state.prune_to_bound();
+  EXPECT_EQ(state.resident(), 2u);
+  // Address 1 (oldest) is gone: a reuse of it now misses.
+  state.begin_merge_stage();
+  state.process_incoming(std::vector<InfRecord>{{1, 40}});
+  EXPECT_EQ(state.pending_infinities(), 1u);
+}
+
+TEST(RankStateTest, FlushGlobalInfinitiesCountsPending) {
+  RankState<> state;
+  state.process_own(1, 0);
+  state.process_own(2, 1);
+  state.flush_global_infinities();
+  EXPECT_EQ(state.hist().infinities(), 2u);
+  EXPECT_EQ(state.pending_infinities(), 0u);
+}
+
+}  // namespace
+}  // namespace parda

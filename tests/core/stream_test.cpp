@@ -1,0 +1,205 @@
+// Tests for the multi-phase online algorithm (Algorithms 5-6): streaming
+// through a TracePipe must give exactly the offline/sequential result, for
+// every phase size, rank count, and cache bound.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "core/file_analysis.hpp"
+#include "core/parda.hpp"
+#include "seq/bounded.hpp"
+#include "seq/olken.hpp"
+#include "trace/trace_io.hpp"
+#include "trace/trace_pipe.hpp"
+#include "workload/generators.hpp"
+
+namespace parda {
+namespace {
+
+std::vector<Addr> stream_trace(std::size_t n, std::uint64_t seed) {
+  std::vector<std::unique_ptr<Workload>> kids;
+  kids.push_back(std::make_unique<ZipfWorkload>(300, 0.8, seed, 0));
+  kids.push_back(std::make_unique<SequentialWorkload>(100, 1));
+  MixWorkload mix(std::move(kids), {0.6, 0.4}, seed);
+  return generate_trace(mix, n);
+}
+
+/// Runs the streaming analysis with a producer thread feeding the pipe in
+/// blocks of `block_words`.
+PardaResult run_streamed(const std::vector<Addr>& trace,
+                         const PardaOptions& options,
+                         std::size_t pipe_capacity,
+                         std::size_t block_words) {
+  TracePipe pipe(pipe_capacity);
+  std::thread producer([&] {
+    for (std::size_t at = 0; at < trace.size(); at += block_words) {
+      const std::size_t hi = std::min(at + block_words, trace.size());
+      pipe.write(std::span<const Addr>(trace.data() + at, hi - at));
+    }
+    pipe.close();
+  });
+  PardaResult result = parda_analyze_stream(pipe, options);
+  producer.join();
+  return result;
+}
+
+class StreamEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<int, std::size_t>> {};
+
+TEST_P(StreamEquivalenceTest, MatchesSequential) {
+  const auto [np, chunk] = GetParam();
+  const auto trace = stream_trace(7000, 11);
+  const Histogram expected = olken_analysis(trace);
+
+  PardaOptions options;
+  options.num_procs = np;
+  options.chunk_words = chunk;
+  const PardaResult result = run_streamed(trace, options, 2048, 513);
+  EXPECT_TRUE(result.hist == expected)
+      << "np=" << np << " C=" << chunk;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PhaseGeometry, StreamEquivalenceTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 8),
+                       ::testing::Values(64, 100, 1000, 4096)),
+    [](const auto& info) {
+      return "np" + std::to_string(std::get<0>(info.param)) + "_C" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(StreamTest, ExactPhaseMultipleLength) {
+  // Trace length an exact multiple of np*C: the final phase is full and a
+  // zero-length phase terminates the loop.
+  const auto trace = stream_trace(4096, 3);
+  PardaOptions options;
+  options.num_procs = 4;
+  options.chunk_words = 256;  // 4 * 256 = 1024 divides 4096
+  const PardaResult result = run_streamed(trace, options, 512, 128);
+  EXPECT_TRUE(result.hist == olken_analysis(trace));
+}
+
+TEST(StreamTest, SinglePhaseWholeTrace) {
+  const auto trace = stream_trace(900, 4);
+  PardaOptions options;
+  options.num_procs = 3;
+  options.chunk_words = 1000;  // phase swallows everything
+  const PardaResult result = run_streamed(trace, options, 4096, 900);
+  EXPECT_TRUE(result.hist == olken_analysis(trace));
+}
+
+TEST(StreamTest, ManyTinyPhases) {
+  // Phases of np*C = 6 references stress the rank-reversal reduction.
+  const auto trace = stream_trace(1000, 5);
+  PardaOptions options;
+  options.num_procs = 3;
+  options.chunk_words = 2;
+  const PardaResult result = run_streamed(trace, options, 64, 7);
+  EXPECT_TRUE(result.hist == olken_analysis(trace));
+}
+
+TEST(StreamTest, EmptyStream) {
+  TracePipe pipe(64);
+  pipe.close();
+  PardaOptions options;
+  options.num_procs = 4;
+  const PardaResult result = parda_analyze_stream(pipe, options);
+  EXPECT_EQ(result.hist.total(), 0u);
+}
+
+TEST(StreamTest, StreamShorterThanOnePhase) {
+  const std::vector<Addr> trace{1, 2, 1, 3, 2};
+  PardaOptions options;
+  options.num_procs = 4;
+  options.chunk_words = 100;
+  const PardaResult result = run_streamed(trace, options, 64, 2);
+  EXPECT_TRUE(result.hist == olken_analysis(trace));
+}
+
+class StreamBoundedTest
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::size_t>> {
+};
+
+TEST_P(StreamBoundedTest, BoundedStreamingMatchesBoundedSequential) {
+  const auto [bound, chunk] = GetParam();
+  const auto trace = stream_trace(5000, 21);
+  const Histogram expected = bounded_analysis(trace, bound);
+
+  PardaOptions options;
+  options.num_procs = 4;
+  options.chunk_words = chunk;
+  options.bound = bound;
+  const PardaResult result = run_streamed(trace, options, 1024, 200);
+  EXPECT_TRUE(result.hist == expected)
+      << "B=" << bound << " C=" << chunk;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BoundAndPhase, StreamBoundedTest,
+    ::testing::Combine(::testing::Values(1, 8, 64, 400),
+                       ::testing::Values(64, 500)),
+    [](const auto& info) {
+      return "B" + std::to_string(std::get<0>(info.param)) + "_C" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(FileAnalysisTest, StreamsTraceFileCorrectly) {
+  const auto trace = stream_trace(6000, 33);
+  const std::string path =
+      std::string(::testing::TempDir()) + "/file_analysis.trc";
+  write_trace_binary(path, trace);
+
+  PardaOptions options;
+  options.num_procs = 3;
+  options.chunk_words = 500;
+  const PardaResult result =
+      parda_analyze_file(path, options, /*pipe_words=*/2048);
+  EXPECT_TRUE(result.hist == olken_analysis(trace));
+  std::remove(path.c_str());
+}
+
+TEST(FileAnalysisTest, MissingFileThrows) {
+  PardaOptions options;
+  options.num_procs = 2;
+  EXPECT_THROW(parda_analyze_file("/does/not/exist.trc", options),
+               std::runtime_error);
+}
+
+TEST(FileAnalysisTest, BoundedFileAnalysis) {
+  const auto trace = stream_trace(4000, 41);
+  const std::string path =
+      std::string(::testing::TempDir()) + "/file_analysis_bounded.trc";
+  write_trace_binary(path, trace);
+  PardaOptions options;
+  options.num_procs = 4;
+  options.bound = 64;
+  options.chunk_words = 256;
+  const PardaResult result = parda_analyze_file(path, options, 1024);
+  EXPECT_TRUE(result.hist == bounded_analysis(trace, 64));
+  std::remove(path.c_str());
+}
+
+TEST(StreamTest, CrossPhaseReuseResolved) {
+  // A reuse pair that straddles a phase boundary: x at positions 0 and
+  // just past the first phase; the distance must be the number of distinct
+  // elements between, resolved via the carried global state.
+  std::vector<Addr> trace;
+  trace.push_back(999);
+  for (Addr a = 0; a < 30; ++a) trace.push_back(a);  // 30 distinct
+  trace.push_back(999);  // distance 30
+  PardaOptions options;
+  options.num_procs = 2;
+  options.chunk_words = 8;  // phase = 16 refs, reuse spans phases
+  const PardaResult result = run_streamed(trace, options, 64, 5);
+  EXPECT_EQ(result.hist.at(30), 1u);
+  EXPECT_EQ(result.hist.infinities(), 31u);
+}
+
+}  // namespace
+}  // namespace parda

@@ -1,0 +1,58 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "hist/report.hpp"
+#include "util/types.hpp"
+
+namespace parda {
+namespace {
+
+TEST(ReportTest, HistogramCsvBasic) {
+  Histogram h;
+  h.record(0, 3);
+  h.record(7, 2);
+  h.record(kInfiniteDistance, 5);
+  EXPECT_EQ(histogram_to_csv(h),
+            "distance,count\n0,3\n7,2\ninf,5\n");
+}
+
+TEST(ReportTest, HistogramCsvEmptyHasHeaderAndInf) {
+  EXPECT_EQ(histogram_to_csv(Histogram{}), "distance,count\ninf,0\n");
+}
+
+TEST(ReportTest, Log2Csv) {
+  Histogram h;
+  h.record(0, 1);
+  h.record(3, 4);
+  const std::string csv = histogram_to_csv_log2(h);
+  EXPECT_EQ(csv, "bucket_low,bucket_high,count\n0,0,1\n2,3,4\n");
+}
+
+TEST(ReportTest, MrcCsv) {
+  const std::vector<MrcPoint> curve{{1, 1.0}, {1024, 0.25}};
+  EXPECT_EQ(mrc_to_csv(curve),
+            "cache_size,miss_ratio\n1,1.000000\n1024,0.250000\n");
+}
+
+TEST(ReportTest, WriteTextFileRoundTrip) {
+  const std::string path =
+      std::string(::testing::TempDir()) + "/report_test.csv";
+  write_text_file(path, "hello,world\n1,2\n");
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buf[64] = {};
+  const std::size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  EXPECT_EQ(std::string(buf, n), "hello,world\n1,2\n");
+  std::remove(path.c_str());
+}
+
+TEST(ReportTest, WriteTextFileFailsOnBadPath) {
+  EXPECT_THROW(write_text_file("/nonexistent-dir/x/y.csv", "data"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace parda

@@ -1,0 +1,162 @@
+// Cross-module integration tests: the full Figure 3 pipeline (instrumented
+// program -> pipe -> parallel online analysis -> histogram -> MRC -> cache
+// validation), plus end-to-end consistency checks across every layer.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/miss_rate.hpp"
+#include "cachesim/lru_cache.hpp"
+#include "core/parda.hpp"
+#include "hist/mrc.hpp"
+#include "seq/naive.hpp"
+#include "seq/olken.hpp"
+#include "trace/trace_io.hpp"
+#include "trace/trace_pipe.hpp"
+#include "vm/machine.hpp"
+#include "vm/programs.hpp"
+#include "workload/generators.hpp"
+#include "workload/spec.hpp"
+
+namespace parda {
+namespace {
+
+TEST(Figure3Pipeline, VmProgramThroughPipeToParallelAnalysis) {
+  // The paper's framework: the instrumented program streams addresses into
+  // a pipe; rank 0 scatters; the merged histogram equals offline analysis
+  // of the same program's trace.
+  const vm::Program program = vm::matmul(12);
+  const std::vector<Addr> offline = vm::trace_program(program);
+  const Histogram expected = olken_analysis(offline);
+
+  TracePipe pipe(1 << 12);
+  std::thread producer([&] {
+    vm::Machine machine(program);
+    std::vector<Addr> block;
+    block.reserve(256);
+    machine.run([&](Addr a) {
+      block.push_back(a);
+      if (block.size() == 256) {
+        pipe.write(std::move(block));
+        block.clear();
+        block.reserve(256);
+      }
+    });
+    pipe.write(std::move(block));
+    pipe.close();
+  });
+
+  PardaOptions options;
+  options.num_procs = 4;
+  options.chunk_words = 500;
+  const PardaResult result = parda_analyze_stream(pipe, options);
+  producer.join();
+
+  EXPECT_TRUE(result.hist == expected);
+  EXPECT_EQ(result.hist.total(), offline.size());
+}
+
+TEST(Figure3Pipeline, BoundedOnlineAnalysisOfListChase) {
+  const vm::Program program = vm::list_chase(600, 4);
+  const std::vector<Addr> offline = vm::trace_program(program);
+
+  TracePipe pipe(1024);
+  std::thread producer([&] {
+    vm::Machine machine(program);
+    std::vector<Addr> block;
+    machine.run([&](Addr a) {
+      block.push_back(a);
+      if (block.size() == 128) {
+        pipe.write(std::move(block));
+        block = {};
+      }
+    });
+    pipe.write(std::move(block));
+    pipe.close();
+  });
+
+  PardaOptions options;
+  options.num_procs = 3;
+  options.chunk_words = 200;
+  options.bound = 256;  // below the 600-node footprint: everything misses
+  const PardaResult result = parda_analyze_stream(pipe, options);
+  producer.join();
+
+  // Every round-to-round reuse spans 599 distinct elements >= bound 256.
+  EXPECT_EQ(result.hist.infinities(), offline.size());
+  EXPECT_EQ(result.hist.finite_total(), 0u);
+}
+
+TEST(EndToEnd, AllEnginesAgreeOnSpecWorkload) {
+  auto w = make_spec_workload("sphinx3", 400000, 17);
+  const auto trace = generate_trace(*w, 6000);
+  const Histogram naive = naive_stack_analysis(trace);
+  const Histogram olken = olken_analysis(trace);
+  PardaOptions options;
+  options.num_procs = 4;
+  const Histogram parda = parda_analyze(trace, options).hist;
+  EXPECT_TRUE(naive == olken);
+  EXPECT_TRUE(olken == parda);
+}
+
+TEST(EndToEnd, HistogramPredictsEveryCacheSize) {
+  auto w = make_spec_workload("gobmk", 400000, 23);
+  const auto trace = generate_trace(*w, 12000);
+  PardaOptions options;
+  options.num_procs = 2;
+  const Histogram hist = parda_analyze(trace, options).hist;
+  for (std::uint64_t c = 1; c <= 256; c *= 4) {
+    LruCache cache(c);
+    for (Addr a : trace) cache.access(a);
+    EXPECT_EQ(cache.misses(), miss_count(hist, c)) << "C=" << c;
+  }
+}
+
+TEST(EndToEnd, TraceFileRoundTripPreservesAnalysis) {
+  auto w = make_spec_workload("bzip2", 400000, 29);
+  const auto trace = generate_trace(*w, 5000);
+  const std::string path =
+      std::string(::testing::TempDir()) + "/bzip2_e2e.trc";
+  write_trace_binary(path, trace);
+  const auto loaded = read_trace_binary(path);
+  EXPECT_TRUE(olken_analysis(trace) == olken_analysis(loaded));
+  std::remove(path.c_str());
+}
+
+TEST(EndToEnd, BoundedPardaSufficesForBoundedCaches) {
+  // Section V's premise: for predicting caches up to B, the bounded
+  // analysis loses nothing.
+  auto w = make_spec_workload("milc", 400000, 31);
+  const auto trace = generate_trace(*w, 10000);
+  const std::uint64_t bound = 128;
+  PardaOptions options;
+  options.num_procs = 4;
+  options.bound = bound;
+  const Histogram bounded = parda_analyze(trace, options).hist;
+  for (std::uint64_t c : {1u, 16u, 64u, 128u}) {
+    LruCache cache(c);
+    for (Addr a : trace) cache.access(a);
+    EXPECT_EQ(cache.misses(), miss_count(bounded, c)) << "C=" << c;
+  }
+}
+
+TEST(EndToEnd, PerRankStatsAreAccounted) {
+  const auto trace = generate_trace(
+      *make_spec_workload("calculix", 400000, 37), 20000);
+  PardaOptions options;
+  options.num_procs = 4;
+  const PardaResult result = parda_analyze(trace, options);
+  // Every rank did some work and sent at least its infinity lists.
+  std::uint64_t msgs = 0;
+  for (const auto& r : result.stats.ranks) msgs += r.messages_sent;
+  EXPECT_GE(msgs, 3u);  // ranks 1..3 each send at least one message
+  EXPECT_GT(result.stats.total_busy(), 0.0);
+  EXPECT_GE(result.stats.wall_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace parda

@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "trace/trace_compress.hpp"
+#include "trace/trace_io.hpp"
+#include "trace/trace_pipe.hpp"
+#include "util/prng.hpp"
+
+namespace parda {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(TracePipeTest, SingleBlockRoundTrip) {
+  TracePipe pipe(1024);
+  pipe.write(std::vector<Addr>{1, 2, 3});
+  pipe.close();
+  std::vector<Addr> block;
+  ASSERT_TRUE(pipe.read(block));
+  EXPECT_EQ(block, (std::vector<Addr>{1, 2, 3}));
+  EXPECT_FALSE(pipe.read(block));
+}
+
+TEST(TracePipeTest, EmptyWriteIsNoOp) {
+  TracePipe pipe(16);
+  pipe.write(std::vector<Addr>{});
+  pipe.close();
+  std::vector<Addr> block;
+  EXPECT_FALSE(pipe.read(block));
+  EXPECT_EQ(pipe.words_written(), 0u);
+}
+
+TEST(TracePipeTest, ReadWordsConcatenatesBlocks) {
+  TracePipe pipe(1024);
+  pipe.write(std::vector<Addr>{1, 2});
+  pipe.write(std::vector<Addr>{3, 4, 5});
+  pipe.close();
+  EXPECT_EQ(pipe.read_words(4), (std::vector<Addr>{1, 2, 3, 4}));
+  EXPECT_EQ(pipe.read_words(4), (std::vector<Addr>{5}));
+  EXPECT_TRUE(pipe.read_words(4).empty());
+}
+
+TEST(TracePipeTest, ReadWordsSplitsLargeBlock) {
+  TracePipe pipe(1024);
+  std::vector<Addr> big(100);
+  for (std::size_t i = 0; i < big.size(); ++i) big[i] = i;
+  pipe.write(big);
+  pipe.close();
+  std::vector<Addr> all;
+  while (true) {
+    const auto part = pipe.read_words(7);
+    if (part.empty()) break;
+    all.insert(all.end(), part.begin(), part.end());
+  }
+  EXPECT_EQ(all, big);
+}
+
+TEST(TracePipeTest, BackpressureBlocksProducer) {
+  TracePipe pipe(8);  // tiny capacity
+  std::vector<Addr> produced;
+  std::thread producer([&] {
+    for (Addr a = 0; a < 1000; ++a) {
+      pipe.write(std::vector<Addr>{a});
+      produced.push_back(a);
+    }
+    pipe.close();
+  });
+  std::vector<Addr> consumed;
+  while (true) {
+    const auto part = pipe.read_words(3);
+    if (part.empty()) break;
+    consumed.insert(consumed.end(), part.begin(), part.end());
+  }
+  producer.join();
+  ASSERT_EQ(consumed.size(), 1000u);
+  for (Addr a = 0; a < 1000; ++a) EXPECT_EQ(consumed[a], a);
+  EXPECT_EQ(pipe.words_written(), 1000u);
+}
+
+TEST(TracePipeTest, OversizedBlockStillPasses) {
+  TracePipe pipe(4);
+  std::thread producer([&] {
+    pipe.write(std::vector<Addr>{1, 2, 3, 4, 5, 6, 7, 8, 9, 10});
+    pipe.close();
+  });
+  const auto all = pipe.read_words(100);
+  producer.join();
+  EXPECT_EQ(all.size(), 10u);
+}
+
+TEST(TraceIoTest, BinaryRoundTrip) {
+  Xoshiro256 rng(1);
+  std::vector<Addr> trace(10000);
+  for (Addr& a : trace) a = rng();
+  const std::string path = temp_path("roundtrip.trc");
+  write_trace_binary(path, trace);
+  EXPECT_EQ(read_trace_binary(path), trace);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoTest, BinaryEmptyTrace) {
+  const std::string path = temp_path("empty.trc");
+  write_trace_binary(path, std::vector<Addr>{});
+  EXPECT_TRUE(read_trace_binary(path).empty());
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoTest, TextRoundTrip) {
+  const std::vector<Addr> trace{0, 42, ~0ULL, 7};
+  const std::string path = temp_path("roundtrip.txt");
+  write_trace_text(path, trace);
+  EXPECT_EQ(read_trace_text(path), trace);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoTest, StreamingReaderChunks) {
+  std::vector<Addr> trace(5000);
+  for (std::size_t i = 0; i < trace.size(); ++i) trace[i] = i * 3;
+  const std::string path = temp_path("stream.trc");
+  write_trace_binary(path, trace);
+
+  BinaryTraceReader reader(path);
+  EXPECT_EQ(reader.total_references(), 5000u);
+  std::vector<Addr> all;
+  while (true) {
+    const auto part = reader.read_words(777);
+    if (part.empty()) break;
+    all.insert(all.end(), part.begin(), part.end());
+  }
+  EXPECT_EQ(all, trace);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoTest, RejectsGarbageFile) {
+  const std::string path = temp_path("garbage.trc");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("not a trace file at all", f);
+  std::fclose(f);
+  EXPECT_THROW(read_trace_binary(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(TraceCompressTest, RoundTripRandom) {
+  Xoshiro256 rng(9);
+  std::vector<Addr> trace(20000);
+  for (Addr& a : trace) a = rng();
+  const auto bytes = compress_trace(trace);
+  EXPECT_EQ(decompress_trace(bytes, trace.size()), trace);
+}
+
+TEST(TraceCompressTest, RoundTripEmpty) {
+  EXPECT_TRUE(decompress_trace(compress_trace({}), 0).empty());
+}
+
+TEST(TraceCompressTest, SequentialTraceCompressesToOneBytePerRef) {
+  std::vector<Addr> trace(10000);
+  for (std::size_t i = 0; i < trace.size(); ++i) trace[i] = 4096 + i;
+  const auto bytes = compress_trace(trace);
+  // delta = +1 everywhere after the first: 1 varint byte each.
+  EXPECT_LE(bytes.size(), trace.size() + 8);
+  EXPECT_EQ(decompress_trace(bytes, trace.size()), trace);
+}
+
+TEST(TraceCompressTest, ExtremeValues) {
+  const std::vector<Addr> trace{0, ~0ULL, 0, 1ULL << 63, 42};
+  const auto bytes = compress_trace(trace);
+  EXPECT_EQ(decompress_trace(bytes, trace.size()), trace);
+}
+
+TEST(TraceCompressTest, TruncatedPayloadThrows) {
+  const std::vector<Addr> trace{1, 2, 3, 1000000};
+  auto bytes = compress_trace(trace);
+  bytes.pop_back();
+  EXPECT_THROW(decompress_trace(bytes, trace.size()), std::runtime_error);
+}
+
+TEST(TraceCompressTest, FileRoundTrip) {
+  Xoshiro256 rng(11);
+  std::vector<Addr> trace(5000);
+  Addr walk = 1 << 20;
+  for (Addr& a : trace) {
+    walk += rng.below(64);
+    a = walk;
+  }
+  const std::string path = temp_path("roundtrip.trz");
+  write_trace_compressed(path, trace);
+  EXPECT_EQ(read_trace_compressed(path), trace);
+  // Ascending small deltas: far below 8 bytes per reference.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  EXPECT_LT(size, static_cast<long>(trace.size() * 3));
+  std::remove(path.c_str());
+}
+
+TEST(TraceCompressTest, RejectsWrongMagic) {
+  const std::string path = temp_path("wrong_magic.trz");
+  write_trace_binary(path, std::vector<Addr>{1, 2, 3});  // .trc layout
+  EXPECT_THROW(read_trace_compressed(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoTest, MissingFileThrows) {
+  EXPECT_THROW(read_trace_binary(temp_path("does_not_exist.trc")),
+               std::runtime_error);
+  EXPECT_THROW(read_trace_text(temp_path("does_not_exist.txt")),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace parda

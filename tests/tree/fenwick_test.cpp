@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "tree/fenwick.hpp"
+#include "util/prng.hpp"
+
+namespace parda {
+namespace {
+
+TEST(FenwickTest, EmptyAndZeroSized) {
+  FenwickTree zero(0);
+  EXPECT_EQ(zero.size(), 0u);
+  EXPECT_EQ(zero.total(), 0);
+
+  FenwickTree t(10);
+  EXPECT_EQ(t.size(), 10u);
+  EXPECT_EQ(t.total(), 0);
+  EXPECT_EQ(t.prefix_sum(9), 0);
+}
+
+TEST(FenwickTest, SingleUpdates) {
+  FenwickTree t(8);
+  t.add(3, 5);
+  EXPECT_EQ(t.prefix_sum(2), 0);
+  EXPECT_EQ(t.prefix_sum(3), 5);
+  EXPECT_EQ(t.prefix_sum(7), 5);
+  t.add(0, 2);
+  EXPECT_EQ(t.prefix_sum(0), 2);
+  EXPECT_EQ(t.total(), 7);
+}
+
+TEST(FenwickTest, NegativeDeltas) {
+  FenwickTree t(4);
+  t.add(1, 10);
+  t.add(1, -4);
+  EXPECT_EQ(t.prefix_sum(1), 6);
+  t.add(1, -6);
+  EXPECT_EQ(t.total(), 0);
+}
+
+TEST(FenwickTest, RangeSum) {
+  FenwickTree t(16);
+  for (std::size_t i = 0; i < 16; ++i) {
+    t.add(i, static_cast<std::int64_t>(i));
+  }
+  EXPECT_EQ(t.range_sum(0, 15), 120);
+  EXPECT_EQ(t.range_sum(5, 5), 5);
+  EXPECT_EQ(t.range_sum(3, 6), 3 + 4 + 5 + 6);
+  EXPECT_EQ(t.range_sum(7, 3), 0);  // empty range
+}
+
+TEST(FenwickTest, ClearResets) {
+  FenwickTree t(8);
+  t.add(2, 9);
+  t.clear();
+  EXPECT_EQ(t.total(), 0);
+  t.add(2, 1);
+  EXPECT_EQ(t.prefix_sum(7), 1);
+}
+
+TEST(FenwickTest, RandomizedAgainstVector) {
+  const std::size_t n = 257;
+  FenwickTree t(n);
+  std::vector<std::int64_t> ref(n, 0);
+  Xoshiro256 rng(5);
+  for (int step = 0; step < 20000; ++step) {
+    if (rng.below(2) == 0) {
+      const std::size_t i = rng.below(n);
+      const auto delta = static_cast<std::int64_t>(rng.below(21)) - 10;
+      t.add(i, delta);
+      ref[i] += delta;
+    } else {
+      std::size_t lo = rng.below(n);
+      std::size_t hi = rng.below(n);
+      if (lo > hi) std::swap(lo, hi);
+      std::int64_t expected = 0;
+      for (std::size_t i = lo; i <= hi; ++i) expected += ref[i];
+      EXPECT_EQ(t.range_sum(lo, hi), expected);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace parda

@@ -1,0 +1,44 @@
+// Death tests: the PARDA_CHECK guards on invalid configuration must fail
+// fast and loudly rather than corrupt an analysis.
+#include <gtest/gtest.h>
+
+#include "cachesim/lru_cache.hpp"
+#include "cachesim/set_assoc_cache.hpp"
+#include "core/rank_state.hpp"
+#include "hist/histogram.hpp"
+#include "trace/trace_pipe.hpp"
+#include "util/check.hpp"
+
+namespace parda {
+namespace {
+
+TEST(DeathTest, BoundedRankStateRequiresSpaceOptimization) {
+  EXPECT_DEATH(RankState<>(/*bound=*/16, /*space_optimized=*/false),
+               "PARDA_CHECK");
+}
+
+TEST(DeathTest, TracePipeRejectsZeroCapacity) {
+  EXPECT_DEATH(TracePipe pipe(0), "PARDA_CHECK");
+}
+
+TEST(DeathTest, LruCacheRejectsZeroCapacity) {
+  EXPECT_DEATH(LruCache cache(0), "PARDA_CHECK");
+}
+
+TEST(DeathTest, SetAssocRejectsNonDivisibleWays) {
+  EXPECT_DEATH(SetAssocCache cache(CacheConfig{10, 3, 1}), "PARDA_CHECK");
+}
+
+TEST(DeathTest, HistogramRejectsAbsurdDistances) {
+  // The underflow guard (see src/hist/histogram.cpp): a near-2^64 finite
+  // distance is an upstream bug, not a growable bin.
+  Histogram h;
+  EXPECT_DEATH(h.record(kInfiniteDistance - 1), "PARDA_CHECK");
+}
+
+TEST(DeathTest, ChecksPrintTheFailingExpression) {
+  EXPECT_DEATH(PARDA_CHECK(1 + 1 == 3), "1 \\+ 1 == 3");
+}
+
+}  // namespace
+}  // namespace parda

@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "seq/olken.hpp"
+#include "vm/machine.hpp"
+#include "vm/programs.hpp"
+
+namespace parda::vm {
+namespace {
+
+TEST(MachineTest, HaltStopsExecution) {
+  Program p{"halt", {Instr{Op::kHalt}}, 0, {}};
+  Machine m(p);
+  EXPECT_EQ(m.run(nullptr), 1u);
+  EXPECT_EQ(m.mem_accesses(), 0u);
+}
+
+TEST(MachineTest, ArithmeticWorks) {
+  Program p{"arith",
+            {
+                Instr{Op::kMovi, 1, 0, 0, 6},
+                Instr{Op::kMovi, 2, 0, 0, 7},
+                Instr{Op::kMul, 3, 1, 2, 0},
+                Instr{Op::kAddi, 3, 3, 0, 8},
+                Instr{Op::kHalt},
+            },
+            0,
+            {}};
+  Machine m(p);
+  m.run(nullptr);
+  EXPECT_EQ(m.reg(3), 50);
+}
+
+TEST(MachineTest, LoadStoreInstrumented) {
+  Program p{"ls",
+            {
+                Instr{Op::kMovi, 1, 0, 0, 41},
+                Instr{Op::kMovi, 2, 0, 0, 3},  // address
+                Instr{Op::kStore, 1, 2, 0, 0},
+                Instr{Op::kLoad, 3, 2, 0, 1},  // mem[4]
+                Instr{Op::kHalt},
+            },
+            8,
+            {}};
+  Machine m(p);
+  std::vector<Addr> accessed;
+  m.run([&](Addr a) { accessed.push_back(a); });
+  EXPECT_EQ(accessed, (std::vector<Addr>{3, 4}));
+  EXPECT_EQ(m.memory()[3], 41);
+  EXPECT_EQ(m.reg(3), 0);
+}
+
+TEST(MachineTest, OutOfBoundsAccessThrows) {
+  Program p{"oob",
+            {Instr{Op::kMovi, 1, 0, 0, 100}, Instr{Op::kLoad, 2, 1, 0, 0},
+             Instr{Op::kHalt}},
+            8,
+            {}};
+  Machine m(p);
+  EXPECT_THROW(m.run(nullptr), std::runtime_error);
+}
+
+TEST(MachineTest, MaxStepsBoundsRunawayLoops) {
+  Program p{"spin", {Instr{Op::kJmp, 0, 0, 0, 0}}, 0, {}};
+  Machine m(p);
+  EXPECT_EQ(m.run(nullptr, 1000), 1000u);
+}
+
+TEST(MachineTest, ResetRestoresInitialMemory) {
+  Program p{"wr",
+            {Instr{Op::kMovi, 1, 0, 0, 9}, Instr{Op::kStore, 1, 2, 0, 0},
+             Instr{Op::kHalt}},
+            4,
+            {5, 6, 7, 8}};
+  Machine m(p);
+  EXPECT_EQ(m.memory()[0], 5);
+  m.run(nullptr);
+  EXPECT_EQ(m.memory()[0], 9);
+  m.reset();
+  EXPECT_EQ(m.memory()[0], 5);
+  EXPECT_EQ(m.memory()[3], 8);
+}
+
+TEST(VectorSumTest, OneLoadPerElement) {
+  const auto trace = trace_program(vector_sum(100));
+  ASSERT_EQ(trace.size(), 100u);
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_EQ(trace[i], i);
+  // All compulsory misses: footprint == trace length.
+  const Histogram h = olken_analysis(trace);
+  EXPECT_EQ(h.infinities(), 100u);
+}
+
+TEST(SmoothPassesTest, HasShortAndLongReuse) {
+  const std::uint64_t n = 64;
+  const auto trace = trace_program(smooth_passes(n, 3));
+  // Per pass: (n-1) iterations x 3 accesses.
+  EXPECT_EQ(trace.size(), 3 * (n - 1) * 3);
+  const Histogram h = olken_analysis(trace);
+  // The load of a[i] at iteration i reuses the a[i] loaded as "a[i+1]" in
+  // iteration i-1; only b[i-1] intervenes, so distance 1 is common.
+  EXPECT_GT(h.at(1), 0u);
+  // Inter-pass reuse at distance ~ full footprint.
+  EXPECT_GT(h.hits_below(2 * n) - h.hits_below(2), 0u);
+  EXPECT_EQ(h.infinities(), 2 * n - 1);  // a[] fully, b[0..n-2]
+}
+
+TEST(MatmulTest, TraceLengthAndFootprint) {
+  const std::uint64_t n = 6;
+  const auto trace = trace_program(matmul(n));
+  // Per (i, j): n iterations of (A load + B load) + C load + C store.
+  EXPECT_EQ(trace.size(), n * n * (2 * n + 2));
+  std::set<Addr> distinct(trace.begin(), trace.end());
+  EXPECT_EQ(distinct.size(), 3 * n * n);
+}
+
+TEST(MatmulTest, ComputesCorrectProduct) {
+  // With A and B zero-initialized the product is zero; instead, initialize
+  // via the data segment: A = all ones, B = identity => C = A.
+  const std::uint64_t n = 4;
+  Program p = matmul(n);
+  p.initial_memory.assign(3 * n * n, 0);
+  for (std::uint64_t i = 0; i < n * n; ++i) p.initial_memory[i] = 1;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    p.initial_memory[n * n + i * n + i] = 1;
+  }
+  Machine m(p);
+  m.run(nullptr);
+  for (std::uint64_t i = 0; i < n * n; ++i) {
+    EXPECT_EQ(m.memory()[2 * n * n + i], 1) << i;
+  }
+}
+
+TEST(BinarySearchTest, LogDepthAccessPattern) {
+  const std::uint64_t n = 1024;
+  const auto trace = trace_program(binary_search(n, 50));
+  // Each query probes ceil(log2(n)) = 10 levels at most and at least a few.
+  EXPECT_GE(trace.size(), 50u * 5);
+  EXPECT_LE(trace.size(), 50u * 11);
+  // The root (n/2 - ish) is touched by every query: the first probe of
+  // each search is mid = (0 + n) >> 1.
+  std::size_t root_touches = 0;
+  for (Addr a : trace) {
+    if (a == n / 2) ++root_touches;
+  }
+  EXPECT_EQ(root_touches, 50u);
+  // Heavy reuse of the top of the "tree": root reuse distance is small.
+  const Histogram h = olken_analysis(trace);
+  EXPECT_GT(h.hits_below(32), trace.size() / 4);
+}
+
+TEST(BinarySearchTest, AllProbesInBounds) {
+  const auto trace = trace_program(binary_search(100, 200));
+  for (Addr a : trace) EXPECT_LT(a, 100u);
+}
+
+TEST(BubbleSortTest, ActuallySorts) {
+  const std::uint64_t n = 64;
+  Program p = bubble_sort(n);
+  Machine m(p);
+  m.run(nullptr);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    EXPECT_EQ(m.memory()[i], static_cast<std::int64_t>(i)) << i;
+  }
+}
+
+TEST(BubbleSortTest, QuadraticReferenceCount) {
+  const std::uint64_t n = 32;
+  const auto trace = trace_program(bubble_sort(n));
+  // n passes x (n-1) iterations x (2 loads + 0..2 stores).
+  EXPECT_GE(trace.size(), n * (n - 1) * 2);
+  EXPECT_LE(trace.size(), n * (n - 1) * 4);
+  // Tiny working set: everything after warmup reuses within 2n.
+  const Histogram h = olken_analysis(trace);
+  EXPECT_EQ(h.infinities(), n);
+  EXPECT_EQ(h.hits_below(n), h.finite_total());
+}
+
+TEST(ListChaseTest, VisitsAllNodesPerRound) {
+  const auto trace = trace_program(list_chase(97, 2));
+  ASSERT_EQ(trace.size(), 2 * 97u);
+  const std::set<Addr> first(trace.begin(), trace.begin() + 97);
+  EXPECT_EQ(first.size(), 97u);
+  const Histogram h = olken_analysis(trace);
+  EXPECT_EQ(h.infinities(), 97u);
+  EXPECT_EQ(h.at(96), 97u);
+}
+
+}  // namespace
+}  // namespace parda::vm

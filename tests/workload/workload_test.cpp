@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+#include <vector>
+
+#include "seq/olken.hpp"
+#include "workload/generators.hpp"
+#include "workload/spec.hpp"
+#include "workload/workload.hpp"
+
+namespace parda {
+namespace {
+
+std::size_t distinct_count(const std::vector<Addr>& trace) {
+  return std::unordered_set<Addr>(trace.begin(), trace.end()).size();
+}
+
+TEST(SequentialWorkloadTest, CyclesOverFootprint) {
+  SequentialWorkload w(4);
+  const auto t = generate_trace(w, 10);
+  const Addr b = region_base(0);
+  EXPECT_EQ(t, (std::vector<Addr>{b, b + 1, b + 2, b + 3, b, b + 1, b + 2,
+                                  b + 3, b, b + 1}));
+}
+
+TEST(SequentialWorkloadTest, ResetRestarts) {
+  SequentialWorkload w(8);
+  const auto first = generate_trace(w, 5);
+  const auto second = take_trace(w, 5);
+  EXPECT_EQ(first, second);
+}
+
+TEST(SequentialWorkloadTest, ReuseDistanceIsFootprintMinusOne) {
+  SequentialWorkload w(100);
+  const auto trace = generate_trace(w, 1000);
+  const Histogram h = olken_analysis(trace);
+  EXPECT_EQ(h.infinities(), 100u);
+  EXPECT_EQ(h.at(99), 900u);  // every reuse at distance M-1
+}
+
+TEST(StridedWorkloadTest, TouchesWholeFootprintEventually) {
+  StridedWorkload w(64, 8);
+  const auto trace = generate_trace(w, 64 * 64);
+  EXPECT_EQ(distinct_count(trace), 64u);
+}
+
+TEST(UniformRandomWorkloadTest, DeterministicAndInRange) {
+  UniformRandomWorkload a(1000, 7);
+  UniformRandomWorkload b(1000, 7);
+  const auto ta = generate_trace(a, 5000);
+  const auto tb = generate_trace(b, 5000);
+  EXPECT_EQ(ta, tb);
+  for (Addr x : ta) EXPECT_LT(x - region_base(0), 1000u);
+  EXPECT_GT(distinct_count(ta), 900u);
+}
+
+TEST(ZipfWorkloadTest, SkewsTowardHotAddresses) {
+  ZipfWorkload w(10000, 1.0, 11);
+  const auto trace = generate_trace(w, 50000);
+  std::size_t hot = 0;
+  for (Addr a : trace) {
+    if (a - region_base(0) < 10) ++hot;
+  }
+  // With alpha=1, the top 10 of 10000 elements draw ~30% of accesses.
+  EXPECT_GT(hot, trace.size() / 10);
+}
+
+TEST(PointerChaseWorkloadTest, WalksAHamiltonianCycle) {
+  PointerChaseWorkload w(257, 3);
+  const auto trace = generate_trace(w, 257 * 2);
+  // One full lap touches every node exactly once.
+  std::set<Addr> first_lap(trace.begin(), trace.begin() + 257);
+  EXPECT_EQ(first_lap.size(), 257u);
+  // The second lap repeats the first exactly.
+  for (std::size_t i = 0; i < 257; ++i) EXPECT_EQ(trace[i], trace[i + 257]);
+}
+
+TEST(PointerChaseWorkloadTest, ReuseDistanceIsFullFootprint) {
+  PointerChaseWorkload w(128, 5);
+  const Histogram h = olken_analysis(generate_trace(w, 128 * 4));
+  EXPECT_EQ(h.infinities(), 128u);
+  EXPECT_EQ(h.at(127), 128u * 3);
+}
+
+TEST(MatrixMultiplyWorkloadTest, FootprintIsThreeMatrices) {
+  MatrixMultiplyWorkload w(8, 0);
+  // One pass of the untiled kernel: n*n*(1 + 2n) addresses.
+  const auto trace = generate_trace(w, 8 * 8 * (1 + 2 * 8));
+  EXPECT_EQ(distinct_count(trace), 3u * 8 * 8);
+}
+
+TEST(MatrixMultiplyWorkloadTest, TiledChangesPatternNotFootprint) {
+  MatrixMultiplyWorkload flat(8, 0);
+  MatrixMultiplyWorkload tiled(8, 4);
+  const std::size_t pass = 8 * 8 * (1 + 2 * 8);
+  const auto tf = generate_trace(flat, pass);
+  const auto tt = generate_trace(tiled, pass);
+  EXPECT_EQ(distinct_count(tf), distinct_count(tt));
+  EXPECT_NE(tf, tt);
+  // Tiling must not increase the average reuse distance.
+  const Histogram hf = olken_analysis(tf);
+  const Histogram ht = olken_analysis(tt);
+  EXPECT_EQ(hf.total(), ht.total());
+}
+
+TEST(StencilWorkloadTest, GeneratesBoundedAddresses) {
+  StencilWorkload w(16, 16);
+  const auto trace = generate_trace(w, 10000);
+  for (Addr a : trace) EXPECT_LT(a - region_base(0), 2u * 16 * 16);
+  EXPECT_GT(distinct_count(trace), 100u);
+}
+
+TEST(StackDistWorkloadTest, ProducesPrescribedDistances) {
+  // 60% of references at depth 2, 20% at depth 10, 20% fresh.
+  StackDistWorkload w({2, 10}, {0.6, 0.2}, 0.2, 42);
+  const auto trace = generate_trace(w, 50000);
+  const Histogram h = olken_analysis(trace);
+  const auto total = static_cast<double>(h.total());
+  EXPECT_NEAR(static_cast<double>(h.at(2)) / total, 0.6, 0.03);
+  EXPECT_NEAR(static_cast<double>(h.at(10)) / total, 0.2, 0.03);
+  EXPECT_NEAR(static_cast<double>(h.infinities()) / total, 0.2, 0.03);
+  // Nothing else shows up.
+  EXPECT_EQ(h.at(5), 0u);
+}
+
+TEST(MixWorkloadTest, DrawsFromAllChildren) {
+  std::vector<std::unique_ptr<Workload>> kids;
+  kids.push_back(std::make_unique<SequentialWorkload>(10, 0));
+  kids.push_back(std::make_unique<SequentialWorkload>(10, 1));
+  MixWorkload mix(std::move(kids), {0.5, 0.5}, 99);
+  const auto trace = generate_trace(mix, 2000);
+  std::size_t from_region1 = 0;
+  for (Addr a : trace) {
+    if (a >= region_base(1)) ++from_region1;
+  }
+  EXPECT_NEAR(static_cast<double>(from_region1), 1000.0, 120.0);
+}
+
+TEST(PhasedWorkloadTest, AlternatesChildrenInPhases) {
+  std::vector<std::unique_ptr<Workload>> kids;
+  kids.push_back(std::make_unique<SequentialWorkload>(4, 0));
+  kids.push_back(std::make_unique<SequentialWorkload>(4, 1));
+  PhasedWorkload w(std::move(kids), 100);
+  const auto trace = generate_trace(w, 400);
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_LT(trace[i], region_base(1));
+  for (std::size_t i = 100; i < 200; ++i) {
+    EXPECT_GE(trace[i], region_base(1));
+  }
+  for (std::size_t i = 200; i < 300; ++i) EXPECT_LT(trace[i], region_base(1));
+}
+
+TEST(MatrixMultiplyWorkloadTest, TilingReducesMeanReuseDistance) {
+  // The textbook effect: tiling shortens B's reuse distances.
+  MatrixMultiplyWorkload flat(24, 0);
+  MatrixMultiplyWorkload tiled(24, 6);
+  const std::size_t pass = 24 * 24 * (1 + 2 * 24);
+  const Histogram hf = olken_analysis(generate_trace(flat, pass));
+  const Histogram ht = olken_analysis(generate_trace(tiled, pass));
+  EXPECT_LT(ht.mean_finite_distance(), hf.mean_finite_distance());
+}
+
+TEST(StencilWorkloadTest, NeighbourReuseIsShort) {
+  StencilWorkload w(32, 32);
+  const auto trace = generate_trace(w, 30000);
+  const Histogram h = olken_analysis(trace);
+  // West/east reuse is immediate; north/south reuse spans one grid row of
+  // cells (~6 accesses each): the bulk of reuses resolve within a few
+  // rows' worth of distinct addresses.
+  EXPECT_GT(h.hits_below(8 * 32), h.finite_total() / 2);
+}
+
+TEST(StridedWorkloadTest, StrideOneMatchesSequentialWithinOneLap) {
+  // After one full lap the strided walk rotates by one (to cover all
+  // residues for larger strides), so compare only the first lap.
+  StridedWorkload strided(50, 1);
+  SequentialWorkload seq(50);
+  EXPECT_EQ(generate_trace(strided, 50), generate_trace(seq, 50));
+}
+
+TEST(SpecProfilesTest, HasAllFifteenBenchmarks) {
+  EXPECT_EQ(spec_profiles().size(), 15u);
+  EXPECT_EQ(spec_profile("mcf").paper_m, 55'675'001u);
+  EXPECT_EQ(spec_profile("dealII").paper_n, 66'801'413'934u);
+  EXPECT_DOUBLE_EQ(spec_profile("libquantum").paper_parda, 58.81);
+}
+
+TEST(SpecProfilesTest, EveryProfileGenerates) {
+  for (const SpecProfile& p : spec_profiles()) {
+    auto w = make_spec_workload(p, /*scale=*/100000, /*seed=*/1);
+    ASSERT_NE(w, nullptr) << p.name;
+    const auto trace = generate_trace(*w, 20000);
+    EXPECT_EQ(trace.size(), 20000u);
+    EXPECT_GT(distinct_count(trace), 10u) << p.name;
+  }
+}
+
+TEST(SpecProfilesTest, DeterministicAcrossInstances) {
+  for (std::string_view name : {"mcf", "libquantum", "gcc"}) {
+    auto a = make_spec_workload(name, 50000, 7);
+    auto b = make_spec_workload(name, 50000, 7);
+    EXPECT_EQ(generate_trace(*a, 5000), generate_trace(*b, 5000)) << name;
+  }
+}
+
+TEST(SpecProfilesTest, FootprintScalesWithM) {
+  // mcf's footprint dwarfs libquantum's at equal scale, as in Table IV.
+  auto big = make_spec_workload("mcf", 10000, 3);
+  auto small = make_spec_workload("libquantum", 10000, 3);
+  const auto tb = generate_trace(*big, 60000);
+  const auto ts = generate_trace(*small, 60000);
+  EXPECT_GT(distinct_count(tb), 4 * distinct_count(ts));
+}
+
+TEST(SpecProfilesTest, ScaledHelpersNeverReturnZero) {
+  for (const SpecProfile& p : spec_profiles()) {
+    EXPECT_GE(p.scaled_m(~0ULL), 1u);
+    EXPECT_GE(p.scaled_n(~0ULL), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace parda
