@@ -1,10 +1,28 @@
 // Ablation A4: the thread-backed message-passing runtime itself — message
 // latency, bandwidth, barrier, and reduction cost. These are the "MPI"
 // overheads inside every Parda run.
+//
+// Besides the google-benchmark microbenchmarks, this harness runs a
+// data-movement pattern suite (broadcast / scatter / pipeline, each in its
+// copying and zero-copy form) and writes the copy-count accounting to
+// BENCH_comm.json (override the path with PARDA_BENCH_JSON). This is the
+// artifact that shows the zero-copy transport actually removes copies
+// rather than merely relabeling them.
+//
+// Environment: PARDA_BENCH_PROCS (default 8), PARDA_BENCH_WORDS (default
+// 64Ki words per payload), PARDA_BENCH_ROUNDS (default 20),
+// PARDA_BENCH_JSON (default BENCH_comm.json).
 #include <benchmark/benchmark.h>
 
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <numeric>
+#include <string>
+#include <utility>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "comm/comm.hpp"
 
 namespace parda::comm {
@@ -80,7 +98,225 @@ void BM_SpawnTeardown(benchmark::State& state) {
 
 BENCHMARK(BM_SpawnTeardown)->Arg(2)->Arg(8)->Arg(16)->UseRealTime();
 
+void BM_MoveSend(benchmark::State& state) {
+  // Zero-copy point-to-point: move the buffer in, move it back out.
+  const auto words = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    run(2, [&](Comm& comm) {
+      if (comm.rank() == 0) {
+        std::vector<std::uint64_t> payload(words, 42);
+        for (int i = 0; i < 100; ++i) {
+          comm.send(1, 1, std::move(payload));
+          payload = comm.recv<std::uint64_t>(1, 2);
+        }
+      } else {
+        for (int i = 0; i < 100; ++i) {
+          auto payload = comm.recv<std::uint64_t>(0, 1);
+          comm.send(0, 2, std::move(payload));
+        }
+      }
+    });
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          200 * static_cast<std::int64_t>(words * 8));
+}
+
+BENCHMARK(BM_MoveSend)->Arg(1 << 16)->UseRealTime();
+
+// ---------------------------------------------------------------------------
+// Data-movement pattern suite: each Parda communication shape in its
+// copying and zero-copy form, with the runtime's own accounting.
+// ---------------------------------------------------------------------------
+
+struct PatternResult {
+  std::string name;
+  int np;
+  std::uint64_t words;   // payload words per round
+  int rounds;
+  RunStats stats;
+};
+
+PatternResult broadcast_copying(int np, std::size_t words, int rounds) {
+  const RunStats stats = run(np, [&](Comm& comm) {
+    const std::vector<std::uint64_t> block(words, 7);
+    for (int i = 0; i < rounds; ++i) {
+      std::vector<std::uint64_t> data;
+      if (comm.rank() == 0) data = block;  // fresh owned copy each round
+      data = comm.broadcast(std::move(data), 0, i + 1);
+      benchmark::DoNotOptimize(data.data());
+    }
+  });
+  return {"broadcast_copying", np, words, rounds, stats};
+}
+
+PatternResult broadcast_view(int np, std::size_t words, int rounds) {
+  const RunStats stats = run(np, [&](Comm& comm) {
+    for (int i = 0; i < rounds; ++i) {
+      std::vector<std::uint64_t> data;
+      if (comm.rank() == 0) data.assign(words, 7);
+      const View<std::uint64_t> v =
+          comm.broadcast_view(std::move(data), 0, i + 1);
+      benchmark::DoNotOptimize(v.data());
+    }
+  });
+  return {"broadcast_view", np, words, rounds, stats};
+}
+
+PatternResult scatter_copying(int np, std::size_t words, int rounds) {
+  // The pre-zero-copy streaming shape: the root splits each phase block
+  // into np owned chunk vectors and scatters them.
+  const RunStats stats = run(np, [&](Comm& comm) {
+    for (int i = 0; i < rounds; ++i) {
+      std::vector<std::vector<std::uint64_t>> pieces;
+      if (comm.rank() == 0) {
+        const std::vector<std::uint64_t> block(words, 9);
+        pieces.assign(static_cast<std::size_t>(np), {});
+        const std::size_t chunk = words / static_cast<std::size_t>(np);
+        for (int r = 0; r < np; ++r) {
+          const auto lo = static_cast<std::size_t>(r) * chunk;
+          const std::size_t hi =
+              r == np - 1 ? words : lo + chunk;
+          pieces[static_cast<std::size_t>(r)].assign(
+              block.begin() + static_cast<std::ptrdiff_t>(lo),
+              block.begin() + static_cast<std::ptrdiff_t>(hi));
+        }
+      }
+      const auto mine = comm.scatterv(pieces, 0, i + 1);  // lvalue: copies
+      benchmark::DoNotOptimize(mine.data());
+    }
+  });
+  return {"scatter_copying", np, words, rounds, stats};
+}
+
+PatternResult scatter_view(int np, std::size_t words, int rounds) {
+  // The streaming driver's shape: one shared block, np slice views.
+  const RunStats stats = run(np, [&](Comm& comm) {
+    for (int i = 0; i < rounds; ++i) {
+      std::vector<std::uint64_t> block;
+      std::vector<std::pair<std::uint64_t, std::uint64_t>> slices;
+      if (comm.rank() == 0) {
+        block.assign(words, 9);
+        const std::uint64_t chunk = words / static_cast<std::uint64_t>(np);
+        for (int r = 0; r < np; ++r) {
+          const std::uint64_t lo = static_cast<std::uint64_t>(r) * chunk;
+          const std::uint64_t hi = r == np - 1 ? words : lo + chunk;
+          slices.emplace_back(lo, hi - lo);
+        }
+      }
+      const View<std::uint64_t> mine = comm.scatterv_view(
+          std::move(block),
+          std::span<const std::pair<std::uint64_t, std::uint64_t>>(slices),
+          0, i + 1);
+      benchmark::DoNotOptimize(mine.data());
+    }
+  });
+  return {"scatter_view", np, words, rounds, stats};
+}
+
+PatternResult pipeline_copying(int np, std::size_t words, int rounds) {
+  // Parda's local-infinity chain with span (copying) sends.
+  const RunStats stats = run(np, [&](Comm& comm) {
+    const int r = comm.rank();
+    const std::vector<std::uint64_t> payload(words, 3);
+    for (int i = 0; i < rounds; ++i) {
+      if (r > 0) {
+        comm.send(r - 1, 5, std::span<const std::uint64_t>(payload));
+      }
+      if (r < np - 1) {
+        benchmark::DoNotOptimize(comm.recv<std::uint64_t>(r + 1, 5));
+      }
+    }
+  });
+  return {"pipeline_copying", np, words, rounds, stats};
+}
+
+PatternResult pipeline_move(int np, std::size_t words, int rounds) {
+  // The same chain with move-in / view-out transport.
+  const RunStats stats = run(np, [&](Comm& comm) {
+    const int r = comm.rank();
+    for (int i = 0; i < rounds; ++i) {
+      if (r > 0) {
+        comm.send(r - 1, 5, std::vector<std::uint64_t>(words, 3));
+      }
+      if (r < np - 1) {
+        const View<std::uint64_t> v = comm.recv_view<std::uint64_t>(r + 1, 5);
+        benchmark::DoNotOptimize(v.data());
+      }
+    }
+  });
+  return {"pipeline_move", np, words, rounds, stats};
+}
+
+void write_json(const std::string& path,
+                const std::vector<PatternResult>& results) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "bench_comm: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(out, "{\n  \"patterns\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const PatternResult& r = results[i];
+    std::fprintf(out,
+                 "    {\"name\": \"%s\", \"np\": %d, \"words\": %" PRIu64
+                 ", \"rounds\": %d,\n"
+                 "     \"wall_seconds\": %.6f, \"max_busy_seconds\": %.6f,\n"
+                 "     \"messages\": %" PRIu64 ", \"bytes_sent\": %" PRIu64
+                 ", \"bytes_copied\": %" PRIu64 ", \"bytes_shared\": %" PRIu64
+                 "}%s\n",
+                 r.name.c_str(), r.np, r.words, r.rounds,
+                 r.stats.wall_seconds, r.stats.max_busy(),
+                 r.stats.total_messages(), r.stats.total_bytes(),
+                 r.stats.total_bytes_copied(), r.stats.total_bytes_shared(),
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+void run_pattern_suite() {
+  const int np = static_cast<int>(bench::env_u64("PARDA_BENCH_PROCS", 8));
+  const auto words =
+      static_cast<std::size_t>(bench::env_u64("PARDA_BENCH_WORDS", 1 << 16));
+  const int rounds =
+      static_cast<int>(bench::env_u64("PARDA_BENCH_ROUNDS", 20));
+  const char* json_env = std::getenv("PARDA_BENCH_JSON");
+  const std::string json_path =
+      json_env != nullptr && *json_env != '\0' ? json_env : "BENCH_comm.json";
+
+  std::vector<PatternResult> results;
+  results.push_back(broadcast_copying(np, words, rounds));
+  results.push_back(broadcast_view(np, words, rounds));
+  results.push_back(scatter_copying(np, words, rounds));
+  results.push_back(scatter_view(np, words, rounds));
+  results.push_back(pipeline_copying(np, words, rounds));
+  results.push_back(pipeline_move(np, words, rounds));
+
+  std::printf(
+      "\ndata-movement patterns (np=%d, words=%zu, rounds=%d)\n"
+      "%-20s %10s %14s %14s %14s %10s %10s\n",
+      np, words, rounds, "pattern", "msgs", "bytes_sent", "bytes_copied",
+      "bytes_shared", "wall_ms", "busy_ms");
+  for (const PatternResult& r : results) {
+    std::printf("%-20s %10" PRIu64 " %14" PRIu64 " %14" PRIu64 " %14" PRIu64
+                " %10.2f %10.2f\n",
+                r.name.c_str(), r.stats.total_messages(),
+                r.stats.total_bytes(), r.stats.total_bytes_copied(),
+                r.stats.total_bytes_shared(), r.stats.wall_seconds * 1e3,
+                r.stats.max_busy() * 1e3);
+  }
+  write_json(json_path, results);
+}
+
 }  // namespace
 }  // namespace parda::comm
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  parda::comm::run_pattern_suite();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

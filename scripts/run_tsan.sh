@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Builds the tree under ThreadSanitizer and runs the comm + streaming
+# tests — the suites that exercise the zero-copy payload handoffs across
+# rank threads. Used as the TSAN CI job; run locally after touching
+# src/comm or the streaming driver.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake --preset tsan
+cmake --build --preset tsan -j"$(nproc)"
+TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" ctest --preset tsan

@@ -10,58 +10,96 @@ namespace parda::comm {
 
 namespace detail {
 
+Mailbox::Mailbox(int sources) {
+  PARDA_CHECK(sources >= 1);
+  buckets_.resize(static_cast<std::size_t>(sources));
+}
+
 void Mailbox::push(Message msg) {
+  PARDA_CHECK(msg.src >= 0 &&
+              msg.src < static_cast<int>(buckets_.size()));
   {
     std::lock_guard lock(mu_);
-    queue_.push_back(std::move(msg));
+    auto& bucket = buckets_[static_cast<std::size_t>(msg.src)];
+    bucket.push_back(Stamped{std::move(msg), next_seq_++});
   }
-  cv_.notify_all();
+  // Single consumer (the owning rank), so this wakeup is targeted.
+  cv_.notify_one();
+}
+
+bool Mailbox::take_locked(int src, int tag, Message& out) {
+  if (src != kAnySource) {
+    auto& bucket = buckets_[static_cast<std::size_t>(src)];
+    for (auto it = bucket.begin(); it != bucket.end(); ++it) {
+      if (tag_matches(it->msg, tag)) {
+        out = std::move(it->msg);
+        bucket.erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
+  // Wildcard source: the eligible message with the smallest arrival stamp.
+  std::deque<Stamped>* best_bucket = nullptr;
+  std::deque<Stamped>::iterator best;
+  for (auto& bucket : buckets_) {
+    for (auto it = bucket.begin(); it != bucket.end(); ++it) {
+      if (!tag_matches(it->msg, tag)) continue;
+      if (best_bucket == nullptr || it->seq < best->seq) {
+        best_bucket = &bucket;
+        best = it;
+      }
+      break;  // within a bucket, the first tag match is the oldest
+    }
+  }
+  if (best_bucket == nullptr) return false;
+  out = std::move(best->msg);
+  best_bucket->erase(best);
+  return true;
 }
 
 Message Mailbox::pop(int src, int tag) {
   std::unique_lock lock(mu_);
-  while (true) {
-    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-      if (match(*it, src, tag)) {
-        Message msg = std::move(*it);
-        queue_.erase(it);
-        return msg;
-      }
-    }
-    cv_.wait(lock);
-  }
+  Message msg;
+  cv_.wait(lock, [&] { return take_locked(src, tag, msg); });
+  return msg;
 }
 
 bool Mailbox::try_pop(int src, int tag, Message& out) {
   std::lock_guard lock(mu_);
-  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-    if (match(*it, src, tag)) {
-      out = std::move(*it);
-      queue_.erase(it);
-      return true;
-    }
-  }
-  return false;
+  return take_locked(src, tag, out);
 }
 
-World::World(int np) {
+World::World(int np) : np_(np) {
   PARDA_CHECK(np >= 1);
+  rounds_ = np > 1 ? std::bit_width(static_cast<unsigned>(np - 1)) : 0;
   mailboxes_.reserve(static_cast<std::size_t>(np));
-  for (int i = 0; i < np; ++i)
-    mailboxes_.push_back(std::make_unique<Mailbox>());
+  barrier_.reserve(static_cast<std::size_t>(np));
+  for (int i = 0; i < np; ++i) {
+    mailboxes_.push_back(std::make_unique<Mailbox>(np));
+    auto peer = std::make_unique<BarrierPeer>();
+    peer->signals.assign(static_cast<std::size_t>(rounds_), 0);
+    barrier_.push_back(std::move(peer));
+  }
 }
 
-void World::barrier() {
-  std::unique_lock lock(barrier_mu_);
-  const std::uint64_t my_generation = barrier_generation_;
-  if (++barrier_count_ == size()) {
-    barrier_count_ = 0;
-    ++barrier_generation_;
-    barrier_cv_.notify_all();
-    return;
+void World::barrier(int rank) {
+  BarrierPeer& me = *barrier_[static_cast<std::size_t>(rank)];
+  // generation is only ever written by the owning rank's thread.
+  const std::uint64_t gen = ++me.generation;
+  for (int k = 0; k < rounds_; ++k) {
+    const int partner = (rank + (1 << k)) % np_;
+    BarrierPeer& peer = *barrier_[static_cast<std::size_t>(partner)];
+    {
+      std::lock_guard lock(peer.mu);
+      ++peer.signals[static_cast<std::size_t>(k)];
+    }
+    peer.cv.notify_one();
+    std::unique_lock lock(me.mu);
+    me.cv.wait(lock, [&] {
+      return me.signals[static_cast<std::size_t>(k)] >= gen;
+    });
   }
-  barrier_cv_.wait(lock,
-                   [&] { return barrier_generation_ != my_generation; });
 }
 
 }  // namespace detail
@@ -69,19 +107,20 @@ void World::barrier() {
 std::vector<std::uint64_t> Comm::reduce_sum_u64(
     std::span<const std::uint64_t> mine, int root, int tag) {
   // Binomial-tree reduction in rank space relative to root, like a real
-  // MPI_Reduce: log2(np) rounds, each rank sends once.
+  // MPI_Reduce: log2(np) rounds, each rank sends once (a zero-copy move of
+  // its accumulator).
   const int np = size();
   const int me = (rank_ - root + np) % np;  // virtual rank, root at 0
   std::vector<std::uint64_t> acc(mine.begin(), mine.end());
   for (int step = 1; step < np; step <<= 1) {
     if ((me & step) != 0) {
       const int dest = ((me - step) + root) % np;
-      send(dest, tag, std::span<const std::uint64_t>(acc));
+      send(dest, tag, std::move(acc));
       return {};
     }
     if (me + step < np) {
       const int src = (me + step + root) % np;
-      std::vector<std::uint64_t> incoming = recv<std::uint64_t>(src, tag);
+      const std::vector<std::uint64_t> incoming = recv<std::uint64_t>(src, tag);
       if (incoming.size() > acc.size()) acc.resize(incoming.size(), 0);
       for (std::size_t i = 0; i < incoming.size(); ++i) acc[i] += incoming[i];
     }
@@ -147,6 +186,18 @@ std::uint64_t RunStats::total_bytes() const noexcept {
 std::uint64_t RunStats::total_messages() const noexcept {
   std::uint64_t s = 0;
   for (const RankStats& r : ranks) s += r.messages_sent;
+  return s;
+}
+
+std::uint64_t RunStats::total_bytes_copied() const noexcept {
+  std::uint64_t s = 0;
+  for (const RankStats& r : ranks) s += r.bytes_copied;
+  return s;
+}
+
+std::uint64_t RunStats::total_bytes_shared() const noexcept {
+  std::uint64_t s = 0;
+  for (const RankStats& r : ranks) s += r.bytes_shared;
   return s;
 }
 

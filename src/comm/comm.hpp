@@ -7,6 +7,21 @@
 // algorithm code reads like the paper's pseudocode (Send(x, p-1),
 // S <- Recv(p+1), reduce_sum(hist)) while running portably on a laptop.
 //
+// Data movement is zero-copy wherever the API permits (see DESIGN.md
+// section "Data movement in the comm runtime"):
+//  - send(dest, tag, std::vector<T>&&) moves the buffer into the message;
+//    the matching recv<T> moves it back out, so a point-to-point transfer
+//    of an owned vector costs zero byte copies.
+//  - Collectives publish ONE refcounted immutable block (a shared buffer)
+//    and transport offset/length views of it: broadcast_view / scatterv_view
+//    hand every rank a View<T> aliasing the root's block, and the binomial
+//    broadcast/gather trees forward payload handles, never bytes.
+//  - recv_view<T> reinterprets any payload in place when size and alignment
+//    permit, falling back to a single counted copy otherwise.
+// RankStats separates bytes_copied (actually memcpy'd) from bytes_shared
+// (transferred by handing over ownership or bumping a refcount), so benches
+// and tests can prove how many copies a communication pattern performs.
+//
 // Per-rank CPU-time accounting is built in: every rank's thread measures
 // its own CLOCK_THREAD_CPUTIME_ID, so blocked time (waiting in recv or
 // barrier) is not charged. On a single-core host this is what makes the
@@ -15,6 +30,7 @@
 // wall clock.
 #pragma once
 
+#include <bit>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -25,6 +41,8 @@
 #include <mutex>
 #include <span>
 #include <type_traits>
+#include <typeinfo>
+#include <utility>
 #include <vector>
 
 #include "util/check.hpp"
@@ -34,18 +52,133 @@ namespace parda::comm {
 inline constexpr int kAnySource = -1;
 inline constexpr int kAnyTag = -1;
 
-/// Raw message envelope.
+template <typename T>
+concept Trivial = std::is_trivially_copyable_v<T>;
+
+/// A type-erased immutable payload. Three provenances:
+///  - own():     a moved-in typed vector — zero-copy on send, and zero-copy
+///               on recv when the receiver asks for the same element type
+///               (the storage is moved back out);
+///  - copy_of(): bytes memcpy'd from a caller-owned span (the legacy path);
+///  - view():    an offset/length slice of a refcounted shared block — the
+///               currency of the zero-copy collectives. The block is
+///               immutable once published, so any number of ranks may hold
+///               views concurrently; the storage dies with its last holder.
+class Payload {
+ public:
+  Payload() = default;
+
+  template <Trivial T>
+  static Payload own(std::vector<T>&& v) {
+    Payload p;
+    auto holder = std::make_shared<std::vector<T>>(std::move(v));
+    p.data_ = reinterpret_cast<const std::byte*>(holder->data());
+    p.size_ = holder->size() * sizeof(T);
+    p.type_ = &typeid(std::vector<T>);
+    p.keepalive_ = std::move(holder);
+    return p;
+  }
+
+  template <Trivial T>
+  static Payload copy_of(std::span<const T> s) {
+    std::vector<std::byte> bytes(s.size_bytes());
+    if (!s.empty()) std::memcpy(bytes.data(), s.data(), s.size_bytes());
+    return own(std::move(bytes));
+  }
+
+  /// A view of `size` bytes at `data`, kept alive by `keepalive`. The
+  /// storage must never be mutated after publication.
+  static Payload view(std::shared_ptr<void> keepalive, const std::byte* data,
+                      std::size_t size) {
+    Payload p;
+    p.keepalive_ = std::move(keepalive);
+    p.data_ = data;
+    p.size_ = size;
+    p.is_view_ = true;
+    return p;
+  }
+
+  std::span<const std::byte> bytes() const noexcept { return {data_, size_}; }
+  std::size_t size_bytes() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  /// True when this payload travels by refcount (shared block view, or an
+  /// owned buffer republished by a collective tree).
+  bool is_view() const noexcept { return is_view_; }
+  void mark_view() noexcept { is_view_ = true; }
+
+  /// Moves the storage out as vector<T> without copying. Succeeds only if
+  /// the payload was created by own(std::vector<T>&&) and nothing else
+  /// (another View, an in-flight relay) still references the storage.
+  template <Trivial T>
+  bool take(std::vector<T>& out) {
+    if (type_ == nullptr || *type_ != typeid(std::vector<T>)) return false;
+    if (keepalive_.use_count() != 1) return false;
+    out = std::move(*static_cast<std::vector<T>*>(keepalive_.get()));
+    *this = Payload();
+    return true;
+  }
+
+  /// Whether bytes() can be reinterpreted as T elements in place.
+  template <Trivial T>
+  bool aligned_for() const noexcept {
+    return size_ % sizeof(T) == 0 &&
+           reinterpret_cast<std::uintptr_t>(data_) % alignof(T) == 0;
+  }
+
+  std::shared_ptr<void> share() const noexcept { return keepalive_; }
+
+ private:
+  std::shared_ptr<void> keepalive_;
+  const std::byte* data_ = nullptr;
+  std::size_t size_ = 0;
+  const std::type_info* type_ = nullptr;  // set for own()-provenance storage
+  bool is_view_ = false;
+};
+
+/// A refcount-backed immutable view of a T array, handed out by the
+/// zero-copy receive and collective paths. Cheap to copy; the underlying
+/// block stays alive while any View (or in-flight message) references it.
+template <Trivial T>
+class View {
+ public:
+  View() = default;
+  View(std::shared_ptr<void> keepalive, std::span<const T> span)
+      : keepalive_(std::move(keepalive)), span_(span) {}
+
+  const T* data() const noexcept { return span_.data(); }
+  std::size_t size() const noexcept { return span_.size(); }
+  bool empty() const noexcept { return span_.empty(); }
+  const T& operator[](std::size_t i) const noexcept { return span_[i]; }
+  const T* begin() const noexcept { return span_.data(); }
+  const T* end() const noexcept { return span_.data() + span_.size(); }
+  std::span<const T> span() const noexcept { return span_; }
+  std::vector<T> to_vector() const { return {span_.begin(), span_.end()}; }
+
+ private:
+  std::shared_ptr<void> keepalive_;
+  std::span<const T> span_;
+};
+
+/// Raw message envelope. `origin` is the rank that contributed the payload;
+/// it equals `src` for point-to-point traffic and is preserved across the
+/// relay hops of the binomial collectives (matching stays on (src, tag)).
 struct Message {
   int src = 0;
+  int origin = 0;
   int tag = 0;
-  std::vector<std::byte> payload;
+  Payload payload;
 };
 
 /// Per-rank statistics collected by the runtime.
 struct RankStats {
   double busy_seconds = 0.0;  // thread CPU time inside the rank function
   std::uint64_t messages_sent = 0;
-  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_sent = 0;    // payload bytes transmitted, any mode
+  std::uint64_t bytes_copied = 0;  // bytes physically memcpy'd (send-side
+                                   // span copies + recv-side copy-outs)
+  std::uint64_t bytes_shared = 0;  // bytes handed over by moved ownership
+                                   // or a refcount bump — never touched
 };
 
 /// Whole-run statistics returned by run().
@@ -60,13 +193,21 @@ struct RunStats {
   double total_busy() const noexcept;
   std::uint64_t total_bytes() const noexcept;
   std::uint64_t total_messages() const noexcept;
+  std::uint64_t total_bytes_copied() const noexcept;
+  std::uint64_t total_bytes_shared() const noexcept;
 };
 
 namespace detail {
 
 /// Inbound queue for one rank. Multiple producers, single consumer.
+/// Messages live in per-source buckets so pop(src, tag) scans only the
+/// matching source's deque; an arrival sequence number preserves the
+/// FIFO-by-arrival contract for wildcard receives. The owning rank is the
+/// only waiter, so producers use a targeted notify_one.
 class Mailbox {
  public:
+  explicit Mailbox(int sources);
+
   void push(Message msg);
   /// Blocks until a message matching (src, tag) is available and removes
   /// it. kAnySource / kAnyTag act as wildcards. Matching among eligible
@@ -75,32 +216,51 @@ class Mailbox {
   bool try_pop(int src, int tag, Message& out);
 
  private:
-  bool match(const Message& m, int src, int tag) const noexcept {
-    return (src == kAnySource || m.src == src) &&
-           (tag == kAnyTag || m.tag == tag);
+  struct Stamped {
+    Message msg;
+    std::uint64_t seq;  // arrival order across all sources
+  };
+
+  static bool tag_matches(const Message& m, int tag) noexcept {
+    return tag == kAnyTag || m.tag == tag;
   }
+  bool take_locked(int src, int tag, Message& out);
 
   std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<Message> queue_;
+  std::condition_variable cv_;  // single waiter: the owning rank
+  std::vector<std::deque<Stamped>> buckets_;  // indexed by source rank
+  std::uint64_t next_seq_ = 0;
 };
 
 class World {
  public:
   explicit World(int np);
 
-  int size() const noexcept { return static_cast<int>(mailboxes_.size()); }
-  Mailbox& mailbox(int rank) { return *mailboxes_[rank]; }
+  int size() const noexcept { return np_; }
+  Mailbox& mailbox(int rank) { return *mailboxes_[static_cast<std::size_t>(rank)]; }
 
-  /// Central sense-reversing barrier.
-  void barrier();
+  /// Dissemination barrier: ceil(log2(np)) pairwise signalling rounds with
+  /// targeted notify_one wakeups (each rank only ever waits on its own
+  /// condition variable), replacing the central sense-reversing barrier
+  /// whose broadcast notify_all woke every rank through one hot mutex.
+  void barrier(int rank);
 
  private:
+  /// Per-rank barrier mailbox: signals[k] counts round-k notifications
+  /// received over the rank's lifetime (cumulative counts make sense
+  /// reversal unnecessary: in barrier generation g a rank waits for
+  /// signals[k] >= g, and signals only ever grow).
+  struct BarrierPeer {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::vector<std::uint64_t> signals;
+    std::uint64_t generation = 0;  // barriers entered by the owner
+  };
+
+  int np_;
+  int rounds_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
-  std::mutex barrier_mu_;
-  std::condition_variable barrier_cv_;
-  int barrier_count_ = 0;
-  std::uint64_t barrier_generation_ = 0;
+  std::vector<std::unique_ptr<BarrierPeer>> barrier_;
 };
 
 }  // namespace detail
@@ -117,84 +277,110 @@ class Comm {
   int rank() const noexcept { return rank_; }
   int size() const noexcept { return world_.size(); }
 
-  /// Sends a contiguous buffer of trivially copyable elements.
-  template <typename T>
-    requires std::is_trivially_copyable_v<T>
+  /// Sends a contiguous buffer of trivially copyable elements by copy (the
+  /// caller keeps the storage). One counted copy.
+  template <Trivial T>
   void send(int dest, int tag, std::span<const T> data) {
-    PARDA_CHECK(dest >= 0 && dest < size());
-    Message msg;
-    msg.src = rank_;
-    msg.tag = tag;
-    msg.payload.resize(data.size_bytes());
-    if (!data.empty())
-      std::memcpy(msg.payload.data(), data.data(), data.size_bytes());
-    stats_.messages_sent += 1;
-    stats_.bytes_sent += msg.payload.size();
-    world_.mailbox(dest).push(std::move(msg));
+    Payload p = Payload::copy_of(data);
+    stats_.bytes_copied += p.size_bytes();
+    post(dest, tag, std::move(p), rank_);
   }
 
-  template <typename T>
-    requires std::is_trivially_copyable_v<T>
+  template <Trivial T>
   void send(int dest, int tag, const std::vector<T>& data) {
     send(dest, tag, std::span<const T>(data));
   }
 
-  /// Blocking receive; returns the payload reinterpreted as a vector<T>.
-  /// If actual_src / actual_tag are non-null they receive the matched
-  /// envelope fields (useful with wildcards).
-  template <typename T>
-    requires std::is_trivially_copyable_v<T>
+  /// Zero-copy send: moves the buffer into the message. The matching
+  /// recv<T> moves it back out, so the transfer performs no byte copies.
+  template <Trivial T>
+  void send(int dest, int tag, std::vector<T>&& data) {
+    Payload p = Payload::own(std::move(data));
+    stats_.bytes_shared += p.size_bytes();
+    post(dest, tag, std::move(p), rank_);
+  }
+
+  /// Blocking receive; returns the payload as a vector<T>. Moved-in
+  /// payloads of the same element type are moved out (zero-copy); anything
+  /// else is reinterpreted via one counted copy. If actual_src /
+  /// actual_tag are non-null they receive the matched envelope fields
+  /// (useful with wildcards).
+  template <Trivial T>
   std::vector<T> recv(int src, int tag, int* actual_src = nullptr,
                       int* actual_tag = nullptr) {
     Message msg = world_.mailbox(rank_).pop(src, tag);
-    PARDA_CHECK(msg.payload.size() % sizeof(T) == 0);
-    std::vector<T> out(msg.payload.size() / sizeof(T));
-    if (!out.empty())
-      std::memcpy(out.data(), msg.payload.data(), msg.payload.size());
     if (actual_src != nullptr) *actual_src = msg.src;
     if (actual_tag != nullptr) *actual_tag = msg.tag;
-    return out;
+    return materialize<T>(std::move(msg.payload));
   }
 
-  void barrier() { world_.barrier(); }
+  /// Blocking receive that reinterprets the payload in place: returns a
+  /// refcount-backed View<T> aliasing the message storage when size and
+  /// alignment permit (zero-copy), falling back to one counted copy.
+  template <Trivial T>
+  View<T> recv_view(int src, int tag, int* actual_src = nullptr,
+                    int* actual_tag = nullptr) {
+    Message msg = world_.mailbox(rank_).pop(src, tag);
+    if (actual_src != nullptr) *actual_src = msg.src;
+    if (actual_tag != nullptr) *actual_tag = msg.tag;
+    return as_view<T>(std::move(msg.payload));
+  }
 
-  /// Gathers each rank's buffer at root; returns per-rank buffers at root
-  /// (indexed by rank), empty elsewhere.
-  template <typename T>
-    requires std::is_trivially_copyable_v<T>
-  std::vector<std::vector<T>> gather(std::span<const T> mine, int root,
+  void barrier() { world_.barrier(rank_); }
+
+  /// Gathers each rank's buffer at root via a log-depth binomial tree;
+  /// returns per-rank buffers at root (indexed by rank), empty elsewhere.
+  /// Relay hops forward payload handles (no byte copies); with the
+  /// rvalue overload the whole gather is zero-copy end to end.
+  template <Trivial T>
+  std::vector<std::vector<T>> gather(std::vector<T>&& mine, int root,
                                      int tag) {
-    if (rank_ != root) {
-      send(root, tag, mine);
-      return {};
-    }
-    std::vector<std::vector<T>> all(size());
-    all[root].assign(mine.begin(), mine.end());
-    for (int r = 0; r < size(); ++r) {
-      if (r == root) continue;
-      all[r] = recv<T>(r, tag);
-    }
+    std::vector<Payload> payloads =
+        gather_payloads(Payload::own(std::move(mine)), root, tag);
+    if (rank_ != root) return {};
+    std::vector<std::vector<T>> all;
+    all.reserve(payloads.size());
+    for (Payload& p : payloads) all.push_back(materialize<T>(std::move(p)));
     return all;
   }
 
+  template <Trivial T>
+  std::vector<std::vector<T>> gather(std::span<const T> mine, int root,
+                                     int tag) {
+    std::vector<T> owned(mine.begin(), mine.end());
+    stats_.bytes_copied += mine.size_bytes();
+    return gather(std::move(owned), root, tag);
+  }
+
   /// Broadcast root's buffer to all ranks; returns the buffer everywhere.
-  template <typename T>
-    requires std::is_trivially_copyable_v<T>
+  /// Transport is a log-depth binomial tree forwarding ONE shared payload
+  /// (refcount bumps, no byte copies); each rank pays a single copy-out to
+  /// materialize its owned result. Use broadcast_view to avoid even that.
+  template <Trivial T>
   std::vector<T> broadcast(std::vector<T> data, int root, int tag) {
-    if (rank_ == root) {
-      for (int r = 0; r < size(); ++r) {
-        if (r != root) send(r, tag, data);
-      }
-      return data;
-    }
-    return recv<T>(root, tag);
+    if (size() == 1) return data;
+    Payload p;
+    if (rank_ == root) p = Payload::own(std::move(data));
+    p = bcast_payload(std::move(p), root, tag);
+    return materialize<T>(std::move(p));
+  }
+
+  /// Zero-copy broadcast: root publishes its buffer as a shared block and
+  /// every rank (root included) receives an immutable View of that single
+  /// block. No byte is copied anywhere.
+  template <Trivial T>
+  View<T> broadcast_view(std::vector<T>&& data, int root, int tag) {
+    Payload p;
+    if (rank_ == root) p = Payload::own(std::move(data));
+    p = bcast_payload(std::move(p), root, tag);
+    return as_view<T>(std::move(p));
   }
 
   /// Scatters per-rank buffers from root: rank r receives pieces[r].
   /// Only root reads `pieces` (it may be empty elsewhere); every rank
-  /// returns its own piece.
-  template <typename T>
-    requires std::is_trivially_copyable_v<T>
+  /// returns its own piece. The rvalue overload moves each piece into its
+  /// message (zero-copy); the const& overload copies.
+  template <Trivial T>
   std::vector<T> scatterv(const std::vector<std::vector<T>>& pieces,
                           int root, int tag) {
     if (rank_ == root) {
@@ -202,38 +388,71 @@ class Comm {
       for (int r = 0; r < size(); ++r) {
         if (r != root) send(r, tag, pieces[static_cast<std::size_t>(r)]);
       }
-      return pieces[static_cast<std::size_t>(root)];
+      return pieces[static_cast<std::size_t>(rank_)];
     }
     return recv<T>(root, tag);
   }
 
-  /// Gather-to-all: every rank contributes a buffer and receives all of
-  /// them (gather at rank 0 + broadcast of the concatenation).
-  template <typename T>
-    requires std::is_trivially_copyable_v<T>
-  std::vector<std::vector<T>> allgather(std::span<const T> mine, int tag) {
-    std::vector<std::vector<T>> all = gather(mine, 0, tag);
-    // Flatten with a length prefix per rank, broadcast, and re-split.
-    std::vector<std::uint64_t> lengths(static_cast<std::size_t>(size()));
-    std::vector<T> flat;
-    if (rank_ == 0) {
+  template <Trivial T>
+  std::vector<T> scatterv(std::vector<std::vector<T>>&& pieces, int root,
+                          int tag) {
+    if (rank_ == root) {
+      PARDA_CHECK(static_cast<int>(pieces.size()) == size());
       for (int r = 0; r < size(); ++r) {
-        lengths[static_cast<std::size_t>(r)] =
-            all[static_cast<std::size_t>(r)].size();
-        flat.insert(flat.end(), all[static_cast<std::size_t>(r)].begin(),
-                    all[static_cast<std::size_t>(r)].end());
+        if (r != root)
+          send(r, tag, std::move(pieces[static_cast<std::size_t>(r)]));
       }
+      return std::move(pieces[static_cast<std::size_t>(rank_)]);
     }
-    lengths = broadcast(std::move(lengths), 0, tag);
-    flat = broadcast(std::move(flat), 0, tag);
-    std::vector<std::vector<T>> out(static_cast<std::size_t>(size()));
-    std::size_t at = 0;
+    return recv<T>(root, tag);
+  }
+
+  /// The zero-copy scatter: root publishes ONE shared block and each rank
+  /// receives an (offset, count) View of it — the block is copied zero
+  /// times regardless of np. slices[r] = (first element, element count) of
+  /// rank r's slice; only root reads block/slices. Slices may overlap.
+  template <Trivial T>
+  View<T> scatterv_view(
+      std::vector<T>&& block,
+      std::span<const std::pair<std::uint64_t, std::uint64_t>> slices,
+      int root, int tag) {
+    if (rank_ != root) return recv_view<T>(root, tag);
+    PARDA_CHECK(static_cast<int>(slices.size()) == size());
+    auto holder = std::make_shared<std::vector<T>>(std::move(block));
+    const T* base = holder->data();
     for (int r = 0; r < size(); ++r) {
-      const auto len =
-          static_cast<std::size_t>(lengths[static_cast<std::size_t>(r)]);
-      out[static_cast<std::size_t>(r)].assign(flat.begin() + at,
-                                              flat.begin() + at + len);
-      at += len;
+      if (r == rank_) continue;
+      const auto [off, cnt] = slices[static_cast<std::size_t>(r)];
+      PARDA_CHECK(off + cnt <= holder->size());
+      Payload p = Payload::view(
+          holder, reinterpret_cast<const std::byte*>(base + off),
+          static_cast<std::size_t>(cnt) * sizeof(T));
+      stats_.bytes_shared += p.size_bytes();
+      post(r, tag, std::move(p), rank_);
+    }
+    const auto [off, cnt] = slices[static_cast<std::size_t>(rank_)];
+    return View<T>(std::move(holder),
+                   std::span<const T>(base + off, static_cast<std::size_t>(cnt)));
+  }
+
+  /// Gather-to-all: every rank contributes a buffer and receives all of
+  /// them. Contributions ride a zero-copy binomial gather to rank 0 and
+  /// are re-broadcast as shared views — the flattened round trip of the
+  /// naive gather+broadcast formulation (and its O(np) copies of the
+  /// concatenated buffer) is gone; each rank pays one copy-out per piece.
+  template <Trivial T>
+  std::vector<std::vector<T>> allgather(std::span<const T> mine, int tag) {
+    const int np = size();
+    std::vector<T> owned(mine.begin(), mine.end());
+    stats_.bytes_copied += mine.size_bytes();
+    std::vector<Payload> at_root =
+        gather_payloads(Payload::own(std::move(owned)), 0, tag);
+    std::vector<std::vector<T>> out(static_cast<std::size_t>(np));
+    for (int r = 0; r < np; ++r) {
+      Payload p;
+      if (rank_ == 0) p = std::move(at_root[static_cast<std::size_t>(r)]);
+      p = bcast_payload(std::move(p), 0, tag);
+      out[static_cast<std::size_t>(r)] = materialize<T>(std::move(p));
     }
     return out;
   }
@@ -252,6 +471,117 @@ class Comm {
   RankStats& stats() noexcept { return stats_; }
 
  private:
+  /// Stamps the envelope and delivers to dest's mailbox.
+  void post(int dest, int tag, Payload p, int origin) {
+    PARDA_CHECK(dest >= 0 && dest < size());
+    stats_.messages_sent += 1;
+    stats_.bytes_sent += p.size_bytes();
+    Message msg;
+    msg.src = rank_;
+    msg.origin = origin;
+    msg.tag = tag;
+    msg.payload = std::move(p);
+    world_.mailbox(dest).push(std::move(msg));
+  }
+
+  /// Relays an in-flight payload handle (collective hop): refcount bump,
+  /// no byte copy.
+  void forward(int dest, int tag, Payload p, int origin) {
+    stats_.bytes_shared += p.size_bytes();
+    post(dest, tag, std::move(p), origin);
+  }
+
+  template <Trivial T>
+  std::vector<T> materialize(Payload p) {
+    std::vector<T> out;
+    if (p.take(out)) return out;
+    const std::span<const std::byte> b = p.bytes();
+    PARDA_CHECK(b.size() % sizeof(T) == 0);
+    out.resize(b.size() / sizeof(T));
+    if (!out.empty()) std::memcpy(out.data(), b.data(), b.size());
+    stats_.bytes_copied += b.size();
+    return out;
+  }
+
+  template <Trivial T>
+  View<T> as_view(Payload p) {
+    if (p.template aligned_for<T>()) {
+      const std::span<const std::byte> b = p.bytes();
+      return View<T>(p.share(),
+                     std::span<const T>(reinterpret_cast<const T*>(b.data()),
+                                        b.size() / sizeof(T)));
+    }
+    // Misaligned or ragged payload: one counted copy, then self-owned view.
+    std::vector<T> fixed = materialize<T>(std::move(p));
+    auto holder = std::make_shared<std::vector<T>>(std::move(fixed));
+    const std::span<const T> s(holder->data(), holder->size());
+    return View<T>(std::move(holder), s);
+  }
+
+  /// Binomial-tree broadcast of an opaque payload in virtual rank space
+  /// (root at virtual 0). The payload travels by refcount — log-depth and
+  /// zero byte copies. Returns the payload at every rank.
+  Payload bcast_payload(Payload mine, int root, int tag) {
+    const int np = size();
+    if (np == 1) return mine;
+    const int me = (rank_ - root + np) % np;
+    Payload p = std::move(mine);
+    if (me != 0) {
+      const int parent = me - (me & -me);  // clear lowest set bit
+      Message msg =
+          world_.mailbox(rank_).pop((parent + root) % np, tag);
+      p = std::move(msg.payload);
+    } else {
+      p.mark_view();  // transported by refcount from here on
+    }
+    unsigned start;
+    if (me == 0) {
+      start = std::bit_floor(static_cast<unsigned>(np - 1));
+    } else {
+      start = static_cast<unsigned>(me & -me) >> 1;
+    }
+    for (unsigned step = start; step >= 1; step >>= 1) {
+      const int child = me + static_cast<int>(step);
+      if (child < np) forward((child + root) % np, tag, p, root);
+    }
+    return p;
+  }
+
+  /// Binomial-tree gather of opaque payloads: at root, returns np payloads
+  /// indexed by contributing physical rank; empty elsewhere. Relay hops
+  /// move handles (origin preserved in the envelope), never bytes.
+  std::vector<Payload> gather_payloads(Payload mine, int root, int tag) {
+    const int np = size();
+    const int me = (rank_ - root + np) % np;
+    std::vector<std::pair<int, Payload>> collected;
+    collected.emplace_back(rank_, std::move(mine));
+    for (int step = 1; step < np; step <<= 1) {
+      if ((me & step) != 0) {
+        const int parent = ((me - step) + root) % np;
+        for (auto& [origin, p] : collected) {
+          forward(parent, tag, std::move(p), origin);
+        }
+        return {};
+      }
+      if (me + step < np) {
+        const int child_virt = me + step;
+        const int child_phys = (child_virt + root) % np;
+        // The child's binomial subtree spans virtual ranks
+        // [child_virt, child_virt + step), clipped to np.
+        const int subtree = std::min(step, np - child_virt);
+        for (int i = 0; i < subtree; ++i) {
+          Message msg = world_.mailbox(rank_).pop(child_phys, tag);
+          collected.emplace_back(msg.origin, std::move(msg.payload));
+        }
+      }
+    }
+    std::vector<Payload> all(static_cast<std::size_t>(np));
+    for (auto& [origin, p] : collected) {
+      all[static_cast<std::size_t>(origin)] = std::move(p);
+    }
+    return all;
+  }
+
   detail::World& world_;
   int rank_;
   RankStats& stats_;

@@ -15,7 +15,11 @@ PardaResult parda_analyze_file(const std::string& path,
   std::exception_ptr producer_error;
   std::thread producer([&] {
     try {
-      const std::size_t block = std::max<std::size_t>(1, pipe_words / 4);
+      // Size reads from the pipe capacity, but never below 64K words
+      // (512KB): small pipes must not translate into small file reads.
+      constexpr std::size_t kMinReadBlockWords = std::size_t{64} << 10;
+      const std::size_t block =
+          std::max(kMinReadBlockWords, pipe_words / 4);
       while (true) {
         std::vector<Addr> chunk = reader.read_words(block);
         if (chunk.empty()) break;

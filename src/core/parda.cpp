@@ -15,8 +15,9 @@ Histogram reduce_histogram(comm::Comm& comm, const Histogram& mine,
   for (int step = 1; step < np; step <<= 1) {
     if ((me & step) != 0) {
       const int dest = ((me - step) + root) % np;
-      comm.send(dest, kTagHistogram,
-                std::span<const std::uint64_t>(acc.to_words()));
+      // Move the serialized histogram into the message; the receiver's
+      // recv moves it back out, so the reduction never copies payloads.
+      comm.send(dest, kTagHistogram, acc.to_words());
       return {};
     }
     if (me + step < np) {

@@ -76,17 +76,18 @@ void run_merge_rounds(comm::Comm& comm, RankState<Tree>& state, int virt,
   const int np = comm.size();
   for (int round = 0; round < np - virt; ++round) {
     if (virt > 0) {
-      const std::vector<InfRecord> outgoing = state.take_local_infinities();
+      std::vector<InfRecord> outgoing = state.take_local_infinities();
       if (forwarded != nullptr) *forwarded += outgoing.size();
-      comm.send(phys_of(virt - 1), kTagInfinities,
-                std::span<const InfRecord>(outgoing));
+      // Zero-copy: the record list is moved into the message and the
+      // receiving rank processes it in place through a View.
+      comm.send(phys_of(virt - 1), kTagInfinities, std::move(outgoing));
     } else {
       state.flush_global_infinities();
     }
     if (virt < np - 1 && round < np - virt - 1) {
-      const std::vector<InfRecord> incoming =
-          comm.recv<InfRecord>(phys_of(virt + 1), kTagInfinities);
-      state.process_incoming(incoming);
+      const comm::View<InfRecord> incoming =
+          comm.recv_view<InfRecord>(phys_of(virt + 1), kTagInfinities);
+      state.process_incoming(incoming.span());
     }
   }
 }
@@ -185,27 +186,30 @@ PardaResult parda_analyze_stream(TracePipe& pipe, const PardaOptions& options) {
     Timestamp phase_base = 0;
 
     while (true) {
-      // --- Phase intake: rank 0 reads the pipe and scatters chunks
-      // (pieces are indexed by physical rank via the virtual mapping).
-      std::vector<std::vector<Addr>> pieces;
+      // --- Phase intake: rank 0 reads ONE block from the pipe and
+      // scatters per-rank (offset, count) views of it — the block is never
+      // copied again, regardless of np (slices are indexed by physical
+      // rank via the virtual mapping).
+      std::vector<Addr> block;
       std::vector<std::uint64_t> header;
+      std::vector<std::pair<std::uint64_t, std::uint64_t>> slices;
       if (me == 0) {
-        std::vector<Addr> block =
-            pipe.read_words(chunk * static_cast<std::size_t>(np));
+        block = pipe.read_words(chunk * static_cast<std::size_t>(np));
         header = {block.size()};
-        pieces.resize(static_cast<std::size_t>(np));
+        slices.resize(static_cast<std::size_t>(np));
         for (int v = 0; v < np; ++v) {
           const std::size_t lo = std::min(static_cast<std::size_t>(v) * chunk,
                                           block.size());
           const std::size_t hi = std::min(lo + chunk, block.size());
-          pieces[static_cast<std::size_t>(phys_of(v))]
-              .assign(block.begin() + static_cast<std::ptrdiff_t>(lo),
-                      block.begin() + static_cast<std::ptrdiff_t>(hi));
+          slices[static_cast<std::size_t>(phys_of(v))] = {lo, hi - lo};
         }
       }
       const std::uint64_t phase_words =
           comm.broadcast(std::move(header), 0, kTagControl).at(0);
-      const std::vector<Addr> mine = comm.scatterv(pieces, 0, kTagChunk);
+      const comm::View<Addr> mine = comm.scatterv_view(
+          std::move(block),
+          std::span<const std::pair<std::uint64_t, std::uint64_t>>(slices), 0,
+          kTagChunk);
       if (phase_words == 0) break;
 
       // --- Chunk processing (Algorithm 7 / modified stack_dist).
@@ -224,16 +228,16 @@ PardaResult parda_analyze_stream(TracePipe& pipe, const PardaOptions& options) {
                                &profile.records_forwarded);
       profile.records_received += state.received_count();
 
-      // --- State reduction onto virtual np-1 (Algorithm 6).
+      // --- State reduction onto virtual np-1 (Algorithm 6): the exported
+      // state moves into the message and is imported through a view.
       const int holder_phys = phys_of(np - 1);
       if (virt != np - 1) {
-        comm.send(holder_phys, kTagState,
-                  std::span<const InfRecord>(state.export_state()));
+        comm.send(holder_phys, kTagState, state.export_state());
       } else {
         for (int v = 0; v < np - 1; ++v) {
-          const std::vector<InfRecord> incoming =
-              comm.recv<InfRecord>(phys_of(v), kTagState);
-          state.import_state(incoming);
+          const comm::View<InfRecord> incoming =
+              comm.recv_view<InfRecord>(phys_of(v), kTagState);
+          state.import_state(incoming.span());
         }
         state.prune_to_bound();
       }

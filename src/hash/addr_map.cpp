@@ -22,7 +22,7 @@ std::size_t AddrMap::bucket_of(Addr key) const noexcept {
 
 const Timestamp* AddrMap::find(Addr key) const noexcept {
   std::size_t i = bucket_of(key);
-  std::uint8_t dib = 0;
+  std::uint16_t dib = 0;
   while (true) {
     const Slot& s = slots_[i];
     if (s.dib == kEmpty || s.dib < dib) return nullptr;
@@ -42,30 +42,37 @@ bool AddrMap::insert_or_assign(Addr key, Timestamp value) {
     return false;
   }
   if ((size_ + 1) * 4 > slots_.size() * 3) grow();
-  insert_fresh(key, value);
+  const std::uint16_t probed = insert_fresh(key, value);
   ++size_;
+  // A pathological chain (same-bucket key set) saturates probe distances
+  // long before the load factor trips: rehash early so the doubled mask
+  // splits the bucket. Repeated inserts re-trigger this until chains are
+  // short, and the 16-bit dib keeps correctness in the meantime.
+  if (probed >= kGrowProbeLimit) grow();
   return true;
 }
 
-void AddrMap::insert_fresh(Addr key, Timestamp value) {
+std::uint16_t AddrMap::insert_fresh(Addr key, Timestamp value) {
   Slot incoming{key, value, 0};
+  std::uint16_t longest = 0;
   std::size_t i = bucket_of(key);
   while (true) {
     Slot& s = slots_[i];
     if (s.dib == kEmpty) {
       s = incoming;
-      return;
+      return std::max(longest, incoming.dib);
     }
     if (s.dib < incoming.dib) std::swap(s, incoming);
     i = (i + 1) & mask_;
     PARDA_CHECK(incoming.dib != kEmpty - 1);  // probe chain overflow
     ++incoming.dib;
+    longest = std::max(longest, incoming.dib);
   }
 }
 
 bool AddrMap::erase(Addr key) noexcept {
   std::size_t i = bucket_of(key);
-  std::uint8_t dib = 0;
+  std::uint16_t dib = 0;
   while (true) {
     Slot& s = slots_[i];
     if (s.dib == kEmpty || s.dib < dib) return false;
@@ -119,7 +126,7 @@ std::vector<std::pair<Addr, Timestamp>> AddrMap::entries() const {
 }
 
 std::size_t AddrMap::max_probe_length() const noexcept {
-  std::uint8_t longest = 0;
+  std::uint16_t longest = 0;
   for (const Slot& s : slots_) {
     if (s.dib != kEmpty) longest = std::max(longest, s.dib);
   }

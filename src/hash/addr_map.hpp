@@ -63,18 +63,29 @@ class AddrMap {
   std::size_t max_probe_length() const noexcept;
 
  private:
-  static constexpr std::uint8_t kEmpty = 0xFF;
+  // dib is 16-bit with 0xFFFF as the empty sentinel. The previous 8-bit
+  // encoding made a probe chain of length 255 indistinguishable from
+  // "empty" (an adversarial set of same-bucket keys silently corrupted the
+  // table); 16 bits cost nothing (the slot is padded to 24 bytes either
+  // way) and kGrowProbeLimit additionally forces a rehash long before the
+  // sentinel could be reached.
+  static constexpr std::uint16_t kEmpty = 0xFFFF;
+  /// Inserting a chain that probes this far triggers an early grow(): a
+  /// doubled table splits every bucket's chain, keeping probes short even
+  /// for adversarial same-bucket key sets.
+  static constexpr std::uint16_t kGrowProbeLimit = 255;
   static constexpr std::size_t kMinCapacity = 16;
 
   struct Slot {
     Addr key = 0;
     Timestamp value = 0;
-    std::uint8_t dib = kEmpty;  // distance from ideal bucket
+    std::uint16_t dib = kEmpty;  // distance from ideal bucket
   };
 
   std::size_t bucket_of(Addr key) const noexcept;
   void grow();
-  void insert_fresh(Addr key, Timestamp value);
+  /// Returns the longest probe distance written while placing the entry.
+  std::uint16_t insert_fresh(Addr key, Timestamp value);
 
   std::vector<Slot> slots_;
   std::size_t size_ = 0;

@@ -8,6 +8,10 @@
 #include <memory>
 #include <stdexcept>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>  // posix_fadvise
+#endif
+
 #include "util/check.hpp"
 
 namespace parda {
@@ -83,6 +87,13 @@ std::vector<Addr> read_trace_text(const std::string& path) {
 BinaryTraceReader::BinaryTraceReader(const std::string& path)
     : file_(std::fopen(path.c_str(), "rb")) {
   if (file_ == nullptr) fail("cannot open trace for reading", path);
+  // Traces are consumed front to back in large chunks: widen stdio's
+  // buffer (must happen before the first read) and tell the kernel the
+  // access pattern so readahead stays aggressive.
+  std::setvbuf(file_, nullptr, _IOFBF, std::size_t{1} << 20);
+#if defined(POSIX_FADV_SEQUENTIAL)
+  posix_fadvise(fileno(file_), 0, 0, POSIX_FADV_SEQUENTIAL);
+#endif
   char magic[8];
   std::uint64_t version = 0;
   if (std::fread(magic, 1, sizeof(magic), file_) != sizeof(magic) ||

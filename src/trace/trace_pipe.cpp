@@ -49,11 +49,11 @@ bool TracePipe::read(std::vector<Addr>& block) {
 
 std::vector<Addr> TracePipe::read_words(std::size_t max_words) {
   std::vector<Addr> out;
-  out.reserve(max_words);
   while (out.size() < max_words) {
     if (partial_pos_ < partial_.size()) {
       const std::size_t take = std::min(max_words - out.size(),
                                         partial_.size() - partial_pos_);
+      if (out.capacity() < max_words) out.reserve(max_words);
       out.insert(out.end(), partial_.begin() + partial_pos_,
                  partial_.begin() + partial_pos_ + take);
       partial_pos_ += take;
@@ -62,6 +62,14 @@ std::vector<Addr> TracePipe::read_words(std::size_t max_words) {
     partial_.clear();
     partial_pos_ = 0;
     if (!read(partial_)) break;
+    if (out.empty() && partial_.size() <= max_words) {
+      // Whole-block handoff: the producer's buffer becomes the result
+      // without a copy (the common case when the producer writes blocks no
+      // larger than the consumer's phase reads).
+      out = std::move(partial_);
+      partial_.clear();
+      partial_pos_ = 0;
+    }
   }
   return out;
 }

@@ -40,7 +40,8 @@ class TracePipe {
   bool read(std::vector<Addr>& block);
 
   /// Consumer side: read up to max_words addresses, concatenating queued
-  /// blocks. Returns an empty vector at end-of-trace.
+  /// blocks. When a whole queued block satisfies the request it is moved
+  /// out instead of copied. Returns an empty vector at end-of-trace.
   std::vector<Addr> read_words(std::size_t max_words);
 
   std::size_t capacity_words() const noexcept { return capacity_; }

@@ -119,5 +119,55 @@ TEST(CommStressTest, ManySmallBarriers) {
   EXPECT_EQ(counter.load(), 1600);
 }
 
+TEST(CommStressTest, DisseminationBarrierOddRankCounts) {
+  // The dissemination barrier's partner pattern (rank + 2^k mod np) only
+  // degenerates to pairwise exchange at powers of two; pin the old
+  // central-barrier semantics at awkward np values too.
+  for (int np : {2, 3, 5, 6, 7, 12}) {
+    std::atomic<int> counter{0};
+    run(np, [&, np](Comm& comm) {
+      for (int i = 0; i < 60; ++i) {
+        counter.fetch_add(1);
+        comm.barrier();
+        // Between the two barriers every rank has arrived: the count is
+        // frozen at a multiple of np.
+        EXPECT_EQ(counter.load() % np, 0) << "np=" << np << " i=" << i;
+        comm.barrier();
+      }
+    });
+    EXPECT_EQ(counter.load(), np * 60);
+  }
+}
+
+TEST(CommStressTest, BarriersInterleavedWithWildcardTraffic) {
+  // Barrier signals and message traffic share the per-rank notification
+  // machinery; hammer both at once and check nothing is lost or
+  // misordered across the barrier edges.
+  const int np = 5;
+  run(np, [&](Comm& comm) {
+    const int me = comm.rank();
+    for (int round = 0; round < 40; ++round) {
+      if (me != 0) {
+        comm.send(0, /*tag=*/3,
+                  std::vector<int>{me, round});
+      }
+      comm.barrier();
+      if (me == 0) {
+        std::vector<bool> seen(static_cast<std::size_t>(np), false);
+        for (int i = 0; i < np - 1; ++i) {
+          int src = -2;
+          const auto got = comm.recv<int>(kAnySource, 3, &src);
+          ASSERT_EQ(got.size(), 2u);
+          EXPECT_EQ(got[0], src);
+          EXPECT_EQ(got[1], round);
+          EXPECT_FALSE(seen[static_cast<std::size_t>(src)]);
+          seen[static_cast<std::size_t>(src)] = true;
+        }
+      }
+      comm.barrier();
+    }
+  });
+}
+
 }  // namespace
 }  // namespace parda::comm

@@ -93,6 +93,68 @@ TEST(CommTest, WildcardSource) {
   });
 }
 
+TEST(CommTest, WildcardRecvIsFifoByArrival) {
+  // Arrival order is forced with barriers: rank 2's message is in the
+  // mailbox strictly before rank 1's. A wildcard recv must hand them out
+  // in arrival order even though they live in different source buckets.
+  run(3, [](Comm& comm) {
+    if (comm.rank() == 2) comm.send(0, 9, std::vector<int>{200});
+    comm.barrier();
+    if (comm.rank() == 1) comm.send(0, 9, std::vector<int>{100});
+    comm.barrier();
+    if (comm.rank() == 0) {
+      int src = -2;
+      EXPECT_EQ(comm.recv<int>(kAnySource, 9, &src).at(0), 200);
+      EXPECT_EQ(src, 2);
+      EXPECT_EQ(comm.recv<int>(kAnySource, 9, &src).at(0), 100);
+      EXPECT_EQ(src, 1);
+    }
+  });
+}
+
+TEST(CommTest, WildcardSkipsNonMatchingTags) {
+  // An earlier-arrived message with the wrong tag must not be returned by
+  // a wildcard recv, and must still be receivable afterwards.
+  run(3, [](Comm& comm) {
+    if (comm.rank() == 1) comm.send(0, /*tag=*/5, std::vector<int>{55});
+    comm.barrier();
+    if (comm.rank() == 2) comm.send(0, /*tag=*/6, std::vector<int>{66});
+    comm.barrier();
+    if (comm.rank() == 0) {
+      int src = -2;
+      EXPECT_EQ(comm.recv<int>(kAnySource, 6, &src).at(0), 66);
+      EXPECT_EQ(src, 2);
+      EXPECT_EQ(comm.recv<int>(kAnySource, 5, &src).at(0), 55);
+      EXPECT_EQ(src, 1);
+    }
+  });
+}
+
+TEST(CommTest, SelfSendThroughCollectives) {
+  // broadcast and scatterv where the root is also a receiver of its own
+  // data, across every root position.
+  const int np = 4;
+  for (int root = 0; root < np; ++root) {
+    run(np, [root](Comm& comm) {
+      std::vector<int> data;
+      if (comm.rank() == root) data = {root, -root};
+      data = comm.broadcast(std::move(data), root, 50);
+      EXPECT_EQ(data, (std::vector<int>{root, -root}));
+
+      std::vector<std::vector<int>> pieces;
+      if (comm.rank() == root) {
+        pieces.resize(static_cast<std::size_t>(comm.size()));
+        for (int r = 0; r < comm.size(); ++r) {
+          pieces[static_cast<std::size_t>(r)] = {r * 10};
+        }
+      }
+      const auto mine = comm.scatterv(std::move(pieces), root, 51);
+      ASSERT_EQ(mine.size(), 1u);
+      EXPECT_EQ(mine[0], comm.rank() * 10);
+    });
+  }
+}
+
 TEST(CommTest, BarrierSynchronizes) {
   std::atomic<int> before{0};
   std::atomic<int> after_ok{0};

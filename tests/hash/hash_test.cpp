@@ -106,6 +106,46 @@ TEST(AddrMapTest, MaxProbeLengthStaysSmall) {
   EXPECT_LE(map.max_probe_length(), 32u);
 }
 
+TEST(AddrMapTest, AdversarialProbeChainSurvivesSaturation) {
+  // Brute-force ~300 keys whose mix64 hashes land in one bucket of a
+  // 1024-slot table. With the old 8-bit probe-distance encoding the chain
+  // reached the 0xFF empty sentinel and silently corrupted the table; now
+  // the dib field is wider and a chain probing past kGrowProbeLimit
+  // forces an early rehash that splits the bucket.
+  constexpr std::size_t kMask = 1023;
+  constexpr std::size_t kBucket = 7;
+  std::vector<Addr> keys;
+  for (Addr k = 0; keys.size() < 300; ++k) {
+    if ((static_cast<std::size_t>(mix64(k)) & kMask) == kBucket) {
+      keys.push_back(k);
+    }
+  }
+  AddrMap map;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_TRUE(map.insert_or_assign(keys[i], i));
+  }
+  EXPECT_EQ(map.size(), keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_NE(map.find(keys[i]), nullptr) << "key index " << i;
+    EXPECT_EQ(*map.find(keys[i]), i);
+  }
+  // The forced growth must have split the chain well below the limit.
+  EXPECT_LT(map.max_probe_length(), 255u);
+
+  // Backward-shift deletion on the long chain: erase half, keep the rest.
+  for (std::size_t i = 0; i < keys.size(); i += 2) {
+    EXPECT_TRUE(map.erase(keys[i]));
+  }
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    if (i % 2 == 0) {
+      EXPECT_EQ(map.find(keys[i]), nullptr);
+    } else {
+      ASSERT_NE(map.find(keys[i]), nullptr);
+      EXPECT_EQ(*map.find(keys[i]), i);
+    }
+  }
+}
+
 TEST(AddrMapTest, RandomOpsMatchStdUnorderedMap) {
   AddrMap map;
   std::unordered_map<Addr, Timestamp> ref;
