@@ -40,7 +40,14 @@ int main(int argc, char** argv) {
   cli.add_flag("chunk", &chunk, "per-rank chunk size C (phase = np*C)");
   cli.add_flag("pipe", &pipe_words, "pipe capacity in words");
   cli.add_flag("bound", &bound, "cache bound B (0 = unbounded)");
+  std::uint64_t watchdog_ms = 0;
+  cli.add_flag("watchdog-ms", &watchdog_ms,
+               "stall watchdog sampling interval (0 = off)");
   cli.parse(argc, argv);
+
+  if (procs == 0) usage_error("--procs must be positive");
+  if (chunk == 0) usage_error("--chunk must be positive");
+  if (pipe_words == 0) usage_error("--pipe must be positive");
 
   vm::Program program;
   if (program_name == "vector_sum") {
@@ -52,34 +59,53 @@ int main(int argc, char** argv) {
   } else if (program_name == "list_chase") {
     program = vm::list_chase(n, rounds);
   } else {
-    std::fprintf(stderr, "unknown program %s\n", program_name.c_str());
-    return 1;
+    usage_error("unknown program '%s' (expected vector_sum | smooth | "
+                "matmul | list_chase)",
+                program_name.c_str());
   }
 
   TracePipe pipe(pipe_words);
   WallTimer timer;
   std::uint64_t instructions = 0;
   std::thread producer([&] {
-    vm::Machine machine(program);
-    std::vector<Addr> block;
-    block.reserve(1024);
-    instructions = machine.run([&](Addr a) {
-      block.push_back(a);
-      if (block.size() == 1024) {
-        pipe.write(std::move(block));
-        block = {};
-        block.reserve(1024);
-      }
-    });
-    pipe.write(std::move(block));
-    pipe.close();
+    try {
+      vm::Machine machine(program);
+      std::vector<Addr> block;
+      block.reserve(1024);
+      instructions = machine.run([&](Addr a) {
+        block.push_back(a);
+        if (block.size() == 1024) {
+          pipe.write(std::move(block));
+          block = {};
+          block.reserve(1024);
+        }
+      });
+      pipe.write(std::move(block));
+      pipe.close();
+    } catch (...) {
+      // A crashed VM must read as a failure downstream, not as a clean
+      // end-of-trace.
+      pipe.close_with_error(std::current_exception());
+    }
   });
 
   PardaOptions options;
   options.num_procs = static_cast<int>(procs);
   options.chunk_words = chunk;
   options.bound = bound;
-  const PardaResult result = parda_analyze_stream(pipe, options);
+  if (watchdog_ms > 0) {
+    options.run_options.watchdog_interval =
+        std::chrono::milliseconds(watchdog_ms);
+  }
+  PardaResult result;
+  try {
+    result = parda_analyze_stream(pipe, options);
+  } catch (const std::exception& e) {
+    pipe.close_with_error(std::current_exception());
+    producer.join();
+    std::fprintf(stderr, "online_streaming: analysis failed: %s\n", e.what());
+    return kExitRuntime;
+  }
   producer.join();
   const double elapsed = timer.seconds();
 

@@ -3,11 +3,18 @@
 //
 //   ./trace_tool gen --workload=lbm --refs=100000 --out=lbm.trc
 //   ./trace_tool analyze lbm.trc --procs=4 --bound=2048
+//   ./trace_tool analyze lbm.trc --stream --pipe=65536 --watchdog-ms=1000
 //   ./trace_tool convert lbm.trc lbm.txt
+//
+// Exit codes: 0 success, 1 runtime failure (missing/corrupt trace, aborted
+// analysis), 2 usage error (bad flag or argument).
 #include <cstdio>
 #include <cstring>
+#include <exception>
 #include <string>
 
+#include "comm/fault.hpp"
+#include "core/file_analysis.hpp"
 #include "core/parda.hpp"
 #include "hist/mrc.hpp"
 #include "trace/trace_compress.hpp"
@@ -41,16 +48,29 @@ void store(const std::string& path, const std::vector<parda::Addr>& trace) {
   }
 }
 
-}  // namespace
+void print_result(const parda::PardaResult& result) {
+  using namespace parda;
+  std::printf("%s references, %s distinct, max distance %s\n",
+              with_commas(result.hist.total()).c_str(),
+              with_commas(result.hist.infinities()).c_str(),
+              with_commas(result.hist.max_distance()).c_str());
+  TablePrinter table({"cache size", "miss ratio"});
+  for (const MrcPoint& p :
+       miss_ratio_curve_pow2(result.hist, result.hist.max_distance() + 2)) {
+    table.add_row(
+        {words_human(p.cache_size), TablePrinter::fmt(p.miss_ratio, 4)});
+  }
+  table.print();
+}
 
-int main(int argc, char** argv) {
+int run_tool(int argc, char** argv) {
   using namespace parda;
 
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: trace_tool gen|analyze|convert [args] (--help for "
                  "details)\n");
-    return 1;
+    return kExitUsage;
   }
   const std::string command = argv[1];
 
@@ -61,6 +81,12 @@ int main(int argc, char** argv) {
   std::string out = "trace.trc";
   std::uint64_t procs = 4;
   std::uint64_t bound = 0;
+  bool stream = false;
+  std::uint64_t chunk = 1 << 16;
+  std::uint64_t pipe_words = 1 << 20;
+  std::string fault_plan_spec;
+  std::uint64_t watchdog_ms = 0;
+  std::uint64_t timeout_ms = 0;
 
   CliParser cli("Parda trace file tool");
   cli.add_flag("workload", &workload_name,
@@ -71,9 +97,20 @@ int main(int argc, char** argv) {
   cli.add_flag("out", &out, "gen: output path (.trc binary, .txt text)");
   cli.add_flag("procs", &procs, "analyze: ranks");
   cli.add_flag("bound", &bound, "analyze: cache bound (0 = unbounded)");
+  cli.add_flag("stream", &stream,
+               "analyze: stream the file through a bounded pipe");
+  cli.add_flag("chunk", &chunk, "analyze --stream: per-rank chunk size C");
+  cli.add_flag("pipe", &pipe_words, "analyze --stream: pipe capacity in words");
+  cli.add_flag("fault-plan", &fault_plan_spec,
+               "fault injection plan (see DESIGN.md; also $PARDA_FAULT_PLAN)");
+  cli.add_flag("watchdog-ms", &watchdog_ms,
+               "stall watchdog sampling interval (0 = off)");
+  cli.add_flag("timeout-ms", &timeout_ms,
+               "per-op recv/barrier deadline (0 = wait forever)");
   cli.parse(argc - 1, argv + 1);
 
   if (command == "gen") {
+    if (refs == 0) usage_error("gen: --refs must be positive");
     // Accept either a bare Table IV profile name ("mcf") or a full
     // workload spec string ("zipf:m=100000,a=0.9", "mix:...", "spec:mcf").
     std::unique_ptr<Workload> w;
@@ -89,38 +126,60 @@ int main(int argc, char** argv) {
     return 0;
   }
   if (command == "analyze") {
-    if (cli.positionals().empty()) {
-      std::fprintf(stderr, "analyze: missing trace path\n");
-      return 1;
+    if (cli.positionals().empty()) usage_error("analyze: missing trace path");
+    if (procs == 0) usage_error("analyze: --procs must be positive");
+    if (stream && chunk == 0) usage_error("analyze: --chunk must be positive");
+    if (stream && pipe_words == 0) {
+      usage_error("analyze: --pipe must be positive");
     }
-    const auto trace = load(cli.positionals()[0]);
+
+    comm::FaultPlan plan = fault_plan_spec.empty()
+                               ? comm::FaultPlan::from_env()
+                               : comm::FaultPlan::parse(fault_plan_spec);
     PardaOptions options;
     options.num_procs = static_cast<int>(procs);
     options.bound = bound;
-    const PardaResult result = parda_analyze(trace, options);
-    std::printf("%s references, %s distinct, max distance %s\n",
-                with_commas(result.hist.total()).c_str(),
-                with_commas(result.hist.infinities()).c_str(),
-                with_commas(result.hist.max_distance()).c_str());
-    TablePrinter table({"cache size", "miss ratio"});
-    for (const MrcPoint& p :
-         miss_ratio_curve_pow2(result.hist, result.hist.max_distance() + 2)) {
-      table.add_row(
-          {words_human(p.cache_size), TablePrinter::fmt(p.miss_ratio, 4)});
+    options.chunk_words = chunk;
+    if (!plan.empty()) options.run_options.fault_plan = &plan;
+    if (watchdog_ms > 0) {
+      options.run_options.watchdog_interval =
+          std::chrono::milliseconds(watchdog_ms);
     }
-    table.print();
+    if (timeout_ms > 0) {
+      options.run_options.op_timeout = std::chrono::milliseconds(timeout_ms);
+    }
+
+    if (stream) {
+      print_result(parda_analyze_file(cli.positionals()[0], options,
+                                      pipe_words));
+    } else {
+      const auto trace = load(cli.positionals()[0]);
+      print_result(parda_analyze(trace, options));
+    }
     return 0;
   }
   if (command == "convert") {
     if (cli.positionals().size() < 2) {
-      std::fprintf(stderr, "convert: need input and output paths\n");
-      return 1;
+      usage_error("convert: need input and output paths");
     }
     const auto trace = load(cli.positionals()[0]);
     store(cli.positionals()[1], trace);
     std::printf("converted %zu references\n", trace.size());
     return 0;
   }
-  std::fprintf(stderr, "unknown command %s\n", command.c_str());
-  return 1;
+  usage_error("unknown command '%s' (expected gen|analyze|convert)",
+              command.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run_tool(argc, argv);
+  } catch (const std::exception& e) {
+    // Runtime failures (missing or corrupt traces, aborted analyses) get a
+    // one-line diagnostic and an exit code distinct from usage errors.
+    std::fprintf(stderr, "trace_tool: %s\n", e.what());
+    return parda::kExitRuntime;
+  }
 }

@@ -58,11 +58,23 @@ bool Mailbox::take_locked(int src, int tag, Message& out) {
   return true;
 }
 
-Message Mailbox::pop(int src, int tag) {
+Mailbox::Wait Mailbox::pop(int src, int tag, Message& out,
+                           const OpDeadline& deadline) {
   std::unique_lock lock(mu_);
-  Message msg;
-  cv_.wait(lock, [&] { return take_locked(src, tag, msg); });
-  return msg;
+  bool matched = false;
+  const auto ready = [&] {
+    return poisoned_ || (matched = take_locked(src, tag, out));
+  };
+  if (deadline.has_value()) {
+    if (!cv_.wait_until(lock, *deadline, ready)) return Wait::kTimeout;
+  } else {
+    cv_.wait(lock, ready);
+  }
+  // Poisoning beats draining: once the run is aborted, deterministic
+  // teardown matters more than delivering whatever is still queued.
+  if (poisoned_) return Wait::kPoisoned;
+  PARDA_CHECK(matched);
+  return Wait::kOk;
 }
 
 bool Mailbox::try_pop(int src, int tag, Message& out) {
@@ -70,20 +82,42 @@ bool Mailbox::try_pop(int src, int tag, Message& out) {
   return take_locked(src, tag, out);
 }
 
+void Mailbox::poison() {
+  {
+    std::lock_guard lock(mu_);
+    poisoned_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::size_t Mailbox::depth() const {
+  std::lock_guard lock(mu_);
+  std::size_t n = 0;
+  for (const auto& bucket : buckets_) n += bucket.size();
+  return n;
+}
+
+std::uint64_t Mailbox::delivered() const {
+  std::lock_guard lock(mu_);
+  return next_seq_;
+}
+
 World::World(int np) : np_(np) {
   PARDA_CHECK(np >= 1);
   rounds_ = np > 1 ? std::bit_width(static_cast<unsigned>(np - 1)) : 0;
   mailboxes_.reserve(static_cast<std::size_t>(np));
   barrier_.reserve(static_cast<std::size_t>(np));
+  boards_.reserve(static_cast<std::size_t>(np));
   for (int i = 0; i < np; ++i) {
     mailboxes_.push_back(std::make_unique<Mailbox>(np));
     auto peer = std::make_unique<BarrierPeer>();
     peer->signals.assign(static_cast<std::size_t>(rounds_), 0);
     barrier_.push_back(std::move(peer));
+    boards_.push_back(std::make_unique<RankBoard>());
   }
 }
 
-void World::barrier(int rank) {
+void World::barrier(int rank, const OpDeadline& deadline) {
   BarrierPeer& me = *barrier_[static_cast<std::size_t>(rank)];
   // generation is only ever written by the owning rank's thread.
   const std::uint64_t gen = ++me.generation;
@@ -96,13 +130,100 @@ void World::barrier(int rank) {
     }
     peer.cv.notify_one();
     std::unique_lock lock(me.mu);
-    me.cv.wait(lock, [&] {
-      return me.signals[static_cast<std::size_t>(k)] >= gen;
-    });
+    const auto ready = [&] {
+      return me.poisoned ||
+             me.signals[static_cast<std::size_t>(k)] >= gen;
+    };
+    if (deadline.has_value()) {
+      if (!me.cv.wait_until(lock, *deadline, ready)) {
+        throw DeadlineExceededError(
+            "barrier deadline exceeded at rank " + std::to_string(rank) +
+            " (round " + std::to_string(k) + " of " +
+            std::to_string(rounds_) + ")");
+      }
+    } else {
+      me.cv.wait(lock, ready);
+    }
+    if (me.poisoned) {
+      lock.unlock();
+      throw_aborted();
+    }
   }
 }
 
+void World::abort(int origin, const std::string& cause) {
+  {
+    std::lock_guard lock(abort_mu_);
+    if (aborted_.load(std::memory_order_relaxed)) return;  // first wins
+    abort_origin_ = origin;
+    abort_cause_ = cause;
+    aborted_.store(true, std::memory_order_release);
+  }
+  for (auto& mailbox : mailboxes_) mailbox->poison();
+  for (auto& peer : barrier_) {
+    {
+      std::lock_guard lock(peer->mu);
+      peer->poisoned = true;
+    }
+    peer->cv.notify_all();
+  }
+}
+
+void World::throw_aborted() const {
+  int origin;
+  std::string cause;
+  {
+    std::lock_guard lock(abort_mu_);
+    origin = abort_origin_;
+    cause = abort_cause_;
+  }
+  throw RankAbortedError(origin, cause);
+}
+
+std::string World::stall_report() {
+  std::string report =
+      "comm stall detected: every rank is blocked with no progress\n";
+  for (int r = 0; r < np_; ++r) {
+    const RankBoard& b = *boards_[static_cast<std::size_t>(r)];
+    const int op = b.op.load(std::memory_order_acquire);
+    char line[256];
+    if (b.done.load(std::memory_order_relaxed)) {
+      std::snprintf(line, sizeof(line), "  rank %d: exited", r);
+    } else if (op == 0) {
+      std::snprintf(line, sizeof(line), "  rank %d: running", r);
+    } else {
+      std::snprintf(line, sizeof(line), "  rank %d: blocked in %s (peer=%d, tag=%d)",
+                    r, fault_op_name(static_cast<FaultOp>(op - 1)),
+                    b.peer.load(std::memory_order_relaxed),
+                    b.tag.load(std::memory_order_relaxed));
+    }
+    const Mailbox& mb = *mailboxes_[static_cast<std::size_t>(r)];
+    char tail[192];
+    std::snprintf(tail, sizeof(tail),
+                  " | mailbox: %zu queued, %llu delivered | sent %llu msgs, "
+                  "%llu bytes\n",
+                  mb.depth(),
+                  static_cast<unsigned long long>(mb.delivered()),
+                  static_cast<unsigned long long>(
+                      b.messages_sent.load(std::memory_order_relaxed)),
+                  static_cast<unsigned long long>(
+                      b.bytes_sent.load(std::memory_order_relaxed)));
+    report += line;
+    report += tail;
+  }
+  return report;
+}
+
 }  // namespace detail
+
+void Comm::apply_fault(const FaultPoint& pt) {
+  if (pt.action == FaultPoint::Action::kDelay) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(pt.delay_ms));
+    return;
+  }
+  throw FaultInjectedError("injected fault at rank " + std::to_string(rank_) +
+                           " (" + pt.describe() + ")");
+}
 
 std::vector<std::uint64_t> Comm::reduce_sum_u64(
     std::span<const std::uint64_t> mine, int root, int tag) {
@@ -134,7 +255,64 @@ std::vector<std::uint64_t> Comm::allreduce_sum_u64(
   return broadcast(std::move(total), 0, tag);
 }
 
-RunStats run(int np, const std::function<void(Comm&)>& fn) {
+namespace {
+
+std::string describe_exception(const std::exception_ptr& e) {
+  try {
+    std::rethrow_exception(e);
+  } catch (const std::exception& ex) {
+    return ex.what();
+  } catch (...) {
+    return "unknown exception";
+  }
+}
+
+/// Samples every rank board; declares a stall when two consecutive samples
+/// show each rank either exited or parked in the same blocking wait (the
+/// epoch, bumped on every block entry, pins "same wait" down), with at
+/// least one rank actually blocked. A rank that made any progress between
+/// samples has a new epoch, so a busy-but-slow run never trips this.
+void watchdog_loop(detail::World& world, std::chrono::milliseconds interval,
+                   std::mutex& mu, std::condition_variable& cv,
+                   const bool& stop) {
+  const int np = world.size();
+  std::vector<std::uint64_t> prev_epoch(static_cast<std::size_t>(np), 0);
+  bool have_prev = false;
+  std::unique_lock lock(mu);
+  while (!stop) {
+    cv.wait_for(lock, interval);
+    if (stop || world.aborted()) return;
+    bool all_stuck = true;
+    bool any_blocked = false;
+    std::vector<std::uint64_t> epoch(static_cast<std::size_t>(np), 0);
+    for (int r = 0; r < np; ++r) {
+      const auto& b = world.board(r);
+      epoch[static_cast<std::size_t>(r)] =
+          b.epoch.load(std::memory_order_relaxed);
+      if (b.done.load(std::memory_order_acquire)) continue;
+      if (b.op.load(std::memory_order_acquire) == 0 ||
+          (have_prev && epoch[static_cast<std::size_t>(r)] !=
+                            prev_epoch[static_cast<std::size_t>(r)])) {
+        all_stuck = false;
+      } else {
+        any_blocked = true;
+      }
+    }
+    if (have_prev && all_stuck && any_blocked) {
+      const std::string report = world.stall_report();
+      std::fprintf(stderr, "%s", report.c_str());
+      world.abort(kWatchdogOrigin, report);
+      return;
+    }
+    prev_epoch = std::move(epoch);
+    have_prev = true;
+  }
+}
+
+}  // namespace
+
+RunStats run(int np, const std::function<void(Comm&)>& fn,
+             const RunOptions& options) {
   detail::World world(np);
   RunStats stats;
   stats.ranks.resize(static_cast<std::size_t>(np));
@@ -142,27 +320,68 @@ RunStats run(int np, const std::function<void(Comm&)>& fn) {
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(np));
 
+  std::mutex wd_mu;
+  std::condition_variable wd_cv;
+  bool wd_stop = false;
+  std::thread watchdog;
+  if (options.watchdog_interval.count() > 0) {
+    watchdog = std::thread([&] {
+      watchdog_loop(world, options.watchdog_interval, wd_mu, wd_cv, wd_stop);
+    });
+  }
+
   WallTimer wall;
   for (int r = 0; r < np; ++r) {
     threads.emplace_back([&, r] {
       RankStats& rank_stats = stats.ranks[static_cast<std::size_t>(r)];
-      Comm comm(world, r, rank_stats);
+      Comm comm(world, r, rank_stats, options.fault_plan, options.op_timeout);
       ThreadCpuTimer cpu;
       try {
         fn(comm);
       } catch (...) {
         errors[static_cast<std::size_t>(r)] = std::current_exception();
+        world.abort(r, describe_exception(errors[static_cast<std::size_t>(r)]));
       }
+      world.board(r).done.store(true, std::memory_order_release);
       rank_stats.busy_seconds = cpu.seconds();
     });
   }
   for (std::thread& t : threads) t.join();
   stats.wall_seconds = wall.seconds();
 
-  for (const std::exception_ptr& e : errors) {
-    if (e) std::rethrow_exception(e);
+  if (watchdog.joinable()) {
+    {
+      std::lock_guard lock(wd_mu);
+      wd_stop = true;
+    }
+    wd_cv.notify_all();
+    watchdog.join();
   }
+
+  // Rethrow policy: prefer the root cause. Secondary failures are the
+  // RankAbortedErrors thrown by ranks the origin's poisoning woke up.
+  std::exception_ptr first;
+  std::exception_ptr first_root;
+  for (const std::exception_ptr& e : errors) {
+    if (!e) continue;
+    if (!first) first = e;
+    if (!first_root) {
+      try {
+        std::rethrow_exception(e);
+      } catch (const RankAbortedError&) {
+        // secondary: keep looking for the originating exception
+      } catch (...) {
+        first_root = e;
+      }
+    }
+  }
+  if (first_root) std::rethrow_exception(first_root);
+  if (first) std::rethrow_exception(first);
   return stats;
+}
+
+RunStats run(int np, const std::function<void(Comm&)>& fn) {
+  return run(np, fn, RunOptions{});
 }
 
 double RunStats::max_busy() const noexcept {

@@ -22,6 +22,15 @@
 // (transferred by handing over ownership or bumping a refcount), so benches
 // and tests can prove how many copies a communication pattern performs.
 //
+// Failure model (see DESIGN.md section "Failure model" and comm/fault.hpp):
+// when any rank's body throws, the World poisons every mailbox and barrier
+// peer; blocked ranks wake and throw RankAbortedError naming the originating
+// rank and cause, so run() unwinds cleanly on all ranks instead of
+// deadlocking. recv/barrier accept optional per-op deadlines
+// (DeadlineExceededError), a stall watchdog converts an all-ranks-blocked
+// cycle into a per-rank diagnostic dump, and a seeded FaultPlan injects
+// deterministic failures for the fault-injection test suite.
+//
 // Per-rank CPU-time accounting is built in: every rank's thread measures
 // its own CLOCK_THREAD_CPUTIME_ID, so blocked time (waiting in recv or
 // barrier) is not charged. On a single-core host this is what makes the
@@ -30,7 +39,9 @@
 // wall clock.
 #pragma once
 
+#include <atomic>
 #include <bit>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -39,18 +50,26 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
+#include <string>
 #include <type_traits>
 #include <typeinfo>
 #include <utility>
 #include <vector>
 
+#include "comm/fault.hpp"
 #include "util/check.hpp"
 
 namespace parda::comm {
 
 inline constexpr int kAnySource = -1;
 inline constexpr int kAnyTag = -1;
+
+/// Absolute wait limit for one blocking operation; nullopt = wait forever.
+using OpDeadline = std::optional<std::chrono::steady_clock::time_point>;
+/// Relative per-op timeout as accepted by recv/barrier.
+using OpTimeout = std::optional<std::chrono::milliseconds>;
 
 template <typename T>
 concept Trivial = std::is_trivially_copyable_v<T>;
@@ -206,14 +225,27 @@ namespace detail {
 /// only waiter, so producers use a targeted notify_one.
 class Mailbox {
  public:
+  enum class Wait { kOk, kPoisoned, kTimeout };
+
   explicit Mailbox(int sources);
 
   void push(Message msg);
   /// Blocks until a message matching (src, tag) is available and removes
-  /// it. kAnySource / kAnyTag act as wildcards. Matching among eligible
-  /// messages is FIFO by arrival.
-  Message pop(int src, int tag);
+  /// it into `out`. kAnySource / kAnyTag act as wildcards. Matching among
+  /// eligible messages is FIFO by arrival. Returns kPoisoned once the
+  /// mailbox is poisoned (even if matching messages remain queued:
+  /// teardown beats draining) and kTimeout when `deadline` passes first.
+  Wait pop(int src, int tag, Message& out, const OpDeadline& deadline);
   bool try_pop(int src, int tag, Message& out);
+
+  /// Abort propagation: wakes the blocked owner; all subsequent pops
+  /// return kPoisoned.
+  void poison();
+
+  /// Messages queued right now / delivered over the mailbox's lifetime
+  /// (watchdog diagnostics).
+  std::size_t depth() const;
+  std::uint64_t delivered() const;
 
  private:
   struct Stamped {
@@ -226,10 +258,11 @@ class Mailbox {
   }
   bool take_locked(int src, int tag, Message& out);
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;  // single waiter: the owning rank
   std::vector<std::deque<Stamped>> buckets_;  // indexed by source rank
   std::uint64_t next_seq_ = 0;
+  bool poisoned_ = false;
 };
 
 class World {
@@ -243,7 +276,40 @@ class World {
   /// targeted notify_one wakeups (each rank only ever waits on its own
   /// condition variable), replacing the central sense-reversing barrier
   /// whose broadcast notify_all woke every rank through one hot mutex.
-  void barrier(int rank);
+  /// Throws RankAbortedError when the world is poisoned mid-wait and
+  /// DeadlineExceededError when `deadline` passes first.
+  void barrier(int rank, const OpDeadline& deadline = std::nullopt);
+
+  /// First failure wins: records (origin, cause), then poisons every
+  /// mailbox and barrier peer so all blocked ranks wake and throw
+  /// RankAbortedError. Idempotent; later calls are ignored.
+  void abort(int origin, const std::string& cause);
+  bool aborted() const noexcept {
+    return aborted_.load(std::memory_order_acquire);
+  }
+  /// Throws RankAbortedError carrying the recorded origin and cause.
+  [[noreturn]] void throw_aborted() const;
+
+  /// Watchdog bookkeeping: what each rank is doing right now. Written by
+  /// the rank's own thread, read by the watchdog — atomics only.
+  struct RankBoard {
+    std::atomic<int> op{0};  // 0 = running, else 1 + int(FaultOp)
+    std::atomic<int> peer{kAnySource};
+    std::atomic<int> tag{kAnyTag};
+    std::atomic<std::uint64_t> epoch{0};  // bumped on every block entry
+    std::atomic<bool> done{false};        // rank body returned/threw
+    // Mirrors of the send-side RankStats that the watchdog may read while
+    // the rank is still running (RankStats itself is unsynchronized).
+    std::atomic<std::uint64_t> messages_sent{0};
+    std::atomic<std::uint64_t> bytes_sent{0};
+  };
+  RankBoard& board(int rank) {
+    return *boards_[static_cast<std::size_t>(rank)];
+  }
+
+  /// Per-rank diagnostic dump for the stall watchdog: blocked op, peer,
+  /// tag, queue depths, and bytes moved.
+  std::string stall_report();
 
  private:
   /// Per-rank barrier mailbox: signals[k] counts round-k notifications
@@ -255,12 +321,37 @@ class World {
     std::condition_variable cv;
     std::vector<std::uint64_t> signals;
     std::uint64_t generation = 0;  // barriers entered by the owner
+    bool poisoned = false;
   };
 
   int np_;
   int rounds_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::vector<std::unique_ptr<BarrierPeer>> barrier_;
+  std::vector<std::unique_ptr<RankBoard>> boards_;
+
+  std::atomic<bool> aborted_{false};
+  mutable std::mutex abort_mu_;
+  int abort_origin_ = 0;
+  std::string abort_cause_;
+};
+
+/// RAII registration of a blocking wait on the rank's board.
+class BlockedScope {
+ public:
+  BlockedScope(World::RankBoard& board, FaultOp op, int peer, int tag)
+      : board_(board) {
+    board_.peer.store(peer, std::memory_order_relaxed);
+    board_.tag.store(tag, std::memory_order_relaxed);
+    board_.epoch.fetch_add(1, std::memory_order_relaxed);
+    board_.op.store(1 + static_cast<int>(op), std::memory_order_release);
+  }
+  BlockedScope(const BlockedScope&) = delete;
+  BlockedScope& operator=(const BlockedScope&) = delete;
+  ~BlockedScope() { board_.op.store(0, std::memory_order_release); }
+
+ private:
+  World::RankBoard& board_;
 };
 
 }  // namespace detail
@@ -268,8 +359,15 @@ class World {
 /// The per-rank communicator handle passed to the rank function.
 class Comm {
  public:
-  Comm(detail::World& world, int rank, RankStats& stats)
-      : world_(world), rank_(rank), stats_(stats) {}
+  Comm(detail::World& world, int rank, RankStats& stats,
+       const FaultPlan* fault_plan = nullptr,
+       OpTimeout default_op_timeout = std::nullopt)
+      : world_(world),
+        rank_(rank),
+        stats_(stats),
+        board_(world.board(rank)),
+        fault_plan_(fault_plan),
+        default_op_timeout_(default_op_timeout) {}
 
   Comm(const Comm&) = delete;
   Comm& operator=(const Comm&) = delete;
@@ -304,11 +402,14 @@ class Comm {
   /// payloads of the same element type are moved out (zero-copy); anything
   /// else is reinterpreted via one counted copy. If actual_src /
   /// actual_tag are non-null they receive the matched envelope fields
-  /// (useful with wildcards).
+  /// (useful with wildcards). `timeout` bounds this wait (overriding the
+  /// run-wide default); expiry throws DeadlineExceededError, and an abort
+  /// of the run by any rank throws RankAbortedError.
   template <Trivial T>
   std::vector<T> recv(int src, int tag, int* actual_src = nullptr,
-                      int* actual_tag = nullptr) {
-    Message msg = world_.mailbox(rank_).pop(src, tag);
+                      int* actual_tag = nullptr,
+                      OpTimeout timeout = std::nullopt) {
+    Message msg = pop_checked(src, tag, timeout);
     if (actual_src != nullptr) *actual_src = msg.src;
     if (actual_tag != nullptr) *actual_tag = msg.tag;
     return materialize<T>(std::move(msg.payload));
@@ -319,14 +420,21 @@ class Comm {
   /// alignment permit (zero-copy), falling back to one counted copy.
   template <Trivial T>
   View<T> recv_view(int src, int tag, int* actual_src = nullptr,
-                    int* actual_tag = nullptr) {
-    Message msg = world_.mailbox(rank_).pop(src, tag);
+                    int* actual_tag = nullptr,
+                    OpTimeout timeout = std::nullopt) {
+    Message msg = pop_checked(src, tag, timeout);
     if (actual_src != nullptr) *actual_src = msg.src;
     if (actual_tag != nullptr) *actual_tag = msg.tag;
     return as_view<T>(std::move(msg.payload));
   }
 
-  void barrier() { world_.barrier(rank_); }
+  /// Barrier with the same optional deadline semantics as recv.
+  void barrier(OpTimeout timeout = std::nullopt) {
+    maybe_inject(FaultOp::kBarrier);
+    detail::BlockedScope scope(board_, FaultOp::kBarrier, kAnySource,
+                               kAnyTag);
+    world_.barrier(rank_, deadline_from(timeout));
+  }
 
   /// Gathers each rank's buffer at root via a log-depth binomial tree;
   /// returns per-rank buffers at root (indexed by rank), empty elsewhere.
@@ -384,7 +492,9 @@ class Comm {
   std::vector<T> scatterv(const std::vector<std::vector<T>>& pieces,
                           int root, int tag) {
     if (rank_ == root) {
-      PARDA_CHECK(static_cast<int>(pieces.size()) == size());
+      PARDA_CHECK_MSG(static_cast<int>(pieces.size()) == size(),
+                      "scatterv at root got %zu pieces for %d ranks",
+                      pieces.size(), size());
       for (int r = 0; r < size(); ++r) {
         if (r != root) send(r, tag, pieces[static_cast<std::size_t>(r)]);
       }
@@ -397,7 +507,9 @@ class Comm {
   std::vector<T> scatterv(std::vector<std::vector<T>>&& pieces, int root,
                           int tag) {
     if (rank_ == root) {
-      PARDA_CHECK(static_cast<int>(pieces.size()) == size());
+      PARDA_CHECK_MSG(static_cast<int>(pieces.size()) == size(),
+                      "scatterv at root got %zu pieces for %d ranks",
+                      pieces.size(), size());
       for (int r = 0; r < size(); ++r) {
         if (r != root)
           send(r, tag, std::move(pieces[static_cast<std::size_t>(r)]));
@@ -417,13 +529,19 @@ class Comm {
       std::span<const std::pair<std::uint64_t, std::uint64_t>> slices,
       int root, int tag) {
     if (rank_ != root) return recv_view<T>(root, tag);
-    PARDA_CHECK(static_cast<int>(slices.size()) == size());
+    PARDA_CHECK_MSG(static_cast<int>(slices.size()) == size(),
+                    "scatterv_view at root got %zu slices for %d ranks",
+                    slices.size(), size());
     auto holder = std::make_shared<std::vector<T>>(std::move(block));
     const T* base = holder->data();
     for (int r = 0; r < size(); ++r) {
       if (r == rank_) continue;
       const auto [off, cnt] = slices[static_cast<std::size_t>(r)];
-      PARDA_CHECK(off + cnt <= holder->size());
+      PARDA_CHECK_MSG(off + cnt <= holder->size(),
+                      "slice [%llu,+%llu) for rank %d exceeds block of %zu",
+                      static_cast<unsigned long long>(off),
+                      static_cast<unsigned long long>(cnt), r,
+                      holder->size());
       Payload p = Payload::view(
           holder, reinterpret_cast<const std::byte*>(base + off),
           static_cast<std::size_t>(cnt) * sizeof(T));
@@ -471,11 +589,56 @@ class Comm {
   RankStats& stats() noexcept { return stats_; }
 
  private:
+  /// Converts a per-call timeout (or the run-wide default) into an
+  /// absolute deadline for one blocking wait.
+  OpDeadline deadline_from(const OpTimeout& timeout) const {
+    const OpTimeout& t = timeout.has_value() ? timeout : default_op_timeout_;
+    if (!t.has_value()) return std::nullopt;
+    return std::chrono::steady_clock::now() + *t;
+  }
+
+  /// Fault-injection hook: consults the plan for this rank's n-th op of
+  /// this kind. Throws FaultInjectedError or sleeps per the matched point.
+  void maybe_inject(FaultOp op) {
+    if (fault_plan_ == nullptr) return;
+    const std::uint64_t n = op_counts_[static_cast<std::size_t>(op)]++;
+    const FaultPoint* pt = fault_plan_->match(rank_, op, n);
+    if (pt != nullptr) apply_fault(*pt);
+  }
+  void apply_fault(const FaultPoint& pt);
+
+  /// The one blocking pop: registers the wait on the rank board for the
+  /// watchdog, applies the deadline, and converts poisoning/timeout into
+  /// typed exceptions. All receive paths (point-to-point and collective
+  /// hops) come through here.
+  Message pop_checked(int src, int tag, OpTimeout timeout = std::nullopt) {
+    maybe_inject(FaultOp::kRecv);
+    detail::BlockedScope scope(board_, FaultOp::kRecv, src, tag);
+    Message out;
+    switch (world_.mailbox(rank_).pop(src, tag, out, deadline_from(timeout))) {
+      case detail::Mailbox::Wait::kOk:
+        return out;
+      case detail::Mailbox::Wait::kPoisoned:
+        world_.throw_aborted();
+      case detail::Mailbox::Wait::kTimeout:
+      default:
+        throw DeadlineExceededError(
+            "recv deadline exceeded at rank " + std::to_string(rank_) +
+            " (src=" + std::to_string(src) + ", tag=" + std::to_string(tag) +
+            ")");
+    }
+  }
+
   /// Stamps the envelope and delivers to dest's mailbox.
   void post(int dest, int tag, Payload p, int origin) {
-    PARDA_CHECK(dest >= 0 && dest < size());
+    PARDA_CHECK_MSG(dest >= 0 && dest < size(),
+                    "send from rank %d to invalid rank %d (np=%d)", rank_,
+                    dest, size());
+    maybe_inject(FaultOp::kSend);
     stats_.messages_sent += 1;
     stats_.bytes_sent += p.size_bytes();
+    board_.messages_sent.fetch_add(1, std::memory_order_relaxed);
+    board_.bytes_sent.fetch_add(p.size_bytes(), std::memory_order_relaxed);
     Message msg;
     msg.src = rank_;
     msg.origin = origin;
@@ -496,7 +659,10 @@ class Comm {
     std::vector<T> out;
     if (p.take(out)) return out;
     const std::span<const std::byte> b = p.bytes();
-    PARDA_CHECK(b.size() % sizeof(T) == 0);
+    PARDA_CHECK_MSG(b.size() % sizeof(T) == 0,
+                    "payload of %zu bytes is not a whole number of %zu-byte "
+                    "elements",
+                    b.size(), sizeof(T));
     out.resize(b.size() / sizeof(T));
     if (!out.empty()) std::memcpy(out.data(), b.data(), b.size());
     stats_.bytes_copied += b.size();
@@ -528,8 +694,7 @@ class Comm {
     Payload p = std::move(mine);
     if (me != 0) {
       const int parent = me - (me & -me);  // clear lowest set bit
-      Message msg =
-          world_.mailbox(rank_).pop((parent + root) % np, tag);
+      Message msg = pop_checked((parent + root) % np, tag);
       p = std::move(msg.payload);
     } else {
       p.mark_view();  // transported by refcount from here on
@@ -570,7 +735,7 @@ class Comm {
         // [child_virt, child_virt + step), clipped to np.
         const int subtree = std::min(step, np - child_virt);
         for (int i = 0; i < subtree; ++i) {
-          Message msg = world_.mailbox(rank_).pop(child_phys, tag);
+          Message msg = pop_checked(child_phys, tag);
           collected.emplace_back(msg.origin, std::move(msg.payload));
         }
       }
@@ -585,11 +750,35 @@ class Comm {
   detail::World& world_;
   int rank_;
   RankStats& stats_;
+  detail::World::RankBoard& board_;
+  const FaultPlan* fault_plan_;
+  OpTimeout default_op_timeout_;
+  std::uint64_t op_counts_[3] = {0, 0, 0};  // send, recv, barrier
+};
+
+/// Fault-tolerance knobs for run(); the default reproduces the historical
+/// wait-forever behavior with no injection and no watchdog.
+struct RunOptions {
+  /// Default per-op deadline applied to every blocking recv/barrier (each
+  /// call may override). Expiry throws DeadlineExceededError in that rank,
+  /// which aborts the run for everyone.
+  OpTimeout op_timeout;
+  /// Stall watchdog sampling interval; zero disables. When every rank sits
+  /// blocked with no progress across two consecutive samples, the watchdog
+  /// dumps a per-rank diagnostic to stderr and aborts the run.
+  std::chrono::milliseconds watchdog_interval{0};
+  /// Deterministic fault injection; not owned, may be null. Must outlive
+  /// the run() call.
+  const FaultPlan* fault_plan = nullptr;
 };
 
 /// Spawns np threads, invokes fn(comm) on each, joins, and returns run
-/// statistics. Any exception thrown by a rank is rethrown (first one wins)
-/// after all threads are joined.
+/// statistics. If any rank throws, the world is poisoned: every other rank
+/// blocked in recv/barrier wakes with RankAbortedError attributing the
+/// failure to the originating rank, and run() rethrows the origin's
+/// exception after all threads are joined.
 RunStats run(int np, const std::function<void(Comm&)>& fn);
+RunStats run(int np, const std::function<void(Comm&)>& fn,
+             const RunOptions& options);
 
 }  // namespace parda::comm

@@ -40,6 +40,10 @@ struct PardaOptions {
   /// Streaming only: per-rank chunk size C; each phase consumes np*C
   /// references (Algorithm 5).
   std::size_t chunk_words = 1 << 16;
+  /// Fault-tolerance knobs forwarded to comm::run: per-op deadlines, the
+  /// stall watchdog, and deterministic fault injection. The default is the
+  /// historical wait-forever behavior.
+  comm::RunOptions run_options;
 };
 
 /// Per-rank algorithm counters (beyond the comm-level RankStats): where
@@ -150,7 +154,7 @@ PardaResult parda_analyze(std::span<const Addr> trace,
       result = std::move(reduced);
       profiles = std::move(gathered);
     }
-  });
+  }, options.run_options);
 
   return PardaResult{std::move(result), std::move(stats),
                      std::move(profiles)};
@@ -259,7 +263,7 @@ PardaResult parda_analyze_stream(TracePipe& pipe, const PardaOptions& options) {
       result = std::move(reduced);
       profiles = std::move(gathered);
     }
-  });
+  }, options.run_options);
 
   return PardaResult{std::move(result), std::move(stats),
                      std::move(profiles)};

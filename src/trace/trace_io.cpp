@@ -85,7 +85,7 @@ std::vector<Addr> read_trace_text(const std::string& path) {
 }
 
 BinaryTraceReader::BinaryTraceReader(const std::string& path)
-    : file_(std::fopen(path.c_str(), "rb")) {
+    : file_(std::fopen(path.c_str(), "rb")), path_(path) {
   if (file_ == nullptr) fail("cannot open trace for reading", path);
   // Traces are consumed front to back in large chunks: widen stdio's
   // buffer (must happen before the first read) and tell the kernel the
@@ -94,20 +94,57 @@ BinaryTraceReader::BinaryTraceReader(const std::string& path)
 #if defined(POSIX_FADV_SEQUENTIAL)
   posix_fadvise(fileno(file_), 0, 0, POSIX_FADV_SEQUENTIAL);
 #endif
+  const auto reject = [&](const std::string& what) {
+    std::fclose(file_);
+    file_ = nullptr;
+    throw TraceFormatError(what + ": " + path);
+  };
+  // Header and size validation up front: a truncated or corrupt trace must
+  // be rejected here, not silently short-read during the analysis.
   char magic[8];
   std::uint64_t version = 0;
-  if (std::fread(magic, 1, sizeof(magic), file_) != sizeof(magic) ||
-      std::memcmp(magic, kTraceMagic, sizeof(magic)) != 0) {
-    std::fclose(file_);
-    file_ = nullptr;
-    fail("bad trace magic", path);
+  if (std::fread(magic, 1, sizeof(magic), file_) != sizeof(magic)) {
+    reject("trace shorter than the 8-byte magic");
+  }
+  if (std::memcmp(magic, kTraceMagic, sizeof(magic)) != 0) {
+    reject("bad trace magic at byte offset 0");
   }
   if (std::fread(&version, sizeof(version), 1, file_) != 1 ||
-      version != kTraceVersion ||
       std::fread(&total_, sizeof(total_), 1, file_) != 1) {
-    std::fclose(file_);
-    file_ = nullptr;
-    fail("bad trace header", path);
+    reject("trace shorter than the 24-byte header");
+  }
+  if (version != kTraceVersion) {
+    char msg[128];
+    std::snprintf(msg, sizeof(msg),
+                  "unsupported trace version %" PRIu64 " (expected %" PRIu64
+                  ") at byte offset 8",
+                  version, kTraceVersion);
+    reject(msg);
+  }
+  // Declared count vs actual file size.
+  const long data_start = std::ftell(file_);
+  if (data_start != static_cast<long>(kTraceHeaderBytes) ||
+      std::fseek(file_, 0, SEEK_END) != 0) {
+    reject("cannot determine trace file size");
+  }
+  const long file_size = std::ftell(file_);
+  if (std::fseek(file_, data_start, SEEK_SET) != 0) {
+    reject("cannot seek back to trace body");
+  }
+  const std::uint64_t body_bytes =
+      static_cast<std::uint64_t>(file_size) - kTraceHeaderBytes;
+  const std::uint64_t actual_words = body_bytes / sizeof(Addr);
+  if (body_bytes % sizeof(Addr) != 0 || actual_words != total_) {
+    char msg[192];
+    std::snprintf(msg, sizeof(msg),
+                  "trace body size mismatch at byte offset %" PRIu64
+                  ": header declares %" PRIu64 " references (%" PRIu64
+                  " bytes) but the file holds %" PRIu64 " bytes (%" PRIu64
+                  " whole references)",
+                  kTraceHeaderBytes, total_,
+                  total_ * static_cast<std::uint64_t>(sizeof(Addr)),
+                  body_bytes, actual_words);
+    reject(msg);
   }
 }
 
@@ -123,7 +160,19 @@ std::vector<Addr> BinaryTraceReader::read_words(std::size_t max_words) {
   if (want == 0) return {};
   const std::size_t got =
       std::fread(block.data(), sizeof(Addr), want, file_);
-  PARDA_CHECK(got == want);
+  if (got != want) {
+    // The constructor validated the size, so a short read here means the
+    // file shrank underneath us (or the medium failed). Name the spot.
+    char msg[192];
+    std::snprintf(msg, sizeof(msg),
+                  "short read at byte offset %" PRIu64 ": wanted %zu "
+                  "references, got %zu (%" PRIu64 " of %" PRIu64
+                  " consumed): %s",
+                  kTraceHeaderBytes +
+                      consumed_ * static_cast<std::uint64_t>(sizeof(Addr)),
+                  want, got, consumed_, total_, path_.c_str());
+    throw TraceFormatError(msg);
+  }
   consumed_ += got;
   return block;
 }

@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -17,6 +18,16 @@ namespace parda {
 inline constexpr char kTraceMagic[8] = {'P', 'A', 'R', 'D',
                                         'A', 'T', 'R', 'C'};
 inline constexpr std::uint64_t kTraceVersion = 1;
+/// Header size in bytes: magic + version + count.
+inline constexpr std::uint64_t kTraceHeaderBytes = 24;
+
+/// A malformed or truncated trace file: bad magic/version, or a declared
+/// reference count that disagrees with the actual file size. The message
+/// names the file, the byte offset, and the expected/actual counts.
+class TraceFormatError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 void write_trace_binary(const std::string& path, std::span<const Addr> trace);
 std::vector<Addr> read_trace_binary(const std::string& path);
@@ -25,6 +36,9 @@ void write_trace_text(const std::string& path, std::span<const Addr> trace);
 std::vector<Addr> read_trace_text(const std::string& path);
 
 /// Streaming binary reader for traces too large to hold in memory.
+/// The constructor validates magic, version, and the declared reference
+/// count against the actual file size; a truncated or corrupt trace throws
+/// TraceFormatError up front instead of silently short-reading later.
 class BinaryTraceReader {
  public:
   explicit BinaryTraceReader(const std::string& path);
@@ -40,6 +54,7 @@ class BinaryTraceReader {
 
  private:
   std::FILE* file_;
+  std::string path_;
   std::uint64_t total_ = 0;
   std::uint64_t consumed_ = 0;
 };

@@ -1,6 +1,7 @@
 #include "trace/trace_pipe.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "util/check.hpp"
 
@@ -10,14 +11,22 @@ TracePipe::TracePipe(std::size_t capacity_words) : capacity_(capacity_words) {
   PARDA_CHECK(capacity_words > 0);
 }
 
+void TracePipe::throw_if_unwritable_locked() const {
+  if (error_ != nullptr) std::rethrow_exception(error_);
+  PARDA_CHECK_MSG(!closed_, "TracePipe::write after close()");
+}
+
 void TracePipe::write(std::vector<Addr> block) {
   if (block.empty()) return;
   std::unique_lock lock(mu_);
-  PARDA_CHECK(!closed_);
+  throw_if_unwritable_locked();
   // A block larger than the whole pipe is admitted alone (buffered_ == 0),
   // like a pipe write larger than the kernel buffer that proceeds in one
   // blocking call from the analyzer's perspective.
-  can_write_.wait(lock, [&] { return has_space_locked(block.size()); });
+  can_write_.wait(lock, [&] {
+    return closed_ || has_space_locked(block.size());
+  });
+  throw_if_unwritable_locked();  // the consumer may have poisoned the wait
   buffered_ += block.size();
   written_ += block.size();
   blocks_.push_back(std::move(block));
@@ -34,11 +43,31 @@ void TracePipe::close() {
     closed_ = true;
   }
   can_read_.notify_all();
+  can_write_.notify_all();
+}
+
+void TracePipe::close_with_error(std::exception_ptr cause) {
+  PARDA_CHECK(cause != nullptr);
+  {
+    std::lock_guard lock(mu_);
+    if (error_ == nullptr) error_ = std::move(cause);  // first error wins
+    closed_ = true;
+  }
+  can_read_.notify_all();
+  can_write_.notify_all();
+}
+
+void TracePipe::close_with_error(const std::string& what) {
+  close_with_error(
+      std::make_exception_ptr(std::runtime_error("trace pipe error: " + what)));
 }
 
 bool TracePipe::read(std::vector<Addr>& block) {
   std::unique_lock lock(mu_);
   can_read_.wait(lock, [&] { return !blocks_.empty() || closed_; });
+  // An error outranks queued data: a poisoned stream is truncated at an
+  // arbitrary point and must not be analyzed as if it were complete.
+  if (error_ != nullptr) std::rethrow_exception(error_);
   if (blocks_.empty()) return false;
   block = std::move(blocks_.front());
   blocks_.pop_front();
@@ -77,6 +106,11 @@ std::vector<Addr> TracePipe::read_words(std::size_t max_words) {
 std::uint64_t TracePipe::words_written() const noexcept {
   std::lock_guard lock(mu_);
   return written_;
+}
+
+bool TracePipe::failed() const noexcept {
+  std::lock_guard lock(mu_);
+  return error_ != nullptr;
 }
 
 }  // namespace parda

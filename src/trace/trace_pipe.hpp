@@ -5,14 +5,23 @@
 // The capacity is expressed in words (addresses), mirroring the paper's
 // "64Mw pipe" configuration knob. The producer (a workload generator or the
 // instrumented VM) blocks when the pipe is full; the consumer blocks when
-// it is empty; close() signals end-of-trace.
+// it is empty; close() signals clean end-of-trace.
+//
+// Failure story: close_with_error() poisons the pipe from either side. A
+// failed producer stops the consumer mid-phase (reads rethrow the
+// producer's exception instead of presenting the truncated stream as a
+// complete trace), and a failed consumer wakes a producer blocked on a
+// full pipe (its next write throws). Writing after close() is a checked
+// error (parda::CheckError), not undefined behavior.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <mutex>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "util/types.hpp"
@@ -28,20 +37,32 @@ class TracePipe {
   TracePipe& operator=(const TracePipe&) = delete;
 
   /// Producer side: enqueue a block. Blocks while the pipe is full.
-  /// Must not be called after close().
+  /// Throws parda::CheckError if the pipe was close()d, and rethrows the
+  /// stored error if it was close_with_error()d (so a producer looping on
+  /// write stops promptly when the consumer gives up).
   void write(std::vector<Addr> block);
   void write(std::span<const Addr> block);
 
   /// Producer side: no more data will be written.
   void close();
 
+  /// Either side: poison the pipe with an error. Blocked peers wake
+  /// immediately; subsequent reads rethrow `cause` (data still queued is
+  /// discarded — a poisoned trace must not be analyzed as if complete) and
+  /// subsequent writes rethrow it too. First error wins; close() after an
+  /// error keeps the error.
+  void close_with_error(std::exception_ptr cause);
+  void close_with_error(const std::string& what);
+
   /// Consumer side: dequeue the next block. Returns false at end-of-trace
-  /// (pipe closed and drained).
+  /// (pipe closed and drained); rethrows the stored error if the pipe was
+  /// poisoned.
   bool read(std::vector<Addr>& block);
 
   /// Consumer side: read up to max_words addresses, concatenating queued
   /// blocks. When a whole queued block satisfies the request it is moved
-  /// out instead of copied. Returns an empty vector at end-of-trace.
+  /// out instead of copied. Returns an empty vector at end-of-trace;
+  /// rethrows the stored error if the pipe was poisoned.
   std::vector<Addr> read_words(std::size_t max_words);
 
   std::size_t capacity_words() const noexcept { return capacity_; }
@@ -49,10 +70,15 @@ class TracePipe {
   /// Total addresses that have passed through (producer side count).
   std::uint64_t words_written() const noexcept;
 
+  /// Whether close_with_error() was called (either side).
+  bool failed() const noexcept;
+
  private:
   bool has_space_locked(std::size_t incoming) const noexcept {
     return buffered_ + incoming <= capacity_ || buffered_ == 0;
   }
+  /// Pre-write / post-wait validity check; must hold mu_.
+  void throw_if_unwritable_locked() const;
 
   const std::size_t capacity_;
   mutable std::mutex mu_;
@@ -62,6 +88,7 @@ class TracePipe {
   std::size_t buffered_ = 0;  // words currently queued
   std::uint64_t written_ = 0;
   bool closed_ = false;
+  std::exception_ptr error_;  // set by close_with_error; first wins
   // Carry-over for read_words when a block is larger than requested.
   std::vector<Addr> partial_;
   std::size_t partial_pos_ = 0;

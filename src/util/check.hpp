@@ -1,10 +1,49 @@
 // Lightweight runtime checks. PARDA_CHECK is always on (cheap, used on cold
 // paths and in tests); PARDA_DCHECK compiles out in release builds and may
-// sit on hot paths.
+// sit on hot paths. Both abort: they guard programmer errors where no
+// recovery is meaningful (tests, hot-path invariants).
+//
+// PARDA_CHECK_MSG is the library-level variant: it throws parda::CheckError
+// with a printf-formatted context message, so invariant violations reached
+// through public APIs (bad payload sizes, malformed inputs, misuse of a
+// closed pipe) surface as catchable exceptions that the fault-tolerant
+// runtime can propagate and attribute, instead of killing the process.
 #pragma once
 
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
+
+namespace parda {
+
+/// Thrown by PARDA_CHECK_MSG: a violated library invariant with context.
+class CheckError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((format(printf, 4, 5)))
+#endif
+[[noreturn]] inline void
+throw_check_failure(const char* expr, const char* file, int line,
+                    const char* fmt, ...) {
+  char msg[512];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(msg, sizeof(msg), fmt, ap);
+  va_end(ap);
+  char full[768];
+  std::snprintf(full, sizeof(full), "check failed: %s — %s (%s:%d)", expr,
+                msg, file, line);
+  throw CheckError(full);
+}
+
+}  // namespace detail
+}  // namespace parda
 
 #define PARDA_CHECK(cond)                                                   \
   do {                                                                      \
@@ -12,6 +51,17 @@
       std::fprintf(stderr, "PARDA_CHECK failed: %s at %s:%d\n", #cond,      \
                    __FILE__, __LINE__);                                     \
       std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+/// Throwing check with printf-style context:
+///   PARDA_CHECK_MSG(off + cnt <= n, "slice [%zu,+%zu) exceeds block of %zu",
+///                   off, cnt, n);
+#define PARDA_CHECK_MSG(cond, ...)                                          \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::parda::detail::throw_check_failure(#cond, __FILE__, __LINE__,       \
+                                           __VA_ARGS__);                    \
     }                                                                       \
   } while (0)
 

@@ -1,9 +1,20 @@
 #include "util/cli.hpp"
 
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 
 namespace parda {
+
+void usage_error(const char* fmt, ...) {
+  std::fputs("error: ", stderr);
+  va_list ap;
+  va_start(ap, fmt);
+  std::vfprintf(stderr, fmt, ap);
+  va_end(ap);
+  std::fputc('\n', stderr);
+  std::exit(kExitUsage);
+}
 
 CliParser::CliParser(std::string program_description)
     : description_(std::move(program_description)) {}
@@ -45,20 +56,46 @@ const CliParser::Flag* CliParser::find(const std::string& name) const {
 }
 
 void CliParser::assign(const Flag& flag, const std::string& value) const {
+  char* end = nullptr;
   switch (flag.kind) {
     case Kind::kString:
       *static_cast<std::string*>(flag.target) = value;
       break;
     case Kind::kUint:
+      // strtoull silently wraps negatives; reject them (and any trailing
+      // garbage) so "--procs=-4" is a usage error, not 2^64-4 ranks.
+      if (value.empty() || value[0] == '-') {
+        std::fprintf(stderr, "flag --%s needs a non-negative integer, got "
+                             "'%s'\n",
+                     flag.name.c_str(), value.c_str());
+        usage_and_exit(kExitUsage);
+      }
       *static_cast<std::uint64_t*>(flag.target) =
-          std::strtoull(value.c_str(), nullptr, 0);
+          std::strtoull(value.c_str(), &end, 0);
+      if (end == value.c_str() || *end != '\0') {
+        std::fprintf(stderr, "flag --%s needs an integer, got '%s'\n",
+                     flag.name.c_str(), value.c_str());
+        usage_and_exit(kExitUsage);
+      }
       break;
     case Kind::kDouble:
-      *static_cast<double*>(flag.target) = std::strtod(value.c_str(), nullptr);
+      *static_cast<double*>(flag.target) = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0') {
+        std::fprintf(stderr, "flag --%s needs a number, got '%s'\n",
+                     flag.name.c_str(), value.c_str());
+        usage_and_exit(kExitUsage);
+      }
       break;
     case Kind::kBool:
-      *static_cast<bool*>(flag.target) =
-          value == "1" || value == "true" || value == "yes" || value.empty();
+      if (value.empty() || value == "1" || value == "true" || value == "yes") {
+        *static_cast<bool*>(flag.target) = true;
+      } else if (value == "0" || value == "false" || value == "no") {
+        *static_cast<bool*>(flag.target) = false;
+      } else {
+        std::fprintf(stderr, "flag --%s needs a boolean, got '%s'\n",
+                     flag.name.c_str(), value.c_str());
+        usage_and_exit(kExitUsage);
+      }
       break;
   }
 }
@@ -83,12 +120,12 @@ void CliParser::parse(int argc, char** argv) {
     const Flag* flag = find(name);
     if (flag == nullptr) {
       std::fprintf(stderr, "unknown flag --%s\n", name.c_str());
-      usage_and_exit(1);
+      usage_and_exit(kExitUsage);
     }
     if (!have_value && flag->kind != Kind::kBool) {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "flag --%s requires a value\n", name.c_str());
-        usage_and_exit(1);
+        usage_and_exit(kExitUsage);
       }
       value = argv[++i];
     }

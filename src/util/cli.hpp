@@ -1,7 +1,15 @@
 // A minimal command-line flag parser for the examples and bench harnesses.
 //
 // Flags take the form --name=value or --name value; bare --name sets a bool.
-// Unrecognized flags abort with a usage message listing registered flags.
+// Unrecognized flags, malformed values, and missing required values exit
+// with kExitUsage and a one-line diagnostic plus the usage listing.
+//
+// Exit-code convention for the tools built on this parser:
+//   0            success (and --help)
+//   kExitRuntime a well-formed invocation that failed at runtime
+//                (missing trace file, aborted analysis, ...)
+//   kExitUsage   a malformed invocation (unknown flag, bad value,
+//                out-of-range argument)
 #pragma once
 
 #include <cstdint>
@@ -9,6 +17,17 @@
 #include <vector>
 
 namespace parda {
+
+inline constexpr int kExitRuntime = 1;
+inline constexpr int kExitUsage = 2;
+
+/// App-level argument validation: prints "error: <message>" (one line) to
+/// stderr and exits with kExitUsage.
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((format(printf, 1, 2)))
+#endif
+[[noreturn]] void
+usage_error(const char* fmt, ...);
 
 class CliParser {
  public:
@@ -24,8 +43,9 @@ class CliParser {
                 const std::string& help);
   void add_flag(const std::string& name, bool* value, const std::string& help);
 
-  /// Parses argv. On --help prints usage and exits 0; on error prints usage
-  /// and exits 1. Positional arguments are collected into positionals().
+  /// Parses argv. On --help prints usage and exits 0; on error prints a
+  /// diagnostic plus usage and exits kExitUsage. Positional arguments are
+  /// collected into positionals().
   void parse(int argc, char** argv);
 
   const std::vector<std::string>& positionals() const { return positionals_; }

@@ -1,0 +1,291 @@
+// Failure-path tests for trace I/O and the streaming pipeline: corrupt
+// trace fixtures (truncated, bad magic, bad version, count mismatch),
+// TracePipe poisoning from both sides, and deterministic producer faults
+// through parda_analyze_file. These run under TSAN in CI.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "comm/fault.hpp"
+#include "core/file_analysis.hpp"
+#include "core/parda.hpp"
+#include "trace/trace_io.hpp"
+#include "trace/trace_pipe.hpp"
+#include "util/check.hpp"
+
+namespace parda {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+void write_raw(const std::string& path, const void* data, std::size_t size) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  if (size > 0) {
+    ASSERT_EQ(std::fwrite(data, 1, size, f), size);
+  }
+  std::fclose(f);
+}
+
+/// Builds a binary trace file by hand: header fields as given, then `body`
+/// addresses — the knob for every corruption the reader must reject.
+std::string write_fixture(const std::string& name, const char magic[8],
+                          std::uint64_t version, std::uint64_t declared,
+                          const std::vector<Addr>& body,
+                          std::size_t truncate_body_bytes_to = SIZE_MAX) {
+  std::vector<char> bytes;
+  bytes.insert(bytes.end(), magic, magic + 8);
+  const auto append_u64 = [&](std::uint64_t v) {
+    const char* p = reinterpret_cast<const char*>(&v);
+    bytes.insert(bytes.end(), p, p + sizeof(v));
+  };
+  append_u64(version);
+  append_u64(declared);
+  std::size_t body_bytes = body.size() * sizeof(Addr);
+  if (truncate_body_bytes_to != SIZE_MAX) {
+    body_bytes = truncate_body_bytes_to;
+  }
+  const char* p = reinterpret_cast<const char*>(body.data());
+  bytes.insert(bytes.end(), p, p + body_bytes);
+  const std::string path = temp_path(name);
+  write_raw(path, bytes.data(), bytes.size());
+  return path;
+}
+
+std::string what_of(const std::function<void()>& fn) {
+  try {
+    fn();
+  } catch (const std::exception& e) {
+    return e.what();
+  }
+  return "";
+}
+
+// --- BinaryTraceReader constructor validation. ---
+
+TEST(TraceFormatTest, FileShorterThanMagicThrows) {
+  const std::string path = temp_path("tiny.trc");
+  write_raw(path, "PAR", 3);
+  const std::string what =
+      what_of([&] { BinaryTraceReader reader(path); });
+  EXPECT_NE(what.find("shorter than the 8-byte magic"), std::string::npos)
+      << what;
+}
+
+TEST(TraceFormatTest, BadMagicNamesByteOffsetZero) {
+  const char bad_magic[8] = {'N', 'O', 'T', 'A', 'T', 'R', 'C', '!'};
+  const std::string path =
+      write_fixture("badmagic.trc", bad_magic, kTraceVersion, 0, {});
+  EXPECT_THROW(read_trace_binary(path), TraceFormatError);
+  const std::string what = what_of([&] { BinaryTraceReader reader(path); });
+  EXPECT_NE(what.find("bad trace magic at byte offset 0"), std::string::npos)
+      << what;
+}
+
+TEST(TraceFormatTest, TruncatedHeaderThrows) {
+  const std::string path = temp_path("shorthdr.trc");
+  write_raw(path, kTraceMagic, sizeof(kTraceMagic));  // magic only
+  const std::string what = what_of([&] { BinaryTraceReader reader(path); });
+  EXPECT_NE(what.find("shorter than the 24-byte header"), std::string::npos)
+      << what;
+}
+
+TEST(TraceFormatTest, UnsupportedVersionNamesByteOffsetEight) {
+  const std::string path =
+      write_fixture("badver.trc", kTraceMagic, kTraceVersion + 41, 0, {});
+  const std::string what = what_of([&] { BinaryTraceReader reader(path); });
+  EXPECT_NE(what.find("unsupported trace version 42"), std::string::npos)
+      << what;
+  EXPECT_NE(what.find("at byte offset 8"), std::string::npos) << what;
+}
+
+TEST(TraceFormatTest, DeclaredCountLargerThanBodyThrows) {
+  // Header declares 10 references, body holds 5.
+  const std::string path = write_fixture("truncbody.trc", kTraceMagic,
+                                         kTraceVersion, 10, {1, 2, 3, 4, 5});
+  const std::string what = what_of([&] { BinaryTraceReader reader(path); });
+  EXPECT_NE(what.find("trace body size mismatch at byte offset 24"),
+            std::string::npos)
+      << what;
+  EXPECT_NE(what.find("header declares 10 references (80 bytes)"),
+            std::string::npos)
+      << what;
+  EXPECT_NE(what.find("the file holds 40 bytes (5 whole references)"),
+            std::string::npos)
+      << what;
+}
+
+TEST(TraceFormatTest, DeclaredCountSmallerThanBodyThrows) {
+  const std::string path = write_fixture("extrabody.trc", kTraceMagic,
+                                         kTraceVersion, 2, {1, 2, 3, 4});
+  EXPECT_THROW(read_trace_binary(path), TraceFormatError);
+}
+
+TEST(TraceFormatTest, RaggedBodyThrows) {
+  // Body is not a whole number of 8-byte references.
+  const std::string path = write_fixture("ragged.trc", kTraceMagic,
+                                         kTraceVersion, 1, {7}, 5);
+  EXPECT_THROW(read_trace_binary(path), TraceFormatError);
+}
+
+TEST(TraceFormatTest, MissingFileThrows) {
+  EXPECT_THROW(read_trace_binary(temp_path("does-not-exist.trc")),
+               std::runtime_error);
+}
+
+TEST(TraceFormatTest, ValidTraceStillRoundTrips) {
+  std::vector<Addr> trace(1000);
+  for (std::size_t i = 0; i < trace.size(); ++i) trace[i] = i * 3 + 1;
+  const std::string path = temp_path("valid.trc");
+  write_trace_binary(path, trace);
+  BinaryTraceReader reader(path);
+  EXPECT_EQ(reader.total_references(), trace.size());
+  EXPECT_EQ(read_trace_binary(path), trace);
+}
+
+// --- TracePipe poisoning. ---
+
+TEST(TracePipeFaultTest, WriteAfterCloseIsACheckedError) {
+  TracePipe pipe(64);
+  pipe.write(std::vector<Addr>{1, 2});
+  pipe.close();
+  EXPECT_THROW(pipe.write(std::vector<Addr>{3}), CheckError);
+  // The data queued before close is still readable.
+  EXPECT_EQ(pipe.read_words(4), (std::vector<Addr>{1, 2}));
+}
+
+TEST(TracePipeFaultTest, ErrorBeatsQueuedData) {
+  TracePipe pipe(64);
+  pipe.write(std::vector<Addr>{1, 2, 3});
+  pipe.close_with_error("producer died mid-trace");
+  EXPECT_TRUE(pipe.failed());
+  std::vector<Addr> block;
+  try {
+    pipe.read(block);
+    FAIL() << "poisoned pipe delivered data";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("producer died mid-trace"),
+              std::string::npos);
+  }
+  // Subsequent writes rethrow the stored error too.
+  EXPECT_THROW(pipe.write(std::vector<Addr>{4}), std::runtime_error);
+}
+
+TEST(TracePipeFaultTest, FirstErrorWins) {
+  TracePipe pipe(64);
+  pipe.close_with_error("first");
+  pipe.close_with_error("second");
+  pipe.close();  // close after an error keeps the error
+  std::vector<Addr> block;
+  try {
+    pipe.read(block);
+    FAIL() << "expected the stored error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("first"), std::string::npos);
+    EXPECT_EQ(std::string(e.what()).find("second"), std::string::npos);
+  }
+}
+
+TEST(TracePipeFaultTest, PoisonWakesABlockedConsumer) {
+  TracePipe pipe(64);
+  std::string consumer_saw;
+  std::thread consumer([&] {
+    std::vector<Addr> block;
+    try {
+      pipe.read(block);  // blocks: nothing queued, not closed
+    } catch (const std::exception& e) {
+      consumer_saw = e.what();
+    }
+  });
+  // Give the consumer time to park, then poison from the producer side.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  pipe.close_with_error("instrumented program crashed");
+  consumer.join();
+  EXPECT_NE(consumer_saw.find("instrumented program crashed"),
+            std::string::npos)
+      << consumer_saw;
+}
+
+TEST(TracePipeFaultTest, PoisonWakesABlockedProducer) {
+  TracePipe pipe(4);  // tiny: the producer will hit backpressure
+  std::string producer_saw;
+  std::thread producer([&] {
+    try {
+      for (Addr a = 0;; ++a) pipe.write(std::vector<Addr>{a});
+    } catch (const std::exception& e) {
+      producer_saw = e.what();
+    }
+  });
+  // Let the producer fill the pipe and block, then give up as the consumer.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  pipe.close_with_error("analysis aborted");
+  producer.join();
+  EXPECT_NE(producer_saw.find("analysis aborted"), std::string::npos)
+      << producer_saw;
+}
+
+// --- Producer faults through the whole streaming analysis. ---
+
+PardaOptions streaming_options(int np) {
+  PardaOptions options;
+  options.num_procs = np;
+  options.chunk_words = 4096;
+  // Safety net: a propagation bug fails the test instead of hanging it.
+  options.run_options.op_timeout = std::chrono::milliseconds(5000);
+  return options;
+}
+
+TEST(AnalyzeFileFaultTest, ProducerFaultPlanStopsTheRunCleanly) {
+  std::vector<Addr> trace(200000);
+  for (std::size_t i = 0; i < trace.size(); ++i) trace[i] = i % 997;
+  const std::string path = temp_path("prodfault.trc");
+  write_trace_binary(path, trace);
+
+  const comm::FaultPlan plan =
+      comm::FaultPlan::parse("op=producer,after_words=100000");
+  PardaOptions options = streaming_options(2);
+  options.run_options.fault_plan = &plan;
+
+  try {
+    parda_analyze_file(path, options, /*pipe_words=*/1 << 14);
+    FAIL() << "expected the injected producer fault to surface";
+  } catch (const comm::FaultInjectedError& e) {
+    EXPECT_NE(std::string(e.what()).find("after 100000 words"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(AnalyzeFileFaultTest, CorruptTraceSurfacesAsTraceFormatError) {
+  const std::string path = write_fixture("analyze-trunc.trc", kTraceMagic,
+                                         kTraceVersion, 100, {1, 2, 3});
+  EXPECT_THROW(parda_analyze_file(path, streaming_options(2)),
+               TraceFormatError);
+}
+
+TEST(AnalyzeFileFaultTest, CleanRunMatchesInMemoryAnalysis) {
+  std::vector<Addr> trace(20000);
+  for (std::size_t i = 0; i < trace.size(); ++i) trace[i] = (i * 7) % 501;
+  const std::string path = temp_path("clean.trc");
+  write_trace_binary(path, trace);
+
+  const PardaResult streamed =
+      parda_analyze_file(path, streaming_options(4), /*pipe_words=*/1 << 14);
+  const PardaResult in_memory = parda_analyze(trace, streaming_options(4));
+  EXPECT_EQ(streamed.hist.total(), in_memory.hist.total());
+  EXPECT_EQ(streamed.hist.infinities(), in_memory.hist.infinities());
+  EXPECT_EQ(streamed.hist.max_distance(), in_memory.hist.max_distance());
+}
+
+}  // namespace
+}  // namespace parda

@@ -69,7 +69,7 @@ TEST(CliParserTest, UnknownFlagExits) {
   std::vector<std::string> args{"prog", "--bogus=1"};
   auto argv = make_argv(args);
   EXPECT_EXIT(cli.parse(static_cast<int>(argv.size()), argv.data()),
-              ::testing::ExitedWithCode(1), "unknown flag");
+              ::testing::ExitedWithCode(kExitUsage), "unknown flag");
 }
 
 TEST(CliParserTest, MissingValueExits) {
@@ -79,7 +79,37 @@ TEST(CliParserTest, MissingValueExits) {
   std::vector<std::string> args{"prog", "--count"};
   auto argv = make_argv(args);
   EXPECT_EXIT(cli.parse(static_cast<int>(argv.size()), argv.data()),
-              ::testing::ExitedWithCode(1), "requires a value");
+              ::testing::ExitedWithCode(kExitUsage), "requires a value");
+}
+
+TEST(CliParserTest, MalformedIntegerExitsUsage) {
+  std::uint64_t count = 0;
+  CliParser cli("test");
+  cli.add_flag("count", &count, "a count");
+  std::vector<std::string> args{"prog", "--count=12abc"};
+  auto argv = make_argv(args);
+  EXPECT_EXIT(cli.parse(static_cast<int>(argv.size()), argv.data()),
+              ::testing::ExitedWithCode(kExitUsage), "needs an integer");
+}
+
+TEST(CliParserTest, NegativeUnsignedExitsUsage) {
+  std::uint64_t count = 0;
+  CliParser cli("test");
+  cli.add_flag("count", &count, "a count");
+  std::vector<std::string> args{"prog", "--count=-4"};
+  auto argv = make_argv(args);
+  EXPECT_EXIT(cli.parse(static_cast<int>(argv.size()), argv.data()),
+              ::testing::ExitedWithCode(kExitUsage), "non-negative");
+}
+
+TEST(CliParserTest, MalformedBoolExitsUsage) {
+  bool flag = false;
+  CliParser cli("test");
+  cli.add_flag("flag", &flag, "a bool");
+  std::vector<std::string> args{"prog", "--flag=maybe"};
+  auto argv = make_argv(args);
+  EXPECT_EXIT(cli.parse(static_cast<int>(argv.size()), argv.data()),
+              ::testing::ExitedWithCode(kExitUsage), "needs a boolean");
 }
 
 TEST(CliParserTest, HelpExitsZero) {

@@ -2,6 +2,8 @@
 // fast and loudly rather than corrupt an analysis.
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "cachesim/lru_cache.hpp"
 #include "cachesim/set_assoc_cache.hpp"
 #include "core/rank_state.hpp"
@@ -38,6 +40,24 @@ TEST(DeathTest, HistogramRejectsAbsurdDistances) {
 
 TEST(DeathTest, ChecksPrintTheFailingExpression) {
   EXPECT_DEATH(PARDA_CHECK(1 + 1 == 3), "1 \\+ 1 == 3");
+}
+
+// PARDA_CHECK_MSG is the throwing flavor: recoverable validation (user
+// input, file formats, fault specs) raises CheckError instead of aborting.
+TEST(CheckErrorTest, CheckMsgThrowsWithFormattedContext) {
+  try {
+    PARDA_CHECK_MSG(1 + 1 == 3, "np=%d is out of range [1, %d]", 9, 4);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 + 1 == 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("np=9 is out of range [1, 4]"), std::string::npos)
+        << what;
+  }
+}
+
+TEST(CheckErrorTest, CheckMsgPassesWhenConditionHolds) {
+  EXPECT_NO_THROW(PARDA_CHECK_MSG(2 + 2 == 4, "never printed"));
 }
 
 }  // namespace
