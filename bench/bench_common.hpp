@@ -12,12 +12,25 @@
 //   - crit:  the busiest rank's CPU time — the critical-path lower bound
 //            that a one-core-per-rank cluster would approach (what the
 //            paper's 64-node runs measure).
+//
+// Timing-source audit (all timing sites, none use system_clock): every
+// harness interval is a util/timer.hpp WallTimer (steady_clock — immune to
+// wall-clock adjustment) and per-rank busy time is ThreadCpuTimer
+// (CLOCK_THREAD_CPUTIME_ID) inside comm::run. The observability layer's
+// span tracer and wait timers are likewise steady_clock-based.
+//
+// Observability: PARDA_METRICS_OUT=FILE and/or PARDA_TRACE_SPANS=FILE
+// enable the obs layer for the bench process and dump a parda.metrics.v1
+// snapshot / chrome://tracing span file at exit (same formats as
+// trace_tool --metrics-out / --trace-spans).
 #pragma once
 
 #include <cstdint>
 #include <cstdlib>
 #include <string>
 
+#include "hist/report.hpp"
+#include "obs/obs.hpp"
 #include "workload/spec.hpp"
 
 namespace parda::bench {
@@ -43,5 +56,41 @@ inline std::uint64_t scaled_bound(std::uint64_t paper_words) {
   const std::uint64_t b = paper_words / s;
   return b < 16 ? 16 : b;
 }
+
+namespace detail {
+
+inline void write_obs_snapshots() {
+  const char* metrics = std::getenv("PARDA_METRICS_OUT");
+  if (metrics != nullptr && *metrics != '\0') {
+    write_text_file(metrics, obs::registry().to_json() + "\n");
+  }
+  const char* spans = std::getenv("PARDA_TRACE_SPANS");
+  if (spans != nullptr && *spans != '\0') {
+    write_text_file(spans, obs::tracer().to_chrome_json() + "\n");
+  }
+}
+
+/// PARDA_METRICS_OUT / PARDA_TRACE_SPANS env hook: enables obs for the
+/// whole bench process and registers the exit-time snapshot writer.
+struct ObsEnvHook {
+  ObsEnvHook() {
+    const char* metrics = std::getenv("PARDA_METRICS_OUT");
+    const char* spans = std::getenv("PARDA_TRACE_SPANS");
+    if ((metrics == nullptr || *metrics == '\0') &&
+        (spans == nullptr || *spans == '\0')) {
+      return;
+    }
+    // Materialize the global registry and tracer BEFORE registering the
+    // atexit writer: their function-local statics are then destroyed
+    // after it runs (reverse registration order).
+    obs::registry();
+    obs::tracer();
+    obs::set_enabled(true);
+    std::atexit(&write_obs_snapshots);
+  }
+};
+inline const ObsEnvHook kObsEnvHook{};
+
+}  // namespace detail
 
 }  // namespace parda::bench

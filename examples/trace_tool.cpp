@@ -4,6 +4,8 @@
 //   ./trace_tool gen --workload=lbm --refs=100000 --out=lbm.trc
 //   ./trace_tool analyze lbm.trc --procs=4 --bound=2048
 //   ./trace_tool analyze lbm.trc --stream --pipe=65536 --watchdog-ms=1000
+//   ./trace_tool analyze lbm.trc --stream --metrics-out=m.json \
+//                --trace-spans=s.json
 //   ./trace_tool convert lbm.trc lbm.txt
 //
 // Exit codes: 0 success, 1 runtime failure (missing/corrupt trace, aborted
@@ -17,6 +19,8 @@
 #include "core/file_analysis.hpp"
 #include "core/parda.hpp"
 #include "hist/mrc.hpp"
+#include "hist/report.hpp"
+#include "obs/obs.hpp"
 #include "trace/trace_compress.hpp"
 #include "trace/trace_io.hpp"
 #include "util/cli.hpp"
@@ -87,6 +91,8 @@ int run_tool(int argc, char** argv) {
   std::string fault_plan_spec;
   std::uint64_t watchdog_ms = 0;
   std::uint64_t timeout_ms = 0;
+  std::string metrics_out;
+  std::string trace_spans;
 
   CliParser cli("Parda trace file tool");
   cli.add_flag("workload", &workload_name,
@@ -107,7 +113,15 @@ int run_tool(int argc, char** argv) {
                "stall watchdog sampling interval (0 = off)");
   cli.add_flag("timeout-ms", &timeout_ms,
                "per-op recv/barrier deadline (0 = wait forever)");
+  cli.add_flag("metrics-out", &metrics_out,
+               "write a parda.metrics.v1 JSON snapshot to FILE");
+  cli.add_flag("trace-spans", &trace_spans,
+               "write chrome://tracing span JSON to FILE");
   cli.parse(argc - 1, argv + 1);
+
+  // Observability is compiled in but off; either output flag turns it on
+  // for the whole process.
+  if (!metrics_out.empty() || !trace_spans.empty()) obs::set_enabled(true);
 
   if (command == "gen") {
     if (refs == 0) usage_error("gen: --refs must be positive");
@@ -155,6 +169,15 @@ int run_tool(int argc, char** argv) {
     } else {
       const auto trace = load(cli.positionals()[0]);
       print_result(parda_analyze(trace, options));
+    }
+    if (!metrics_out.empty()) {
+      write_text_file(metrics_out, obs::registry().to_json() + "\n");
+      std::printf("wrote metrics snapshot to %s\n", metrics_out.c_str());
+    }
+    if (!trace_spans.empty()) {
+      write_text_file(trace_spans, obs::tracer().to_chrome_json() + "\n");
+      std::printf("wrote %zu trace spans to %s\n",
+                  obs::tracer().events().size(), trace_spans.c_str());
     }
     return 0;
   }

@@ -10,6 +10,23 @@ namespace parda::comm {
 
 namespace detail {
 
+CommCounters& comm_counters() {
+  // Handles resolved once per process; the registry guarantees they stay
+  // valid for its lifetime.
+  static CommCounters counters{
+      obs::registry().counter("comm.sends"),
+      obs::registry().counter("comm.recvs"),
+      obs::registry().counter("comm.barriers"),
+      obs::registry().counter("comm.collectives"),
+      obs::registry().counter("comm.bytes_sent"),
+      obs::registry().counter("comm.bytes_copied"),
+      obs::registry().counter("comm.bytes_shared"),
+      obs::registry().timer("comm.mailbox_wait"),
+      obs::registry().timer("comm.barrier_wait"),
+  };
+  return counters;
+}
+
 Mailbox::Mailbox(int sources) {
   PARDA_CHECK(sources >= 1);
   buckets_.resize(static_cast<std::size_t>(sources));
@@ -230,6 +247,7 @@ std::vector<std::uint64_t> Comm::reduce_sum_u64(
   // Binomial-tree reduction in rank space relative to root, like a real
   // MPI_Reduce: log2(np) rounds, each rank sends once (a zero-copy move of
   // its accumulator).
+  note_collective();
   const int np = size();
   const int me = (rank_ - root + np) % np;  // virtual rank, root at 0
   std::vector<std::uint64_t> acc(mine.begin(), mine.end());
@@ -333,6 +351,8 @@ RunStats run(int np, const std::function<void(Comm&)>& fn,
   WallTimer wall;
   for (int r = 0; r < np; ++r) {
     threads.emplace_back([&, r] {
+      // Attribute this thread's metrics and spans to its rank shard.
+      obs::ScopedThreadRank obs_rank(r);
       RankStats& rank_stats = stats.ranks[static_cast<std::size_t>(r)];
       Comm comm(world, r, rank_stats, options.fault_plan, options.op_timeout);
       ThreadCpuTimer cpu;

@@ -59,6 +59,7 @@
 #include <vector>
 
 #include "comm/fault.hpp"
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
 
 namespace parda::comm {
@@ -354,6 +355,24 @@ class BlockedScope {
   World::RankBoard& board_;
 };
 
+/// Pre-resolved handles into the global metrics registry for the comm hot
+/// paths. Resolved once (mutex-guarded name lookup) on first use; every
+/// record after that is a lock-free shard update. The copy/shared split
+/// mirrors RankStats, so the snapshot can be cross-checked against the
+/// run's own accounting.
+struct CommCounters {
+  obs::Counter& sends;
+  obs::Counter& recvs;
+  obs::Counter& barriers;
+  obs::Counter& collectives;
+  obs::Counter& bytes_sent;
+  obs::Counter& bytes_copied;
+  obs::Counter& bytes_shared;
+  obs::TimerHistogram& mailbox_wait;
+  obs::TimerHistogram& barrier_wait;
+};
+CommCounters& comm_counters();
+
 }  // namespace detail
 
 /// The per-rank communicator handle passed to the rank function.
@@ -380,7 +399,7 @@ class Comm {
   template <Trivial T>
   void send(int dest, int tag, std::span<const T> data) {
     Payload p = Payload::copy_of(data);
-    stats_.bytes_copied += p.size_bytes();
+    note_copied(p.size_bytes());
     post(dest, tag, std::move(p), rank_);
   }
 
@@ -394,7 +413,7 @@ class Comm {
   template <Trivial T>
   void send(int dest, int tag, std::vector<T>&& data) {
     Payload p = Payload::own(std::move(data));
-    stats_.bytes_shared += p.size_bytes();
+    note_shared(p.size_bytes());
     post(dest, tag, std::move(p), rank_);
   }
 
@@ -433,7 +452,18 @@ class Comm {
     maybe_inject(FaultOp::kBarrier);
     detail::BlockedScope scope(board_, FaultOp::kBarrier, kAnySource,
                                kAnyTag);
-    world_.barrier(rank_, deadline_from(timeout));
+    if (obs::enabled()) {
+      auto& c = detail::comm_counters();
+      c.barriers.add(1);
+      const auto t0 = std::chrono::steady_clock::now();
+      world_.barrier(rank_, deadline_from(timeout));
+      c.barrier_wait.record_ns(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count()));
+    } else {
+      world_.barrier(rank_, deadline_from(timeout));
+    }
   }
 
   /// Gathers each rank's buffer at root via a log-depth binomial tree;
@@ -443,6 +473,7 @@ class Comm {
   template <Trivial T>
   std::vector<std::vector<T>> gather(std::vector<T>&& mine, int root,
                                      int tag) {
+    note_collective();
     std::vector<Payload> payloads =
         gather_payloads(Payload::own(std::move(mine)), root, tag);
     if (rank_ != root) return {};
@@ -456,7 +487,7 @@ class Comm {
   std::vector<std::vector<T>> gather(std::span<const T> mine, int root,
                                      int tag) {
     std::vector<T> owned(mine.begin(), mine.end());
-    stats_.bytes_copied += mine.size_bytes();
+    note_copied(mine.size_bytes());
     return gather(std::move(owned), root, tag);
   }
 
@@ -467,6 +498,7 @@ class Comm {
   template <Trivial T>
   std::vector<T> broadcast(std::vector<T> data, int root, int tag) {
     if (size() == 1) return data;
+    note_collective();
     Payload p;
     if (rank_ == root) p = Payload::own(std::move(data));
     p = bcast_payload(std::move(p), root, tag);
@@ -478,6 +510,7 @@ class Comm {
   /// block. No byte is copied anywhere.
   template <Trivial T>
   View<T> broadcast_view(std::vector<T>&& data, int root, int tag) {
+    note_collective();
     Payload p;
     if (rank_ == root) p = Payload::own(std::move(data));
     p = bcast_payload(std::move(p), root, tag);
@@ -491,6 +524,7 @@ class Comm {
   template <Trivial T>
   std::vector<T> scatterv(const std::vector<std::vector<T>>& pieces,
                           int root, int tag) {
+    note_collective();
     if (rank_ == root) {
       PARDA_CHECK_MSG(static_cast<int>(pieces.size()) == size(),
                       "scatterv at root got %zu pieces for %d ranks",
@@ -506,6 +540,7 @@ class Comm {
   template <Trivial T>
   std::vector<T> scatterv(std::vector<std::vector<T>>&& pieces, int root,
                           int tag) {
+    note_collective();
     if (rank_ == root) {
       PARDA_CHECK_MSG(static_cast<int>(pieces.size()) == size(),
                       "scatterv at root got %zu pieces for %d ranks",
@@ -528,6 +563,7 @@ class Comm {
       std::vector<T>&& block,
       std::span<const std::pair<std::uint64_t, std::uint64_t>> slices,
       int root, int tag) {
+    note_collective();
     if (rank_ != root) return recv_view<T>(root, tag);
     PARDA_CHECK_MSG(static_cast<int>(slices.size()) == size(),
                     "scatterv_view at root got %zu slices for %d ranks",
@@ -545,7 +581,7 @@ class Comm {
       Payload p = Payload::view(
           holder, reinterpret_cast<const std::byte*>(base + off),
           static_cast<std::size_t>(cnt) * sizeof(T));
-      stats_.bytes_shared += p.size_bytes();
+      note_shared(p.size_bytes());
       post(r, tag, std::move(p), rank_);
     }
     const auto [off, cnt] = slices[static_cast<std::size_t>(rank_)];
@@ -560,9 +596,10 @@ class Comm {
   /// concatenated buffer) is gone; each rank pays one copy-out per piece.
   template <Trivial T>
   std::vector<std::vector<T>> allgather(std::span<const T> mine, int tag) {
+    note_collective();
     const int np = size();
     std::vector<T> owned(mine.begin(), mine.end());
-    stats_.bytes_copied += mine.size_bytes();
+    note_copied(mine.size_bytes());
     std::vector<Payload> at_root =
         gather_payloads(Payload::own(std::move(owned)), 0, tag);
     std::vector<std::vector<T>> out(static_cast<std::size_t>(np));
@@ -589,6 +626,24 @@ class Comm {
   RankStats& stats() noexcept { return stats_; }
 
  private:
+  /// Byte-movement accounting: every copied/shared byte updates this
+  /// rank's RankStats and, when observability is on, the global per-rank
+  /// counters — one choke point per movement class instead of scattered
+  /// `stats_.x +=` sites.
+  void note_copied(std::size_t n) noexcept {
+    stats_.bytes_copied += n;
+    if (obs::enabled()) detail::comm_counters().bytes_copied.add(n);
+  }
+  void note_shared(std::size_t n) noexcept {
+    stats_.bytes_shared += n;
+    if (obs::enabled()) detail::comm_counters().bytes_shared.add(n);
+  }
+  /// One count per public collective entry (the binomial hops inside are
+  /// already visible as sends/recvs).
+  void note_collective() noexcept {
+    if (obs::enabled()) detail::comm_counters().collectives.add(1);
+  }
+
   /// Converts a per-call timeout (or the run-wide default) into an
   /// absolute deadline for one blocking wait.
   OpDeadline deadline_from(const OpTimeout& timeout) const {
@@ -615,7 +670,20 @@ class Comm {
     maybe_inject(FaultOp::kRecv);
     detail::BlockedScope scope(board_, FaultOp::kRecv, src, tag);
     Message out;
-    switch (world_.mailbox(rank_).pop(src, tag, out, deadline_from(timeout))) {
+    detail::Mailbox::Wait wait;
+    if (obs::enabled()) {
+      auto& c = detail::comm_counters();
+      c.recvs.add(1);
+      const auto t0 = std::chrono::steady_clock::now();
+      wait = world_.mailbox(rank_).pop(src, tag, out, deadline_from(timeout));
+      c.mailbox_wait.record_ns(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count()));
+    } else {
+      wait = world_.mailbox(rank_).pop(src, tag, out, deadline_from(timeout));
+    }
+    switch (wait) {
       case detail::Mailbox::Wait::kOk:
         return out;
       case detail::Mailbox::Wait::kPoisoned:
@@ -639,6 +707,11 @@ class Comm {
     stats_.bytes_sent += p.size_bytes();
     board_.messages_sent.fetch_add(1, std::memory_order_relaxed);
     board_.bytes_sent.fetch_add(p.size_bytes(), std::memory_order_relaxed);
+    if (obs::enabled()) {
+      auto& c = detail::comm_counters();
+      c.sends.add(1);
+      c.bytes_sent.add(p.size_bytes());
+    }
     Message msg;
     msg.src = rank_;
     msg.origin = origin;
@@ -650,7 +723,7 @@ class Comm {
   /// Relays an in-flight payload handle (collective hop): refcount bump,
   /// no byte copy.
   void forward(int dest, int tag, Payload p, int origin) {
-    stats_.bytes_shared += p.size_bytes();
+    note_shared(p.size_bytes());
     post(dest, tag, std::move(p), origin);
   }
 
@@ -665,7 +738,7 @@ class Comm {
                     b.size(), sizeof(T));
     out.resize(b.size() / sizeof(T));
     if (!out.empty()) std::memcpy(out.data(), b.data(), b.size());
-    stats_.bytes_copied += b.size();
+    note_copied(b.size());
     return out;
   }
 

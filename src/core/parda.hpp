@@ -21,6 +21,8 @@
 #include "core/messages.hpp"
 #include "core/rank_state.hpp"
 #include "hist/histogram.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span_tracer.hpp"
 #include "trace/trace_pipe.hpp"
 #include "tree/splay_tree.hpp"
 #include "util/check.hpp"
@@ -96,6 +98,33 @@ void run_merge_rounds(comm::Comm& comm, RankState<Tree>& state, int virt,
   }
 }
 
+/// End-of-rank metrics publication: the rank's RankProfile plus the
+/// structural counters of its analysis state, attributed to the calling
+/// rank's shard. Cold path (runs once per rank per analysis); the engine.*
+/// totals are designed to agree with the result histogram:
+/// engine.chunk_refs == hist.total(), engine.hits_resolved ==
+/// hist.finite_total().
+template <OrderStatTree Tree>
+void publish_rank_metrics(const RankProfile& profile,
+                          const RankState<Tree>& state) {
+  if (!obs::enabled()) return;
+  auto& reg = obs::registry();
+  reg.counter("engine.chunk_refs").add(profile.chunk_refs);
+  reg.counter("engine.records_received").add(profile.records_received);
+  reg.counter("engine.records_forwarded").add(profile.records_forwarded);
+  reg.counter("engine.hits_resolved").add(profile.hits_resolved);
+  reg.counter("engine.infinities").add(state.hist().infinities());
+  reg.counter("engine.phases").add(profile.phases);
+  reg.counter("engine.hash_probes").add(state.table().probe_count());
+  if constexpr (requires { state.tree().rotation_count(); }) {
+    reg.counter("engine.tree_rotations").add(state.tree().rotation_count());
+  }
+  if constexpr (requires { state.tree().splay_count(); }) {
+    reg.counter("engine.tree_splays").add(state.tree().splay_count());
+  }
+  reg.gauge("engine.peak_resident").set_max(profile.peak_resident);
+}
+
 /// Gathers each rank's profile at rank 0 (physical order).
 inline std::vector<RankProfile> gather_profiles(comm::Comm& comm,
                                                 const RankProfile& mine) {
@@ -135,21 +164,33 @@ PardaResult parda_analyze(std::span<const Addr> trace,
 
     const std::size_t begin = std::min(p * chunk, n);
     const std::size_t end = std::min(begin + chunk, n);
-    state.begin_merge_stage();
-    for (std::size_t t = begin; t < end; ++t) {
-      state.process_own(trace[t], static_cast<Timestamp>(t));
+    {
+      obs::SpanScope span("analyze");
+      state.begin_merge_stage();
+      for (std::size_t t = begin; t < end; ++t) {
+        state.process_own(trace[t], static_cast<Timestamp>(t));
+      }
     }
     profile.chunk_refs = end - begin;
 
-    detail::run_merge_rounds(comm, state, comm.rank(),
-                             [](int virt) { return virt; },
-                             &profile.records_forwarded);
+    {
+      obs::SpanScope span("infinity-pipeline");
+      detail::run_merge_rounds(comm, state, comm.rank(),
+                               [](int virt) { return virt; },
+                               &profile.records_forwarded);
+    }
     profile.records_received = state.received_count();
     profile.hits_resolved = state.hist().finite_total();
     profile.peak_resident = state.peak_resident();
+    detail::publish_rank_metrics(profile, state);
 
-    std::vector<RankProfile> gathered = detail::gather_profiles(comm, profile);
-    Histogram reduced = reduce_histogram(comm, state.hist(), 0);
+    std::vector<RankProfile> gathered;
+    Histogram reduced;
+    {
+      obs::SpanScope span("reduce");
+      gathered = detail::gather_profiles(comm, profile);
+      reduced = reduce_histogram(comm, state.hist(), 0);
+    }
     if (comm.rank() == 0) {
       result = std::move(reduced);
       profiles = std::move(gathered);
@@ -188,12 +229,16 @@ PardaResult parda_analyze_stream(TracePipe& pipe, const PardaOptions& options) {
       return reversed ? np - 1 - phys : phys;
     };
     Timestamp phase_base = 0;
+    std::uint32_t phase_no = 0;
 
     while (true) {
       // --- Phase intake: rank 0 reads ONE block from the pipe and
       // scatters per-rank (offset, count) views of it — the block is never
       // copied again, regardless of np (slices are indexed by physical
-      // rank via the virtual mapping).
+      // rank via the virtual mapping). The span is recorded manually
+      // because phase_words and the chunk view outlive this section.
+      const std::int64_t scatter_t0 =
+          obs::enabled() ? obs::tracer().now_ns() : -1;
       std::vector<Addr> block;
       std::vector<std::uint64_t> header;
       std::vector<std::pair<std::uint64_t, std::uint64_t>> slices;
@@ -214,40 +259,54 @@ PardaResult parda_analyze_stream(TracePipe& pipe, const PardaOptions& options) {
           std::move(block),
           std::span<const std::pair<std::uint64_t, std::uint64_t>>(slices), 0,
           kTagChunk);
+      if (scatter_t0 >= 0) {
+        obs::tracer().record(scatter_t0, obs::tracer().now_ns(), "scatter",
+                             phase_no);
+      }
       if (phase_words == 0) break;
 
       // --- Chunk processing (Algorithm 7 / modified stack_dist).
       const int virt = virt_of(me);
       const Timestamp my_base =
           phase_base + static_cast<Timestamp>(virt) * chunk;
-      state.begin_merge_stage();
-      for (std::size_t i = 0; i < mine.size(); ++i) {
-        state.process_own(mine[i], my_base + i);
+      {
+        obs::SpanScope span("analyze", phase_no);
+        state.begin_merge_stage();
+        for (std::size_t i = 0; i < mine.size(); ++i) {
+          state.process_own(mine[i], my_base + i);
+        }
       }
       profile.chunk_refs += mine.size();
       ++profile.phases;
 
       // --- Merge rounds (Algorithm 3's loop on virtual topology).
-      detail::run_merge_rounds(comm, state, virt, phys_of,
-                               &profile.records_forwarded);
+      {
+        obs::SpanScope span("infinity-pipeline", phase_no);
+        detail::run_merge_rounds(comm, state, virt, phys_of,
+                                 &profile.records_forwarded);
+      }
       profile.records_received += state.received_count();
 
       // --- State reduction onto virtual np-1 (Algorithm 6): the exported
       // state moves into the message and is imported through a view.
-      const int holder_phys = phys_of(np - 1);
-      if (virt != np - 1) {
-        comm.send(holder_phys, kTagState, state.export_state());
-      } else {
-        for (int v = 0; v < np - 1; ++v) {
-          const comm::View<InfRecord> incoming =
-              comm.recv_view<InfRecord>(phys_of(v), kTagState);
-          state.import_state(incoming.span());
+      {
+        obs::SpanScope span("reduce", phase_no);
+        const int holder_phys = phys_of(np - 1);
+        if (virt != np - 1) {
+          comm.send(holder_phys, kTagState, state.export_state());
+        } else {
+          for (int v = 0; v < np - 1; ++v) {
+            const comm::View<InfRecord> incoming =
+                comm.recv_view<InfRecord>(phys_of(v), kTagState);
+            state.import_state(incoming.span());
+          }
+          state.prune_to_bound();
         }
-        state.prune_to_bound();
       }
 
       phase_base += phase_words;
       reversed = !reversed;  // the holder is virtual rank 0 next phase
+      ++phase_no;
       if (phase_words < chunk * static_cast<std::uint64_t>(np)) {
         // Short phase: the pipe is exhausted; everyone agrees because
         // phase_words was broadcast.
@@ -257,8 +316,14 @@ PardaResult parda_analyze_stream(TracePipe& pipe, const PardaOptions& options) {
 
     profile.hits_resolved = state.hist().finite_total();
     profile.peak_resident = state.peak_resident();
-    std::vector<RankProfile> gathered = detail::gather_profiles(comm, profile);
-    Histogram reduced = reduce_histogram(comm, state.hist(), 0);
+    detail::publish_rank_metrics(profile, state);
+    std::vector<RankProfile> gathered;
+    Histogram reduced;
+    {
+      obs::SpanScope span("final-reduce");
+      gathered = detail::gather_profiles(comm, profile);
+      reduced = reduce_histogram(comm, state.hist(), 0);
+    }
     if (me == 0) {
       result = std::move(reduced);
       profiles = std::move(gathered);

@@ -183,6 +183,7 @@ class RankState {
   std::uint64_t bound() const noexcept { return bound_; }
   bool space_optimized() const noexcept { return space_optimized_; }
   const Tree& tree() const noexcept { return tree_; }
+  const AddrMap& table() const noexcept { return table_; }
 
  private:
   void note_resident() noexcept {

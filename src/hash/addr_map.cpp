@@ -24,6 +24,7 @@ const Timestamp* AddrMap::find(Addr key) const noexcept {
   std::size_t i = bucket_of(key);
   std::uint16_t dib = 0;
   while (true) {
+    ++probes_;
     const Slot& s = slots_[i];
     if (s.dib == kEmpty || s.dib < dib) return nullptr;
     if (s.dib == dib && s.key == key) return &s.value;
@@ -74,6 +75,7 @@ bool AddrMap::erase(Addr key) noexcept {
   std::size_t i = bucket_of(key);
   std::uint16_t dib = 0;
   while (true) {
+    ++probes_;
     Slot& s = slots_[i];
     if (s.dib == kEmpty || s.dib < dib) return false;
     if (s.dib == dib && s.key == key) break;

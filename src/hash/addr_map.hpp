@@ -62,6 +62,12 @@ class AddrMap {
   /// Longest probe chain currently in the table (diagnostics / tests).
   std::size_t max_probe_length() const noexcept;
 
+  /// Cumulative slot inspections across every find/erase search over the
+  /// map's lifetime — the "hash probes" engine stat surfaced by the
+  /// observability layer. A plain (non-atomic) counter: AddrMap is
+  /// single-threaded per rank.
+  std::uint64_t probe_count() const noexcept { return probes_; }
+
  private:
   // dib is 16-bit with 0xFFFF as the empty sentinel. The previous 8-bit
   // encoding made a probe chain of length 255 indistinguishable from
@@ -90,6 +96,7 @@ class AddrMap {
   std::vector<Slot> slots_;
   std::size_t size_ = 0;
   std::size_t mask_ = 0;
+  mutable std::uint64_t probes_ = 0;
 };
 
 }  // namespace parda

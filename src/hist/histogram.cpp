@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/check.hpp"
+#include "util/json.hpp"
 
 namespace parda {
 
@@ -124,6 +125,46 @@ Histogram Histogram::from_words(const std::vector<std::uint64_t>& words) {
   const std::uint64_t n = words[2];
   PARDA_CHECK(words.size() == 3 + n);
   h.counts_.assign(words.begin() + 3, words.end());
+  return h;
+}
+
+std::string Histogram::to_json() const {
+  json::Writer w;
+  w.begin_object();
+  w.key("schema").value("parda.histogram.v1");
+  w.key("total").value(total_);
+  w.key("infinities").value(infinities_);
+  w.key("finite").begin_array();
+  for (std::size_t d = 0; d < counts_.size(); ++d) {
+    if (counts_[d] == 0) continue;
+    w.begin_array().value(std::uint64_t{d}).value(counts_[d]).end_array();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+Histogram Histogram::from_json(std::string_view text) {
+  const json::Value doc = json::parse(text);
+  if (!doc.is_object()) throw json::JsonError("histogram: not an object");
+  const json::Value* schema = doc.find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != "parda.histogram.v1") {
+    throw json::JsonError("histogram: missing/unknown schema");
+  }
+  Histogram h;
+  const json::Value& finite = doc.at("finite");
+  if (!finite.is_array()) throw json::JsonError("histogram: finite not array");
+  for (const json::Value& pair : finite.array) {
+    if (!pair.is_array() || pair.array.size() != 2) {
+      throw json::JsonError("histogram: finite entry not a [d, count] pair");
+    }
+    h.record(pair.array[0].as_u64(), pair.array[1].as_u64());
+  }
+  h.record(kInfiniteDistance, doc.at("infinities").as_u64());
+  if (h.total_ != doc.at("total").as_u64()) {
+    throw json::JsonError("histogram: total does not match finite+infinities");
+  }
   return h;
 }
 

@@ -7,6 +7,8 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "util/types.hpp"
@@ -61,6 +63,15 @@ class Histogram {
   /// Flat serialization: [infinities, total, n, counts[0..n)].
   std::vector<std::uint64_t> to_words() const;
   static Histogram from_words(const std::vector<std::uint64_t>& words);
+
+  /// JSON serialization ("parda.histogram.v1"): sparse finite counts as
+  /// [[distance, count], ...] plus the infinity bin and totals. This is
+  /// THE interchange format — the metrics snapshot and hist/report tooling
+  /// both use it; the CSV emitters remain for plotting only.
+  std::string to_json() const;
+  /// Inverse of to_json(). Throws json::JsonError on malformed input or a
+  /// schema/total mismatch.
+  static Histogram from_json(std::string_view text);
 
  private:
   std::vector<std::uint64_t> counts_;

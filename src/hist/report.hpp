@@ -1,5 +1,9 @@
-// CSV emission for histograms and miss-ratio curves, so bench harness
-// output can be plotted (gnuplot/python) without re-running experiments.
+// Report emission for histograms and miss-ratio curves.
+//
+// JSON ("parda.histogram.v1", via Histogram::to_json) is the interchange
+// format — it round-trips and is what the metrics snapshot embeds. The CSV
+// emitters are plotting-only (gnuplot/python) and deprecated for anything
+// that needs to be read back.
 #pragma once
 
 #include <string>
@@ -10,11 +14,17 @@
 
 namespace parda {
 
+/// The "parda.histogram.v1" document plus a trailing newline, ready for
+/// write_text_file. Read back with Histogram::from_json.
+std::string histogram_to_json(const Histogram& hist);
+
 /// CSV with header "distance,count" (finite rows ascending) and a final
-/// "inf,<count>" row.
+/// "inf,<count>" row. Plotting-only: does not round-trip (use
+/// histogram_to_json for interchange).
 std::string histogram_to_csv(const Histogram& hist);
 
 /// CSV with header "bucket_low,bucket_high,count" over log2 buckets.
+/// Plotting-only; lossy (use histogram_to_json for interchange).
 std::string histogram_to_csv_log2(const Histogram& hist);
 
 /// CSV with header "cache_size,miss_ratio".

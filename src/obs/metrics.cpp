@@ -1,0 +1,237 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+#include "util/json.hpp"
+
+namespace parda::obs {
+
+// --- Counter ---------------------------------------------------------------
+
+std::uint64_t Counter::total() const noexcept {
+  std::uint64_t sum = 0;
+  for (const auto& s : slots_) sum += s.v.load(std::memory_order_relaxed);
+  return sum;
+}
+
+std::array<std::uint64_t, kShards> Counter::shards() const noexcept {
+  std::array<std::uint64_t, kShards> out{};
+  for (int i = 0; i < kShards; ++i) {
+    out[static_cast<std::size_t>(i)] =
+        slots_[static_cast<std::size_t>(i)].v.load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void Counter::reset() noexcept {
+  for (auto& s : slots_) s.v.store(0, std::memory_order_relaxed);
+}
+
+// --- Gauge -----------------------------------------------------------------
+
+std::uint64_t Gauge::max() const noexcept {
+  std::uint64_t m = 0;
+  for (const auto& s : slots_) {
+    m = std::max(m, s.max.load(std::memory_order_relaxed));
+  }
+  return m;
+}
+
+std::array<std::uint64_t, kShards> Gauge::shards() const noexcept {
+  std::array<std::uint64_t, kShards> out{};
+  for (int i = 0; i < kShards; ++i) {
+    out[static_cast<std::size_t>(i)] =
+        slots_[static_cast<std::size_t>(i)].max.load(
+            std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void Gauge::reset() noexcept {
+  for (auto& s : slots_) {
+    s.value.store(0, std::memory_order_relaxed);
+    s.max.store(0, std::memory_order_relaxed);
+  }
+}
+
+// --- TimerHistogram --------------------------------------------------------
+
+TimerHistogram::Aggregate TimerHistogram::aggregate() const noexcept {
+  Aggregate agg;
+  std::uint64_t min_seen = ~std::uint64_t{0};
+  for (const auto& s : slots_) {
+    const std::uint64_t c = s.count.load(std::memory_order_relaxed);
+    if (c == 0) continue;
+    agg.count += c;
+    agg.sum_ns += s.sum_ns.load(std::memory_order_relaxed);
+    min_seen = std::min(min_seen, s.min_ns.load(std::memory_order_relaxed));
+    agg.max_ns =
+        std::max(agg.max_ns, s.max_ns.load(std::memory_order_relaxed));
+    for (int b = 0; b < kBuckets; ++b) {
+      agg.buckets[static_cast<std::size_t>(b)] +=
+          s.buckets[static_cast<std::size_t>(b)].load(
+              std::memory_order_relaxed);
+    }
+  }
+  agg.min_ns = agg.count == 0 ? 0 : min_seen;
+  return agg;
+}
+
+std::array<std::pair<std::uint64_t, std::uint64_t>, kShards>
+TimerHistogram::shards() const noexcept {
+  std::array<std::pair<std::uint64_t, std::uint64_t>, kShards> out{};
+  for (int i = 0; i < kShards; ++i) {
+    const auto& s = slots_[static_cast<std::size_t>(i)];
+    out[static_cast<std::size_t>(i)] = {
+        s.count.load(std::memory_order_relaxed),
+        s.sum_ns.load(std::memory_order_relaxed)};
+  }
+  return out;
+}
+
+void TimerHistogram::reset() noexcept {
+  for (auto& s : slots_) {
+    s.count.store(0, std::memory_order_relaxed);
+    s.sum_ns.store(0, std::memory_order_relaxed);
+    s.min_ns.store(~std::uint64_t{0}, std::memory_order_relaxed);
+    s.max_ns.store(0, std::memory_order_relaxed);
+    for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+  }
+}
+
+// --- Registry --------------------------------------------------------------
+
+template <typename T>
+T& Registry::find_or_create(std::vector<std::unique_ptr<T>>& store,
+                            std::string_view name) {
+  std::lock_guard lock(mu_);
+  for (const auto& m : store) {
+    if (m->name() == name) return *m;
+  }
+  store.push_back(std::make_unique<T>(std::string(name)));
+  return *store.back();
+}
+
+Counter& Registry::counter(std::string_view name) {
+  return find_or_create(counters_, name);
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  return find_or_create(gauges_, name);
+}
+
+TimerHistogram& Registry::timer(std::string_view name) {
+  return find_or_create(timers_, name);
+}
+
+void Registry::reset_values() {
+  std::lock_guard lock(mu_);
+  for (const auto& c : counters_) c->reset();
+  for (const auto& g : gauges_) g->reset();
+  for (const auto& t : timers_) t->reset();
+}
+
+std::uint64_t Registry::counter_total(std::string_view name) const {
+  std::lock_guard lock(mu_);
+  for (const auto& c : counters_) {
+    if (c->name() == name) return c->total();
+  }
+  return 0;
+}
+
+namespace {
+
+/// Shards trimmed to the last active one: [unattributed, rank0, rank1, ...].
+template <typename Array>
+std::size_t active_shards(const Array& shards) {
+  std::size_t last = 0;
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    if (shards[i] != typename Array::value_type{}) last = i + 1;
+  }
+  return last;
+}
+
+void write_shard_array(json::Writer& w,
+                       const std::array<std::uint64_t, kShards>& shards) {
+  // per_rank[r] is rank r's value; shard 0 (unattributed) is its own key.
+  const std::size_t n = active_shards(shards);
+  w.key("unattributed").value(shards[0]);
+  w.key("per_rank").begin_array();
+  for (std::size_t i = 1; i < std::max<std::size_t>(n, 1); ++i) {
+    w.value(shards[i]);
+  }
+  w.end_array();
+}
+
+}  // namespace
+
+std::string Registry::to_json() const {
+  std::lock_guard lock(mu_);
+  json::Writer w;
+  w.begin_object();
+  w.key("schema").value("parda.metrics.v1");
+
+  w.key("counters").begin_object();
+  for (const auto& c : counters_) {
+    w.key(c->name()).begin_object();
+    w.key("total").value(c->total());
+    write_shard_array(w, c->shards());
+    w.end_object();
+  }
+  w.end_object();
+
+  w.key("gauges").begin_object();
+  for (const auto& g : gauges_) {
+    w.key(g->name()).begin_object();
+    w.key("max").value(g->max());
+    write_shard_array(w, g->shards());
+    w.end_object();
+  }
+  w.end_object();
+
+  w.key("timers").begin_object();
+  for (const auto& t : timers_) {
+    const TimerHistogram::Aggregate agg = t->aggregate();
+    w.key(t->name()).begin_object();
+    w.key("count").value(agg.count);
+    w.key("sum_ns").value(agg.sum_ns);
+    w.key("min_ns").value(agg.min_ns);
+    w.key("max_ns").value(agg.max_ns);
+    w.key("mean_ns").value(
+        agg.count == 0 ? 0.0
+                       : static_cast<double>(agg.sum_ns) /
+                             static_cast<double>(agg.count));
+    w.key("log2_ns").begin_array();
+    std::size_t last = 0;
+    for (std::size_t b = 0; b < agg.buckets.size(); ++b) {
+      if (agg.buckets[b] != 0) last = b + 1;
+    }
+    for (std::size_t b = 0; b < last; ++b) w.value(agg.buckets[b]);
+    w.end_array();
+    const auto shards = t->shards();
+    w.key("per_rank").begin_array();
+    std::size_t n = 0;
+    for (std::size_t i = 1; i < shards.size(); ++i) {
+      if (shards[i].first != 0) n = i;
+    }
+    for (std::size_t i = 1; i <= n; ++i) {
+      w.begin_object();
+      w.key("count").value(shards[i].first);
+      w.key("sum_ns").value(shards[i].second);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+
+  w.end_object();
+  return w.take();
+}
+
+Registry& registry() {
+  static Registry instance;
+  return instance;
+}
+
+}  // namespace parda::obs

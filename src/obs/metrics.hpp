@@ -1,0 +1,213 @@
+// The metrics registry: named Counters, Gauges, and TimerHistograms with
+// per-rank sharded slots, aggregated only at snapshot time.
+//
+// Hot-path contract (the reason this layer may be wired through the comm
+// runtime and the analysis engines): recording is lock-free — one relaxed
+// load of the enable flag, then one relaxed atomic RMW on a cache-line-
+// padded slot owned by the recording rank. No allocation, no locking, no
+// cross-rank cache-line sharing. Registration (name lookup) takes a mutex
+// and must stay off hot paths: resolve metric handles once, then record
+// through the handle.
+//
+// The snapshot schema ("parda.metrics.v1") is shared by trace_tool
+// --metrics-out, the bench_common.hpp PARDA_METRICS_OUT hook, and the
+// tests; see DESIGN.md section "Observability".
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/runtime.hpp"
+
+namespace parda::obs {
+
+namespace detail {
+
+struct alignas(64) Slot {
+  std::atomic<std::uint64_t> v{0};
+};
+
+/// Relaxed compare-exchange max on an atomic (snapshot readers tolerate
+/// momentary staleness).
+inline void atomic_max(std::atomic<std::uint64_t>& a,
+                       std::uint64_t v) noexcept {
+  std::uint64_t cur = a.load(std::memory_order_relaxed);
+  while (cur < v &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+inline void atomic_min(std::atomic<std::uint64_t>& a,
+                       std::uint64_t v) noexcept {
+  std::uint64_t cur = a.load(std::memory_order_relaxed);
+  while (cur > v &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace detail
+
+/// Monotonic event/byte count, sharded per rank.
+class Counter {
+ public:
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+
+  /// Adds n to the calling thread's shard. No-op while obs is disabled.
+  void add(std::uint64_t n) noexcept {
+    if (!enabled()) return;
+    slots_[static_cast<std::size_t>(thread_shard())].v.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+  void increment() noexcept { add(1); }
+
+  /// Explicit-shard add for cold paths that attribute on behalf of a rank
+  /// (e.g. end-of-run engine stat publication).
+  void add_for_rank(int rank, std::uint64_t n) noexcept {
+    if (!enabled()) return;
+    const int shard = (rank >= 0 && rank < kMaxRanks) ? rank + 1 : 0;
+    slots_[static_cast<std::size_t>(shard)].v.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+  const std::string& name() const noexcept { return name_; }
+  std::uint64_t total() const noexcept;
+  /// Shard values: index 0 unattributed, index r+1 = rank r.
+  std::array<std::uint64_t, kShards> shards() const noexcept;
+  void reset() noexcept;
+
+ private:
+  std::string name_;
+  std::array<detail::Slot, kShards> slots_;
+};
+
+/// Last-set value and running max per shard (e.g. peak resident set size).
+class Gauge {
+ public:
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+
+  void set(std::uint64_t v) noexcept {
+    if (!enabled()) return;
+    auto& s = slots_[static_cast<std::size_t>(thread_shard())];
+    s.value.store(v, std::memory_order_relaxed);
+    detail::atomic_max(s.max, v);
+  }
+  void set_max(std::uint64_t v) noexcept {
+    if (!enabled()) return;
+    detail::atomic_max(
+        slots_[static_cast<std::size_t>(thread_shard())].max, v);
+  }
+  void set_for_rank(int rank, std::uint64_t v) noexcept {
+    if (!enabled()) return;
+    const int shard = (rank >= 0 && rank < kMaxRanks) ? rank + 1 : 0;
+    auto& s = slots_[static_cast<std::size_t>(shard)];
+    s.value.store(v, std::memory_order_relaxed);
+    detail::atomic_max(s.max, v);
+  }
+
+  const std::string& name() const noexcept { return name_; }
+  std::uint64_t max() const noexcept;
+  std::array<std::uint64_t, kShards> shards() const noexcept;
+  void reset() noexcept;
+
+ private:
+  struct alignas(64) GaugeSlot {
+    std::atomic<std::uint64_t> value{0};
+    std::atomic<std::uint64_t> max{0};
+  };
+  std::string name_;
+  std::array<GaugeSlot, kShards> slots_;
+};
+
+/// Duration distribution: per-shard count/sum/min/max plus log2(ns)
+/// buckets, so mailbox-wait and phase-time distributions survive
+/// aggregation without storing every sample.
+class TimerHistogram {
+ public:
+  /// log2 nanosecond buckets: bucket i holds durations in [2^i, 2^(i+1))
+  /// ns (bucket 0 also holds 0 ns). 2^39 ns ~ 9 minutes: ample.
+  static constexpr int kBuckets = 40;
+
+  explicit TimerHistogram(std::string name) : name_(std::move(name)) {}
+
+  void record_ns(std::uint64_t ns) noexcept {
+    if (!enabled()) return;
+    auto& s = slots_[static_cast<std::size_t>(thread_shard())];
+    s.count.fetch_add(1, std::memory_order_relaxed);
+    s.sum_ns.fetch_add(ns, std::memory_order_relaxed);
+    detail::atomic_min(s.min_ns, ns);
+    detail::atomic_max(s.max_ns, ns);
+    int b = 0;
+    while ((std::uint64_t{1} << (b + 1)) <= ns && b + 1 < kBuckets) ++b;
+    s.buckets[static_cast<std::size_t>(b)].fetch_add(
+        1, std::memory_order_relaxed);
+  }
+
+  struct Aggregate {
+    std::uint64_t count = 0;
+    std::uint64_t sum_ns = 0;
+    std::uint64_t min_ns = 0;  // 0 when count == 0
+    std::uint64_t max_ns = 0;
+    std::array<std::uint64_t, kBuckets> buckets{};
+  };
+
+  const std::string& name() const noexcept { return name_; }
+  Aggregate aggregate() const noexcept;
+  /// Per-shard (count, sum_ns): index 0 unattributed, r+1 = rank r.
+  std::array<std::pair<std::uint64_t, std::uint64_t>, kShards> shards()
+      const noexcept;
+  void reset() noexcept;
+
+ private:
+  struct alignas(64) TimerSlot {
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sum_ns{0};
+    std::atomic<std::uint64_t> min_ns{~std::uint64_t{0}};
+    std::atomic<std::uint64_t> max_ns{0};
+    std::array<std::atomic<std::uint64_t>, kBuckets> buckets{};
+  };
+  std::string name_;
+  std::array<TimerSlot, kShards> slots_;
+};
+
+/// Name -> metric store. Lookup is mutex-guarded (cold path only); handles
+/// returned by counter()/gauge()/timer() are stable for the registry's
+/// lifetime and are the hot-path interface.
+class Registry {
+ public:
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  TimerHistogram& timer(std::string_view name);
+
+  /// Zeroes every slot of every registered metric (handles stay valid).
+  void reset_values();
+
+  /// Full snapshot as "parda.metrics.v1" JSON. Per-rank arrays are trimmed
+  /// to the highest shard with any activity.
+  std::string to_json() const;
+
+  /// Convenience lookups for tests and report code: total across shards,
+  /// or 0 if the metric was never registered.
+  std::uint64_t counter_total(std::string_view name) const;
+
+ private:
+  template <typename T>
+  T& find_or_create(std::vector<std::unique_ptr<T>>& store,
+                    std::string_view name);
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Counter>> counters_;
+  std::vector<std::unique_ptr<Gauge>> gauges_;
+  std::vector<std::unique_ptr<TimerHistogram>> timers_;
+};
+
+/// The process-global registry (what trace_tool, the comm runtime, and the
+/// bench hook record into).
+Registry& registry();
+
+}  // namespace parda::obs

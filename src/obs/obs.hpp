@@ -1,0 +1,11 @@
+// Umbrella for the observability layer: the enable/attribution runtime,
+// the metrics registry (Counter / Gauge / TimerHistogram with per-rank
+// shards), and the span tracer with chrome://tracing export.
+//
+// See DESIGN.md section "Observability" for the schema, the overhead
+// budget, and how spans map onto the paper's Algorithms 3-7 phases.
+#pragma once
+
+#include "obs/metrics.hpp"      // IWYU pragma: export
+#include "obs/runtime.hpp"      // IWYU pragma: export
+#include "obs/span_tracer.hpp"  // IWYU pragma: export

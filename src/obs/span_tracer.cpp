@@ -1,0 +1,120 @@
+#include "obs/span_tracer.hpp"
+
+#include <algorithm>
+
+#include "util/json.hpp"
+
+namespace parda::obs {
+
+SpanTracer::SpanTracer(std::size_t capacity_per_rank)
+    : epoch_(std::chrono::steady_clock::now()),
+      capacity_(std::max<std::size_t>(capacity_per_rank, 16)) {
+  rings_.reserve(kShards);
+  for (int i = 0; i < kShards; ++i) {
+    rings_.push_back(std::make_unique<Ring>(capacity_));
+  }
+}
+
+void SpanTracer::record(std::int64_t t_start_ns, std::int64_t t_end_ns,
+                        const char* op, std::uint32_t phase) noexcept {
+  if (!enabled()) return;
+  Ring& ring = *rings_[static_cast<std::size_t>(thread_shard())];
+  // Claim an index with one relaxed RMW: rank shards have a single writer
+  // (the rank's own thread); the unattributed shard may have several, and
+  // the claim keeps their writes disjoint.
+  const std::uint64_t idx = ring.n.fetch_add(1, std::memory_order_relaxed);
+  SpanEvent& slot = ring.events[static_cast<std::size_t>(idx % capacity_)];
+  slot.t_start_ns = t_start_ns;
+  slot.t_end_ns = t_end_ns;
+  slot.op = op;
+  slot.phase = phase;
+  slot.rank = thread_rank();
+}
+
+std::vector<SpanEvent> SpanTracer::events() const {
+  std::vector<SpanEvent> out;
+  for (const auto& ring : rings_) {
+    const std::uint64_t n = ring->n.load(std::memory_order_acquire);
+    const std::uint64_t kept = std::min<std::uint64_t>(n, capacity_);
+    for (std::uint64_t i = n - kept; i < n; ++i) {
+      out.push_back(ring->events[static_cast<std::size_t>(i % capacity_)]);
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const SpanEvent& a, const SpanEvent& b) {
+                     if (a.rank != b.rank) return a.rank < b.rank;
+                     return a.t_start_ns < b.t_start_ns;
+                   });
+  return out;
+}
+
+std::vector<SpanEvent> SpanTracer::events_for_rank(int rank) const {
+  std::vector<SpanEvent> all = events();
+  std::erase_if(all, [rank](const SpanEvent& e) { return e.rank != rank; });
+  return all;
+}
+
+std::uint64_t SpanTracer::dropped() const noexcept {
+  std::uint64_t d = 0;
+  for (const auto& ring : rings_) {
+    const std::uint64_t n = ring->n.load(std::memory_order_relaxed);
+    if (n > capacity_) d += n - capacity_;
+  }
+  return d;
+}
+
+void SpanTracer::clear() noexcept {
+  for (auto& ring : rings_) ring->n.store(0, std::memory_order_relaxed);
+}
+
+std::string SpanTracer::to_chrome_json() const {
+  const std::vector<SpanEvent> all = events();
+  json::Writer w;
+  w.begin_object();
+  w.key("traceEvents").begin_array();
+  // Thread-name metadata so chrome://tracing labels rows "rank N".
+  std::int32_t last_named = -2;
+  for (const SpanEvent& e : all) {
+    if (e.rank != last_named) {
+      last_named = e.rank;
+      w.begin_object();
+      w.key("name").value("thread_name");
+      w.key("ph").value("M");
+      w.key("pid").value(0);
+      w.key("tid").value(e.rank >= 0 ? e.rank : kMaxRanks);
+      w.key("args").begin_object();
+      w.key("name").value(e.rank >= 0
+                              ? ("rank " + std::to_string(e.rank))
+                              : std::string("driver"));
+      w.end_object();
+      w.end_object();
+    }
+    w.begin_object();
+    w.key("name").value(e.op);
+    w.key("cat").value("parda");
+    w.key("ph").value("X");
+    w.key("pid").value(0);
+    w.key("tid").value(e.rank >= 0 ? e.rank : kMaxRanks);
+    w.key("ts").value(static_cast<double>(e.t_start_ns) / 1000.0);
+    w.key("dur").value(
+        static_cast<double>(e.t_end_ns - e.t_start_ns) / 1000.0);
+    w.key("args").begin_object();
+    w.key("rank").value(static_cast<std::int64_t>(e.rank));
+    if (e.phase != kNoPhase) {
+      w.key("phase").value(static_cast<std::uint64_t>(e.phase));
+    }
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.key("displayTimeUnit").value("ms");
+  w.end_object();
+  return w.take();
+}
+
+SpanTracer& tracer() {
+  static SpanTracer instance;
+  return instance;
+}
+
+}  // namespace parda::obs

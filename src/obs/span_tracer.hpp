@@ -1,0 +1,112 @@
+// Span-based tracing: each rank thread records {rank, phase, op, t_start,
+// t_end} events into its own fixed-capacity ring buffer (single writer per
+// shard on the rank paths; the unattributed shard claims indices with one
+// relaxed fetch_add). Export produces chrome://tracing JSON ("traceEvents"
+// with complete "X" events, tid == rank) so a streaming run's per-phase
+// structure — scatter / analyze / infinity-pipeline / reduce per Algorithm
+// 5 phase — can be loaded straight into a trace viewer.
+//
+// Timestamps are steady_clock nanoseconds relative to the tracer's epoch;
+// recording costs one clock read at span start and one at span end, and
+// nothing at all while obs is disabled.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/runtime.hpp"
+
+namespace parda::obs {
+
+/// Sentinel for spans outside any streaming phase.
+inline constexpr std::uint32_t kNoPhase = 0xFFFFFFFFu;
+
+struct SpanEvent {
+  std::int64_t t_start_ns = 0;
+  std::int64_t t_end_ns = 0;
+  const char* op = "";     // static-storage string (a literal)
+  std::uint32_t phase = kNoPhase;
+  std::int32_t rank = -1;  // -1 = unattributed
+};
+
+class SpanTracer {
+ public:
+  /// capacity_per_rank events are kept per shard; older events are
+  /// overwritten once a shard wraps (dropped() counts overwrites).
+  explicit SpanTracer(std::size_t capacity_per_rank = std::size_t{1} << 15);
+
+  /// Nanoseconds since the tracer's epoch (steady clock).
+  std::int64_t now_ns() const noexcept {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
+  /// Records one finished span into the calling thread's shard. No-op while
+  /// obs is disabled.
+  void record(std::int64_t t_start_ns, std::int64_t t_end_ns, const char* op,
+              std::uint32_t phase = kNoPhase) noexcept;
+
+  /// All recorded events, ordered by (rank, t_start). Call only when no
+  /// thread is still recording (after comm::run has joined its ranks).
+  std::vector<SpanEvent> events() const;
+  std::vector<SpanEvent> events_for_rank(int rank) const;
+
+  /// Events overwritten by ring wrap-around across all shards.
+  std::uint64_t dropped() const noexcept;
+
+  void clear() noexcept;
+
+  /// chrome://tracing JSON: {"traceEvents":[...]} with "X" (complete)
+  /// events, ts/dur in microseconds, pid 0, tid == rank (unattributed
+  /// spans use tid kMaxRanks), and args {rank, phase}.
+  std::string to_chrome_json() const;
+
+ private:
+  struct Ring {
+    explicit Ring(std::size_t cap) : events(cap) {}
+    std::vector<SpanEvent> events;
+    std::atomic<std::uint64_t> n{0};  // total events ever claimed
+  };
+
+  std::chrono::steady_clock::time_point epoch_;
+  std::size_t capacity_;
+  std::vector<std::unique_ptr<Ring>> rings_;  // one per shard
+};
+
+/// The process-global tracer used by the wired-in spans.
+SpanTracer& tracer();
+
+/// RAII span recording into the global tracer. Costs nothing while obs is
+/// disabled (no clock read). `op` must be a string literal (or otherwise
+/// outlive the tracer).
+class SpanScope {
+ public:
+  explicit SpanScope(const char* op,
+                     std::uint32_t phase = kNoPhase) noexcept {
+    if (enabled()) {
+      op_ = op;
+      phase_ = phase;
+      start_ = tracer().now_ns();
+    }
+  }
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+  ~SpanScope() {
+    if (op_ != nullptr) {
+      SpanTracer& t = tracer();
+      t.record(start_, t.now_ns(), op_, phase_);
+    }
+  }
+
+ private:
+  const char* op_ = nullptr;  // null = disabled at construction
+  std::uint32_t phase_ = kNoPhase;
+  std::int64_t start_ = 0;
+};
+
+}  // namespace parda::obs

@@ -14,7 +14,8 @@
 #include "core/parda.hpp"         // IWYU pragma: export
 #include "core/rank_state.hpp"    // IWYU pragma: export
 
-// Sequential engines.
+// Sequential engines and the unified ReuseAnalyzer API.
+#include "seq/analyzer.hpp"          // IWYU pragma: export
 #include "seq/approx.hpp"            // IWYU pragma: export
 #include "seq/bennett_kruskal.hpp"   // IWYU pragma: export
 #include "seq/bounded.hpp"           // IWYU pragma: export
@@ -31,6 +32,9 @@
 #include "trace/trace_compress.hpp" // IWYU pragma: export
 #include "trace/trace_io.hpp"       // IWYU pragma: export
 #include "trace/trace_pipe.hpp"     // IWYU pragma: export
+
+// Observability: metrics registry and span tracer.
+#include "obs/obs.hpp" // IWYU pragma: export
 
 // Workloads and the instrumented VM.
 #include "vm/assembler.hpp"       // IWYU pragma: export

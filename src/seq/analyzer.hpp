@@ -1,0 +1,95 @@
+// The unified sequential-engine API: every reuse distance engine — Naive,
+// Olken, BennettKruskal, Bounded, Approx, Interval — conforms to the
+// ReuseAnalyzer concept below (checked by static_asserts at the bottom of
+// each engine header), so drivers, benches, and the observability layer
+// talk to all six through one shape:
+//
+//   analyzer.process(addr);   // one reference (may defer work, e.g. B&K)
+//   analyzer.finish();        // flush deferred work; idempotent
+//   analyzer.histogram();     // the result (valid after finish())
+//   analyzer.stats();         // structural counters for the metrics layer
+//
+// The distance-returning access() members remain on the engines that can
+// answer online; process() is the portable surface (Bennett & Kruskal is
+// two-pass and cannot return distances online, which is why the concept is
+// built around process/finish rather than access).
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "hist/histogram.hpp"
+#include "obs/metrics.hpp"
+#include "util/types.hpp"
+
+namespace parda {
+
+/// Structural work counters every engine can report. Fields an engine
+/// cannot measure stay 0 (the naive stack has no hash table; only the
+/// bounded engine evicts).
+struct EngineStats {
+  std::uint64_t references = 0;      // process() calls
+  std::uint64_t finite = 0;          // finite distances in histogram()
+  std::uint64_t infinities = 0;      // infinity bin of histogram()
+  std::uint64_t hash_probes = 0;     // AddrMap slot inspections
+  std::uint64_t tree_rotations = 0;  // rotations (splay/AVL/treap)
+  std::uint64_t tree_splays = 0;     // splay-to-root operations
+  std::uint64_t evictions = 0;       // LRU evictions (bounded engine)
+  std::uint64_t peak_footprint = 0;  // max distinct addresses tracked
+
+  /// Publishes the counters into a metrics registry under
+  /// "<prefix>.references", "<prefix>.hash_probes", ... attributed to the
+  /// calling thread's rank shard. Cold path (name lookups).
+  void publish(obs::Registry& reg, std::string_view prefix) const {
+    const std::string p(prefix);
+    reg.counter(p + ".references").add(references);
+    reg.counter(p + ".finite").add(finite);
+    reg.counter(p + ".infinities").add(infinities);
+    reg.counter(p + ".hash_probes").add(hash_probes);
+    reg.counter(p + ".tree_rotations").add(tree_rotations);
+    reg.counter(p + ".tree_splays").add(tree_splays);
+    reg.counter(p + ".evictions").add(evictions);
+    reg.gauge(p + ".peak_footprint").set_max(peak_footprint);
+  }
+};
+
+/// The engine concept. histogram() contents are only final after finish();
+/// finish() must be idempotent and process() must not be called after it.
+template <typename A>
+concept ReuseAnalyzer = requires(A a, const A ca, Addr z) {
+  { a.process(z) } -> std::same_as<void>;
+  { a.finish() } -> std::same_as<void>;
+  { ca.histogram() } -> std::same_as<const Histogram&>;
+  { ca.stats() } -> std::same_as<EngineStats>;
+};
+
+/// Runs a whole trace through any conforming engine and returns the
+/// finished histogram (the one-liner behind the per-engine *_analysis
+/// convenience functions).
+template <ReuseAnalyzer A>
+Histogram analyze_trace(A& analyzer, std::span<const Addr> trace) {
+  for (Addr z : trace) analyzer.process(z);
+  analyzer.finish();
+  return analyzer.histogram();
+}
+
+namespace detail {
+
+/// Structural counters from tree engines that expose them; engines that
+/// don't (e.g. VectorTree) contribute zeros.
+template <typename Tree>
+void fill_tree_stats(const Tree& tree, EngineStats& s) {
+  if constexpr (requires { tree.rotation_count(); }) {
+    s.tree_rotations = tree.rotation_count();
+  }
+  if constexpr (requires { tree.splay_count(); }) {
+    s.tree_splays = tree.splay_count();
+  }
+}
+
+}  // namespace detail
+
+}  // namespace parda

@@ -17,6 +17,7 @@
 
 #include "core/parda.hpp"
 #include "hist/histogram.hpp"
+#include "seq/analyzer.hpp"
 #include "seq/olken.hpp"
 #include "util/check.hpp"
 #include "util/prng.hpp"
@@ -66,13 +67,70 @@ inline Histogram rescale_sampled_histogram(const Histogram& sampled,
   return out;
 }
 
+/// Streaming sampled engine: spatial-samples the reference stream into an
+/// exact Olken engine and rescales at finish(). rate in (0, 1]; rate == 1
+/// degenerates to the exact analysis.
+class ApproxAnalyzer {
+ public:
+  explicit ApproxAnalyzer(double rate, std::uint64_t seed = 1)
+      : rate_(rate), seed_(seed) {
+    PARDA_CHECK(rate > 0.0 && rate <= 1.0);
+  }
+
+  void process(Addr z) {
+    ++references_;
+    if (rate_ >= 1.0 || sample_selects(z, rate_, seed_)) exact_.process(z);
+  }
+
+  void finish() {
+    if (finished_) return;
+    finished_ = true;
+    exact_.finish();
+    hist_ = rate_ >= 1.0 ? exact_.histogram()
+                         : rescale_sampled_histogram(exact_.histogram(), rate_);
+  }
+
+  /// Rescaled to full-trace coordinates; valid after finish().
+  const Histogram& histogram() const noexcept { return hist_; }
+
+  EngineStats stats() const {
+    // Structural counters (probes, rotations, footprint) reflect the
+    // sampled sub-trace the exact engine actually ran on; references is
+    // the unsampled stream length.
+    EngineStats s = exact_.stats();
+    s.references = references_;
+    s.finite = hist_.finite_total();
+    s.infinities = hist_.infinities();
+    return s;
+  }
+
+  double rate() const noexcept { return rate_; }
+  std::uint64_t sampled_references() const noexcept { return exact_.time(); }
+
+  void reset() {
+    exact_.reset();
+    hist_.clear();
+    references_ = 0;
+    finished_ = false;
+  }
+
+ private:
+  double rate_;
+  std::uint64_t seed_;
+  OlkenAnalyzer<SplayTree> exact_;
+  Histogram hist_;
+  std::uint64_t references_ = 0;
+  bool finished_ = false;
+};
+
+static_assert(ReuseAnalyzer<ApproxAnalyzer>);
+
 /// Sequential sampled analysis: exact Olken on the sampled addresses,
 /// rescaled. rate in (0, 1]; rate == 1 degenerates to the exact analysis.
 inline Histogram sampled_analysis(std::span<const Addr> trace, double rate,
                                   std::uint64_t seed = 1) {
-  if (rate >= 1.0) return olken_analysis(trace);
-  const std::vector<Addr> sampled = sample_trace(trace, rate, seed);
-  return rescale_sampled_histogram(olken_analysis(sampled), rate);
+  ApproxAnalyzer analyzer(rate, seed);
+  return analyze_trace(analyzer, trace);
 }
 
 /// Sampling composed with the parallel algorithm (Section VII: "our

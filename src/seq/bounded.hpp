@@ -12,6 +12,7 @@
 
 #include "hash/addr_map.hpp"
 #include "hist/histogram.hpp"
+#include "seq/analyzer.hpp"
 #include "tree/order_stat_tree.hpp"
 #include "tree/splay_tree.hpp"
 #include "util/types.hpp"
@@ -35,6 +36,7 @@ class BoundedAnalyzer {
     } else if (table_.size() >= bound_) {
       const TreeEntry victim = tree_.pop_oldest();
       table_.erase(victim.addr);
+      ++evictions_;
     }
     tree_.insert(now_, z);
     table_.insert_or_assign(z, now_);
@@ -44,29 +46,54 @@ class BoundedAnalyzer {
 
   void access_and_record(Addr z, Histogram& hist) { hist.record(access(z)); }
 
+  // --- ReuseAnalyzer surface -----------------------------------------------
+  void process(Addr z) { hist_.record(access(z)); }
+  void finish() {}
+  const Histogram& histogram() const noexcept { return hist_; }
+  EngineStats stats() const {
+    EngineStats s;
+    s.references = now_;
+    s.finite = hist_.finite_total();
+    s.infinities = hist_.infinities();
+    s.hash_probes = table_.probe_count();
+    s.evictions = evictions_;
+    // The resident set is capped at B, so the bound is the peak whenever
+    // an eviction ever happened.
+    s.peak_footprint = evictions_ > 0 ? bound_ : tree_.size();
+    detail::fill_tree_stats(tree_, s);
+    return s;
+  }
+
   std::uint64_t bound() const noexcept { return bound_; }
-  std::size_t resident() const noexcept { return tree_.size(); }
+  /// Distinct addresses currently tracked (<= bound). Renamed from the
+  /// straggler `resident()` to match the other engines' accessor.
+  std::size_t footprint() const noexcept { return tree_.size(); }
+  std::uint64_t eviction_count() const noexcept { return evictions_; }
   Timestamp time() const noexcept { return now_; }
 
   void reset() {
     tree_.clear();
     table_.clear();
+    hist_.clear();
     now_ = 0;
+    evictions_ = 0;
   }
 
  private:
   std::uint64_t bound_;
   Tree tree_;
   AddrMap table_;
+  Histogram hist_;
   Timestamp now_ = 0;
+  std::uint64_t evictions_ = 0;
 };
+
+static_assert(ReuseAnalyzer<BoundedAnalyzer<SplayTree>>);
 
 template <OrderStatTree Tree = SplayTree>
 Histogram bounded_analysis(std::span<const Addr> trace, std::uint64_t bound) {
   BoundedAnalyzer<Tree> analyzer(bound);
-  Histogram hist;
-  for (Addr z : trace) analyzer.access_and_record(z, hist);
-  return hist;
+  return analyze_trace(analyzer, trace);
 }
 
 }  // namespace parda

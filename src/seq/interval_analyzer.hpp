@@ -15,6 +15,7 @@
 
 #include "hash/addr_map.hpp"
 #include "hist/histogram.hpp"
+#include "seq/analyzer.hpp"
 #include "tree/interval_set.hpp"
 #include "util/types.hpp"
 
@@ -39,6 +40,20 @@ class IntervalAnalyzer {
 
   void access_and_record(Addr z, Histogram& hist) { hist.record(access(z)); }
 
+  // --- ReuseAnalyzer surface -----------------------------------------------
+  void process(Addr z) { hist_.record(access(z)); }
+  void finish() {}
+  const Histogram& histogram() const noexcept { return hist_; }
+  EngineStats stats() const {
+    EngineStats s;
+    s.references = now_;
+    s.finite = hist_.finite_total();
+    s.infinities = hist_.infinities();
+    s.hash_probes = table_.probe_count();
+    s.peak_footprint = footprint();
+    return s;
+  }
+
   Timestamp time() const noexcept { return now_; }
   std::size_t footprint() const noexcept {
     return static_cast<std::size_t>(now_ - holes_.size());
@@ -51,21 +66,23 @@ class IntervalAnalyzer {
   void reset() {
     table_.clear();
     holes_.clear();
+    hist_.clear();
     now_ = 0;
   }
 
  private:
   AddrMap table_;
   IntervalSet holes_;
+  Histogram hist_;
   Timestamp now_ = 0;
 };
+
+static_assert(ReuseAnalyzer<IntervalAnalyzer>);
 
 /// Whole-trace analysis with the interval engine.
 inline Histogram interval_analysis(std::span<const Addr> trace) {
   IntervalAnalyzer analyzer;
-  Histogram hist;
-  for (Addr z : trace) analyzer.access_and_record(z, hist);
-  return hist;
+  return analyze_trace(analyzer, trace);
 }
 
 }  // namespace parda

@@ -3,6 +3,7 @@
 namespace parda {
 
 Distance NaiveStackAnalyzer::access(Addr z) {
+  ++refs_;
   for (std::size_t i = 0; i < stack_.size(); ++i) {
     if (stack_[i] == z) {
       // Move to front; the reuse distance is the number of distinct
@@ -13,14 +14,13 @@ Distance NaiveStackAnalyzer::access(Addr z) {
     }
   }
   stack_.insert(stack_.begin(), z);
+  if (stack_.size() > peak_) peak_ = stack_.size();
   return kInfiniteDistance;
 }
 
 Histogram naive_stack_analysis(std::span<const Addr> trace) {
   NaiveStackAnalyzer analyzer;
-  Histogram hist;
-  for (Addr z : trace) analyzer.access_and_record(z, hist);
-  return hist;
+  return analyze_trace(analyzer, trace);
 }
 
 }  // namespace parda

@@ -11,6 +11,7 @@
 
 #include "hash/addr_map.hpp"
 #include "hist/histogram.hpp"
+#include "seq/analyzer.hpp"
 #include "tree/order_stat_tree.hpp"
 #include "tree/splay_tree.hpp"
 #include "util/types.hpp"
@@ -23,7 +24,9 @@ class OlkenAnalyzer {
   OlkenAnalyzer() = default;
 
   /// Processes one reference and returns its reuse distance
-  /// (kInfiniteDistance for a first reference).
+  /// (kInfiniteDistance for a first reference). Does NOT touch the
+  /// internal histogram — callers that want the distance stream tally it
+  /// themselves; the ReuseAnalyzer surface is process().
   Distance access(Addr z) {
     Distance d = kInfiniteDistance;
     if (const Timestamp* last = table_.find(z)) {
@@ -32,12 +35,28 @@ class OlkenAnalyzer {
     }
     tree_.insert(now_, z);
     table_.insert_or_assign(z, now_);
+    if (tree_.size() > peak_) peak_ = tree_.size();
     ++now_;
     return d;
   }
 
   /// Processes one reference and tallies it into hist.
   void access_and_record(Addr z, Histogram& hist) { hist.record(access(z)); }
+
+  // --- ReuseAnalyzer surface -----------------------------------------------
+  void process(Addr z) { hist_.record(access(z)); }
+  void finish() {}
+  const Histogram& histogram() const noexcept { return hist_; }
+  EngineStats stats() const {
+    EngineStats s;
+    s.references = now_;
+    s.finite = hist_.finite_total();
+    s.infinities = hist_.infinities();
+    s.hash_probes = table_.probe_count();
+    s.peak_footprint = peak_;
+    detail::fill_tree_stats(tree_, s);
+    return s;
+  }
 
   /// Next timestamp to be assigned (== number of references processed).
   Timestamp time() const noexcept { return now_; }
@@ -53,22 +72,26 @@ class OlkenAnalyzer {
   void reset() {
     tree_.clear();
     table_.clear();
+    hist_.clear();
     now_ = 0;
+    peak_ = 0;
   }
 
  private:
   Tree tree_;
   AddrMap table_;
+  Histogram hist_;
   Timestamp now_ = 0;
+  std::size_t peak_ = 0;
 };
+
+static_assert(ReuseAnalyzer<OlkenAnalyzer<SplayTree>>);
 
 /// Runs Algorithm 1 over a whole trace and returns the histogram.
 template <OrderStatTree Tree = SplayTree>
 Histogram olken_analysis(std::span<const Addr> trace) {
   OlkenAnalyzer<Tree> analyzer;
-  Histogram hist;
-  for (Addr z : trace) analyzer.access_and_record(z, hist);
-  return hist;
+  return analyze_trace(analyzer, trace);
 }
 
 }  // namespace parda

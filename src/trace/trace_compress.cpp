@@ -5,6 +5,8 @@
 #include <memory>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/span_tracer.hpp"
 #include "util/check.hpp"
 
 namespace parda {
@@ -57,6 +59,7 @@ std::vector<std::uint8_t> compress_trace(std::span<const Addr> trace) {
 
 std::vector<Addr> decompress_trace(std::span<const std::uint8_t> bytes,
                                    std::size_t expected_count) {
+  const std::int64_t t0 = obs::enabled() ? obs::tracer().now_ns() : -1;
   std::vector<Addr> trace;
   trace.reserve(expected_count);
   Addr prev = 0;
@@ -80,6 +83,12 @@ std::vector<Addr> decompress_trace(std::span<const std::uint8_t> bytes,
   }
   if (at != bytes.size()) {
     throw std::runtime_error("trailing bytes in compressed trace");
+  }
+  if (t0 >= 0) {
+    auto& reg = obs::registry();
+    reg.counter("trace.bytes_decompressed").add(bytes.size());
+    reg.timer("trace.decompress").record_ns(
+        static_cast<std::uint64_t>(obs::tracer().now_ns() - t0));
   }
   return trace;
 }

@@ -12,6 +12,8 @@
 #include <fcntl.h>  // posix_fadvise
 #endif
 
+#include "obs/metrics.hpp"
+#include "obs/span_tracer.hpp"
 #include "util/check.hpp"
 
 namespace parda {
@@ -158,8 +160,15 @@ std::vector<Addr> BinaryTraceReader::read_words(std::size_t max_words) {
       static_cast<std::size_t>(std::min<std::uint64_t>(max_words, remaining));
   std::vector<Addr> block(want);
   if (want == 0) return {};
+  const std::int64_t t0 = obs::enabled() ? obs::tracer().now_ns() : -1;
   const std::size_t got =
       std::fread(block.data(), sizeof(Addr), want, file_);
+  if (t0 >= 0) {
+    auto& reg = obs::registry();
+    reg.counter("trace.bytes_read").add(got * sizeof(Addr));
+    reg.timer("trace.read").record_ns(
+        static_cast<std::uint64_t>(obs::tracer().now_ns() - t0));
+  }
   if (got != want) {
     // The constructor validated the size, so a short read here means the
     // file shrank underneath us (or the medium failed). Name the spot.

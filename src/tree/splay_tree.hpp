@@ -56,6 +56,11 @@ class SplayTree {
   /// Checks BST ordering, subtree weights, and parent links.
   bool validate() const;
 
+  /// Lifetime structural-work counters for the observability layer (plain
+  /// increments; the tree is single-threaded per rank).
+  std::uint64_t rotation_count() const noexcept { return rotations_; }
+  std::uint64_t splay_count() const noexcept { return splays_; }
+
  private:
   static constexpr std::uint32_t kNull = 0xFFFFFFFFu;
 
@@ -87,6 +92,8 @@ class SplayTree {
   std::vector<std::uint32_t> free_list_;
   std::uint32_t root_ = kNull;
   std::size_t size_ = 0;
+  std::uint64_t rotations_ = 0;
+  std::uint64_t splays_ = 0;
 };
 
 static_assert(OrderStatTree<SplayTree>);

@@ -4,11 +4,56 @@
 
 #include "hist/histogram.hpp"
 #include "hist/mrc.hpp"
+#include "util/json.hpp"
 #include "util/prng.hpp"
 #include "util/types.hpp"
 
 namespace parda {
 namespace {
+
+TEST(HistogramJsonTest, RoundTripPreservesEveryBucket) {
+  Histogram h;
+  h.record(0, 3);
+  h.record(7, 2);
+  h.record(1u << 20, 1);  // sparse far bucket
+  h.record(kInfiniteDistance, 5);
+
+  const std::string text = h.to_json();
+  const Histogram back = Histogram::from_json(text);
+  EXPECT_TRUE(back == h);
+  EXPECT_EQ(back.total(), h.total());
+  EXPECT_EQ(back.infinities(), 5u);
+  EXPECT_EQ(back.at(1u << 20), 1u);
+
+  // The interchange document itself: schema-tagged, sparse finite pairs.
+  const json::Value doc = json::parse(text);
+  EXPECT_EQ(doc.at("schema").as_string(), "parda.histogram.v1");
+  EXPECT_EQ(doc.at("total").as_u64(), h.total());
+  EXPECT_EQ(doc.at("infinities").as_u64(), 5u);
+  EXPECT_EQ(doc.at("finite").array.size(), 3u);  // only occupied buckets
+}
+
+TEST(HistogramJsonTest, EmptyHistogramRoundTrips) {
+  const Histogram empty;
+  const Histogram back = Histogram::from_json(empty.to_json());
+  EXPECT_TRUE(back == empty);
+  EXPECT_EQ(back.total(), 0u);
+}
+
+TEST(HistogramJsonTest, RejectsMalformedAndMismatchedDocuments) {
+  EXPECT_THROW(Histogram::from_json("not json"), json::JsonError);
+  EXPECT_THROW(Histogram::from_json("{}"), json::JsonError);
+  // Wrong schema tag.
+  EXPECT_THROW(
+      Histogram::from_json(
+          R"({"schema":"parda.metrics.v1","total":0,"infinities":0,"finite":[]})"),
+      json::JsonError);
+  // Total inconsistent with the buckets: corruption must not pass silently.
+  EXPECT_THROW(
+      Histogram::from_json(
+          R"({"schema":"parda.histogram.v1","total":9,"infinities":1,"finite":[[2,3]]})"),
+      json::JsonError);
+}
 
 TEST(HistogramTest, EmptyHistogram) {
   Histogram h;

@@ -12,11 +12,13 @@
 #include "apps/miss_rate.hpp"
 #include "cachesim/lru_cache.hpp"
 #include "core/parda.hpp"
+#include "obs/obs.hpp"
 #include "hist/mrc.hpp"
 #include "seq/naive.hpp"
 #include "seq/olken.hpp"
 #include "trace/trace_io.hpp"
 #include "trace/trace_pipe.hpp"
+#include "util/json.hpp"
 #include "vm/machine.hpp"
 #include "vm/programs.hpp"
 #include "workload/generators.hpp"
@@ -156,6 +158,113 @@ TEST(EndToEnd, PerRankStatsAreAccounted) {
   EXPECT_GE(msgs, 3u);  // ranks 1..3 each send at least one message
   EXPECT_GT(result.stats.total_busy(), 0.0);
   EXPECT_GE(result.stats.wall_seconds, 0.0);
+}
+
+TEST(Observability, StreamingRunEmitsPerPhaseSpansAndAgreeingMetrics) {
+  // Algorithm 5 observed from the outside: a 4-rank streaming run must
+  // leave behind (a) per-rank spans shaped scatter -> analyze ->
+  // infinity-pipeline -> reduce for every phase plus one final-reduce, and
+  // (b) a metrics snapshot whose engine counters agree exactly with the
+  // analysis result.
+  obs::registry().reset_values();
+  obs::tracer().clear();
+  obs::set_enabled(true);
+
+  constexpr int kRanks = 4;
+  constexpr std::size_t kChunk = 512;
+  const auto trace =
+      generate_trace(*make_spec_workload("mcf", 400000, 11), 7000);
+
+  TracePipe pipe(1 << 12);
+  std::thread producer([&] {
+    std::vector<Addr> copy = trace;
+    pipe.write(std::move(copy));
+    pipe.close();
+  });
+  PardaOptions options;
+  options.num_procs = kRanks;
+  options.chunk_words = kChunk;
+  const PardaResult result = parda_analyze_stream(pipe, options);
+  producer.join();
+  obs::set_enabled(false);
+
+  // --- Metrics agree with the analysis result and the comm RankStats.
+  const obs::Registry& reg = obs::registry();
+  EXPECT_EQ(reg.counter_total("engine.chunk_refs"), result.hist.total());
+  EXPECT_EQ(reg.counter_total("engine.hits_resolved"),
+            result.hist.finite_total());
+  std::uint64_t msgs = 0, bytes = 0;
+  for (const auto& r : result.stats.ranks) {
+    msgs += r.messages_sent;
+    bytes += r.bytes_sent;
+  }
+  EXPECT_EQ(reg.counter_total("comm.sends"), msgs);
+  EXPECT_EQ(reg.counter_total("comm.bytes_sent"), bytes);
+  EXPECT_GT(msgs, 0u);
+
+  // --- Span structure: phases 0..P-1, the four-stage shape per rank.
+  const std::uint64_t refs = trace.size();
+  const std::uint32_t phases = static_cast<std::uint32_t>(
+      (refs + kRanks * kChunk - 1) / (kRanks * kChunk));
+  ASSERT_GE(phases, 3u) << "trace too short to exercise multiple phases";
+
+  for (int rank = 0; rank < kRanks; ++rank) {
+    const auto spans = obs::tracer().events_for_rank(rank);
+    std::uint64_t final_reduces = 0;
+    for (std::uint32_t p = 0; p < phases; ++p) {
+      const obs::SpanEvent* scatter = nullptr;
+      const obs::SpanEvent* analyze = nullptr;
+      const obs::SpanEvent* pipeline = nullptr;
+      const obs::SpanEvent* reduce = nullptr;
+      for (const auto& e : spans) {
+        if (e.phase != p) continue;
+        const std::string op = e.op;
+        if (op == "scatter") {
+          EXPECT_EQ(scatter, nullptr) << "duplicate scatter, phase " << p;
+          scatter = &e;
+        } else if (op == "analyze") {
+          EXPECT_EQ(analyze, nullptr);
+          analyze = &e;
+        } else if (op == "infinity-pipeline") {
+          EXPECT_EQ(pipeline, nullptr);
+          pipeline = &e;
+        } else if (op == "reduce") {
+          EXPECT_EQ(reduce, nullptr);
+          reduce = &e;
+        }
+      }
+      ASSERT_NE(scatter, nullptr) << "rank " << rank << " phase " << p;
+      ASSERT_NE(analyze, nullptr) << "rank " << rank << " phase " << p;
+      ASSERT_NE(pipeline, nullptr) << "rank " << rank << " phase " << p;
+      ASSERT_NE(reduce, nullptr) << "rank " << rank << " phase " << p;
+      // The four stages run in Algorithm 5 order within the phase.
+      EXPECT_LE(scatter->t_start_ns, analyze->t_start_ns);
+      EXPECT_LE(analyze->t_end_ns, pipeline->t_end_ns);
+      EXPECT_LE(pipeline->t_start_ns, reduce->t_start_ns);
+      EXPECT_LE(analyze->t_start_ns, analyze->t_end_ns);
+    }
+    for (const auto& e : spans) {
+      // Beyond the P full phases only the end-of-stream scatter (which
+      // reads zero words and terminates the loop) may appear.
+      if (e.phase != obs::kNoPhase && e.phase >= phases) {
+        EXPECT_STREQ(e.op, "scatter");
+        EXPECT_EQ(e.phase, phases);
+      }
+      if (std::string(e.op) == "final-reduce") {
+        EXPECT_EQ(e.phase, obs::kNoPhase);
+        ++final_reduces;
+      }
+    }
+    EXPECT_EQ(final_reduces, 1u) << "rank " << rank;
+  }
+
+  // The exported chrome trace for the run parses and is non-trivial.
+  const std::string chrome = obs::tracer().to_chrome_json();
+  EXPECT_GE(json::parse(chrome).at("traceEvents").array.size(),
+            static_cast<std::size_t>(phases) * kRanks * 4);
+
+  obs::registry().reset_values();
+  obs::tracer().clear();
 }
 
 }  // namespace

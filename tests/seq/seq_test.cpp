@@ -147,7 +147,7 @@ TEST(BoundedAnalyzerTest, ResidencyNeverExceedsBound) {
   const auto trace = generate_trace(w, 2000);
   for (Addr a : trace) {
     analyzer.access(a);
-    EXPECT_LE(analyzer.resident(), 16u);
+    EXPECT_LE(analyzer.footprint(), 16u);
   }
 }
 
