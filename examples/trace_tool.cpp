@@ -18,6 +18,7 @@
 #include "comm/fault.hpp"
 #include "core/file_analysis.hpp"
 #include "core/parda.hpp"
+#include "core/runtime.hpp"
 #include "hist/mrc.hpp"
 #include "hist/report.hpp"
 #include "obs/obs.hpp"
@@ -91,6 +92,7 @@ int run_tool(int argc, char** argv) {
   std::string fault_plan_spec;
   std::uint64_t watchdog_ms = 0;
   std::uint64_t timeout_ms = 0;
+  std::uint64_t repeat = 1;
   std::string metrics_out;
   std::string trace_spans;
 
@@ -113,6 +115,9 @@ int run_tool(int argc, char** argv) {
                "stall watchdog sampling interval (0 = off)");
   cli.add_flag("timeout-ms", &timeout_ms,
                "per-op recv/barrier deadline (0 = wait forever)");
+  cli.add_flag("repeat", &repeat,
+               "analyze: run N times on one persistent runtime (perf "
+               "comparisons; prints per-iteration wall time)");
   cli.add_flag("metrics-out", &metrics_out,
                "write a parda.metrics.v1 JSON snapshot to FILE");
   cli.add_flag("trace-spans", &trace_spans,
@@ -163,13 +168,25 @@ int run_tool(int argc, char** argv) {
       options.run_options.op_timeout = std::chrono::milliseconds(timeout_ms);
     }
 
-    if (stream) {
-      print_result(parda_analyze_file(cli.positionals()[0], options,
-                                      pipe_words));
-    } else {
-      const auto trace = load(cli.positionals()[0]);
-      print_result(parda_analyze(trace, options));
+    if (repeat == 0) usage_error("analyze: --repeat must be positive");
+    // One persistent runtime for every iteration: with --repeat > 1 the
+    // workers spawn once and every later analysis reuses them, so the
+    // per-iteration times show the warm-pool effect directly.
+    core::PardaRuntime runtime;
+    auto session = runtime.session(options);
+    PardaResult result;
+    std::vector<Addr> trace;
+    if (!stream) trace = load(cli.positionals()[0]);
+    for (std::uint64_t i = 0; i < repeat; ++i) {
+      result = stream ? session.analyze_file(cli.positionals()[0], pipe_words)
+                      : session.analyze(trace);
+      if (repeat > 1) {
+        std::printf("iteration %llu: %.3f ms wall\n",
+                    static_cast<unsigned long long>(i + 1),
+                    result.stats.wall_seconds * 1e3);
+      }
     }
+    print_result(result);
     if (!metrics_out.empty()) {
       write_text_file(metrics_out, obs::registry().to_json() + "\n");
       std::printf("wrote metrics snapshot to %s\n", metrics_out.c_str());

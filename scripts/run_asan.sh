@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Builds the tree under AddressSanitizer + UBSan and runs the suites that
+# exercise the pooled executor's reuse paths — the reused Worlds, parked
+# workers, and session layer must be free of lifetime and arithmetic bugs,
+# not just data races. Used as the ASan CI job; run locally after touching
+# src/comm/worker_pool.* or src/core/runtime.*.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake --preset asan
+cmake --build --preset asan -j"$(nproc)"
+ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=1}" \
+UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}" \
+  ctest --preset asan

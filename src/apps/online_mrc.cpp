@@ -7,6 +7,27 @@
 
 namespace parda {
 
+void decayed_fold(Histogram& aggregate, const Histogram& window,
+                  double decay) {
+  if (decay == 1.0) {
+    aggregate.merge(window);
+    return;
+  }
+  Histogram next;
+  const auto& counts = aggregate.counts();
+  for (std::size_t d = 0; d < counts.size(); ++d) {
+    if (counts[d] == 0) continue;
+    const auto scaled = static_cast<std::uint64_t>(
+        std::llround(decay * static_cast<double>(counts[d])));
+    next.record(static_cast<Distance>(d), scaled);
+  }
+  next.record(kInfiniteDistance,
+              static_cast<std::uint64_t>(std::llround(
+                  decay * static_cast<double>(aggregate.infinities()))));
+  next.merge(window);
+  aggregate = std::move(next);
+}
+
 OnlineMrcMonitor::OnlineMrcMonitor(std::uint64_t bound, std::uint64_t window,
                                    double decay)
     : analyzer_(bound), window_(window), decay_(decay) {
@@ -22,24 +43,7 @@ void OnlineMrcMonitor::access(Addr a) {
 }
 
 void OnlineMrcMonitor::roll_window() {
-  if (decay_ == 1.0) {
-    aggregate_.merge(current_);
-  } else {
-    // aggregate = round(decay * aggregate) + current, bin by bin.
-    Histogram next;
-    const auto& counts = aggregate_.counts();
-    for (std::size_t d = 0; d < counts.size(); ++d) {
-      if (counts[d] == 0) continue;
-      const auto scaled = static_cast<std::uint64_t>(
-          std::llround(decay_ * static_cast<double>(counts[d])));
-      next.record(static_cast<Distance>(d), scaled);
-    }
-    next.record(kInfiniteDistance,
-                static_cast<std::uint64_t>(std::llround(
-                    decay_ * static_cast<double>(aggregate_.infinities()))));
-    next.merge(current_);
-    aggregate_ = std::move(next);
-  }
+  decayed_fold(aggregate_, current_, decay_);
   current_.clear();
   ++windows_;
 }
@@ -51,6 +55,58 @@ Histogram OnlineMrcMonitor::snapshot() const {
 }
 
 double OnlineMrcMonitor::miss_ratio(std::uint64_t cache_size) const {
+  const Histogram combined = snapshot();
+  return parda::miss_ratio(combined, cache_size);
+}
+
+namespace {
+
+PardaOptions windowed_options(std::uint64_t bound, int num_procs) {
+  PardaOptions options;
+  options.num_procs = num_procs;
+  options.bound = bound;
+  options.space_optimized = true;
+  return options;
+}
+
+}  // namespace
+
+WindowedMrcMonitor::WindowedMrcMonitor(core::PardaRuntime& runtime,
+                                       std::uint64_t bound,
+                                       std::uint64_t window, double decay,
+                                       int num_procs)
+    : session_(runtime.session(windowed_options(bound, num_procs))),
+      window_(window),
+      decay_(decay) {
+  PARDA_CHECK(bound >= 1);
+  PARDA_CHECK(window >= 1);
+  PARDA_CHECK(decay > 0.0 && decay <= 1.0);
+  PARDA_CHECK(num_procs >= 1);
+  pending_.reserve(window);
+}
+
+void WindowedMrcMonitor::access(Addr a) {
+  pending_.push_back(a);
+  ++seen_;
+  if (pending_.size() == window_) roll_window();
+}
+
+void WindowedMrcMonitor::roll_window() {
+  const Histogram window_hist = session_.analyze(pending_).hist;
+  decayed_fold(aggregate_, window_hist, decay_);
+  pending_.clear();
+  ++windows_;
+}
+
+Histogram WindowedMrcMonitor::snapshot() const {
+  Histogram combined = aggregate_;
+  if (!pending_.empty()) {
+    combined.merge(session_.analyze(pending_).hist);
+  }
+  return combined;
+}
+
+double WindowedMrcMonitor::miss_ratio(std::uint64_t cache_size) const {
   const Histogram combined = snapshot();
   return parda::miss_ratio(combined, cache_size);
 }

@@ -11,13 +11,20 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
+#include "core/runtime.hpp"
 #include "hist/histogram.hpp"
 #include "seq/bounded.hpp"
 #include "tree/splay_tree.hpp"
 #include "util/types.hpp"
 
 namespace parda {
+
+/// Folds a completed window into the decayed aggregate:
+/// aggregate = round(decay * aggregate) + window, bin by bin (decay == 1
+/// degenerates to a plain merge). Shared by both monitor flavors.
+void decayed_fold(Histogram& aggregate, const Histogram& window, double decay);
 
 class OnlineMrcMonitor {
  public:
@@ -47,6 +54,50 @@ class OnlineMrcMonitor {
   double decay_;
   Histogram current_;    // in-progress window
   Histogram aggregate_;  // decayed sum of completed windows (scaled)
+  std::uint64_t seen_ = 0;
+  std::uint64_t windows_ = 0;
+};
+
+/// The runtime-backed monitor: instead of analyzing inline on the feeding
+/// thread, it buffers each window and analyzes completed windows with the
+/// parallel bounded engine on a shared PardaRuntime — every window reuses
+/// the runtime's parked workers and cached World rather than spawning a
+/// full thread set per window. Windows are analyzed independently (each
+/// starts cold), so its histogram equals folding per-window parda_analyze
+/// results exactly; cross-window reuses surface as infinities, which the
+/// decayed aggregate treats as cold misses.
+///
+/// The runtime must outlive the monitor. Feeding is single-threaded, but
+/// several monitors may share one runtime: window jobs multiplex its pool.
+class WindowedMrcMonitor {
+ public:
+  /// bound/window/decay as OnlineMrcMonitor; num_procs is the rank count
+  /// of each per-window analysis job.
+  WindowedMrcMonitor(core::PardaRuntime& runtime, std::uint64_t bound,
+                     std::uint64_t window, double decay, int num_procs = 2);
+
+  /// Feeds one reference; a completed window triggers one pool job.
+  void access(Addr a);
+
+  /// Recency-weighted miss ratio at the given cache size (<= bound).
+  /// Includes the partially filled current window (analyzed on demand).
+  double miss_ratio(std::uint64_t cache_size) const;
+
+  /// The decayed histogram, including the in-progress window.
+  Histogram snapshot() const;
+
+  std::uint64_t references_seen() const noexcept { return seen_; }
+  std::uint64_t windows_completed() const noexcept { return windows_; }
+  std::uint64_t bound() const noexcept { return session_.options().bound; }
+
+ private:
+  void roll_window();
+
+  mutable core::AnalysisSession session_;  // snapshot() analyzes pending refs
+  std::uint64_t window_;
+  double decay_;
+  std::vector<Addr> pending_;  // in-progress window's references
+  Histogram aggregate_;        // decayed sum of completed windows (scaled)
   std::uint64_t seen_ = 0;
   std::uint64_t windows_ = 0;
 };

@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <exception>
-#include <thread>
 
+#include "comm/worker_pool.hpp"
 #include "util/timer.hpp"
 
 namespace parda::comm {
@@ -107,6 +107,13 @@ void Mailbox::poison() {
   cv_.notify_all();
 }
 
+void Mailbox::reset() {
+  std::lock_guard lock(mu_);
+  for (auto& bucket : buckets_) bucket.clear();
+  next_seq_ = 0;
+  poisoned_ = false;
+}
+
 std::size_t Mailbox::depth() const {
   std::lock_guard lock(mu_);
   std::size_t n = 0;
@@ -186,6 +193,37 @@ void World::abort(int origin, const std::string& cause) {
   }
 }
 
+void World::reset() {
+  // Called between jobs by the pool's admitted submitter; every rank
+  // thread of the previous job has unwound (the submitter observed the
+  // job's completion with acquire ordering), so plain stores suffice —
+  // the next job's workers see them through the job-publication release/
+  // acquire pair.
+  ++generation_;
+  for (auto& mailbox : mailboxes_) mailbox->reset();
+  for (auto& peer : barrier_) {
+    std::lock_guard lock(peer->mu);
+    peer->signals.assign(static_cast<std::size_t>(rounds_), 0);
+    peer->generation = 0;
+    peer->poisoned = false;
+  }
+  for (auto& board : boards_) {
+    board->op.store(0, std::memory_order_relaxed);
+    board->peer.store(kAnySource, std::memory_order_relaxed);
+    board->tag.store(kAnyTag, std::memory_order_relaxed);
+    board->epoch.store(0, std::memory_order_relaxed);
+    board->done.store(false, std::memory_order_relaxed);
+    board->messages_sent.store(0, std::memory_order_relaxed);
+    board->bytes_sent.store(0, std::memory_order_relaxed);
+  }
+  {
+    std::lock_guard lock(abort_mu_);
+    abort_origin_ = 0;
+    abort_cause_.clear();
+    aborted_.store(false, std::memory_order_release);
+  }
+}
+
 void World::throw_aborted() const {
   int origin;
   std::string cause;
@@ -195,6 +233,16 @@ void World::throw_aborted() const {
     cause = abort_cause_;
   }
   throw RankAbortedError(origin, cause);
+}
+
+std::string describe_exception(const std::exception_ptr& e) {
+  try {
+    std::rethrow_exception(e);
+  } catch (const std::exception& ex) {
+    return ex.what();
+  } catch (...) {
+    return "unknown exception";
+  }
 }
 
 std::string World::stall_report() {
@@ -273,131 +321,12 @@ std::vector<std::uint64_t> Comm::allreduce_sum_u64(
   return broadcast(std::move(total), 0, tag);
 }
 
-namespace {
-
-std::string describe_exception(const std::exception_ptr& e) {
-  try {
-    std::rethrow_exception(e);
-  } catch (const std::exception& ex) {
-    return ex.what();
-  } catch (...) {
-    return "unknown exception";
-  }
-}
-
-/// Samples every rank board; declares a stall when two consecutive samples
-/// show each rank either exited or parked in the same blocking wait (the
-/// epoch, bumped on every block entry, pins "same wait" down), with at
-/// least one rank actually blocked. A rank that made any progress between
-/// samples has a new epoch, so a busy-but-slow run never trips this.
-void watchdog_loop(detail::World& world, std::chrono::milliseconds interval,
-                   std::mutex& mu, std::condition_variable& cv,
-                   const bool& stop) {
-  const int np = world.size();
-  std::vector<std::uint64_t> prev_epoch(static_cast<std::size_t>(np), 0);
-  bool have_prev = false;
-  std::unique_lock lock(mu);
-  while (!stop) {
-    cv.wait_for(lock, interval);
-    if (stop || world.aborted()) return;
-    bool all_stuck = true;
-    bool any_blocked = false;
-    std::vector<std::uint64_t> epoch(static_cast<std::size_t>(np), 0);
-    for (int r = 0; r < np; ++r) {
-      const auto& b = world.board(r);
-      epoch[static_cast<std::size_t>(r)] =
-          b.epoch.load(std::memory_order_relaxed);
-      if (b.done.load(std::memory_order_acquire)) continue;
-      if (b.op.load(std::memory_order_acquire) == 0 ||
-          (have_prev && epoch[static_cast<std::size_t>(r)] !=
-                            prev_epoch[static_cast<std::size_t>(r)])) {
-        all_stuck = false;
-      } else {
-        any_blocked = true;
-      }
-    }
-    if (have_prev && all_stuck && any_blocked) {
-      const std::string report = world.stall_report();
-      std::fprintf(stderr, "%s", report.c_str());
-      world.abort(kWatchdogOrigin, report);
-      return;
-    }
-    prev_epoch = std::move(epoch);
-    have_prev = true;
-  }
-}
-
-}  // namespace
-
 RunStats run(int np, const std::function<void(Comm&)>& fn,
              const RunOptions& options) {
-  detail::World world(np);
-  RunStats stats;
-  stats.ranks.resize(static_cast<std::size_t>(np));
-  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(np));
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(np));
-
-  std::mutex wd_mu;
-  std::condition_variable wd_cv;
-  bool wd_stop = false;
-  std::thread watchdog;
-  if (options.watchdog_interval.count() > 0) {
-    watchdog = std::thread([&] {
-      watchdog_loop(world, options.watchdog_interval, wd_mu, wd_cv, wd_stop);
-    });
-  }
-
-  WallTimer wall;
-  for (int r = 0; r < np; ++r) {
-    threads.emplace_back([&, r] {
-      // Attribute this thread's metrics and spans to its rank shard.
-      obs::ScopedThreadRank obs_rank(r);
-      RankStats& rank_stats = stats.ranks[static_cast<std::size_t>(r)];
-      Comm comm(world, r, rank_stats, options.fault_plan, options.op_timeout);
-      ThreadCpuTimer cpu;
-      try {
-        fn(comm);
-      } catch (...) {
-        errors[static_cast<std::size_t>(r)] = std::current_exception();
-        world.abort(r, describe_exception(errors[static_cast<std::size_t>(r)]));
-      }
-      world.board(r).done.store(true, std::memory_order_release);
-      rank_stats.busy_seconds = cpu.seconds();
-    });
-  }
-  for (std::thread& t : threads) t.join();
-  stats.wall_seconds = wall.seconds();
-
-  if (watchdog.joinable()) {
-    {
-      std::lock_guard lock(wd_mu);
-      wd_stop = true;
-    }
-    wd_cv.notify_all();
-    watchdog.join();
-  }
-
-  // Rethrow policy: prefer the root cause. Secondary failures are the
-  // RankAbortedErrors thrown by ranks the origin's poisoning woke up.
-  std::exception_ptr first;
-  std::exception_ptr first_root;
-  for (const std::exception_ptr& e : errors) {
-    if (!e) continue;
-    if (!first) first = e;
-    if (!first_root) {
-      try {
-        std::rethrow_exception(e);
-      } catch (const RankAbortedError&) {
-        // secondary: keep looking for the originating exception
-      } catch (...) {
-        first_root = e;
-      }
-    }
-  }
-  if (first_root) std::rethrow_exception(first_root);
-  if (first) std::rethrow_exception(first);
-  return stats;
+  // Transient runtime: spawn, run one job, join — the historical contract.
+  // Long-lived callers hold a WorkerPool (or a core PardaRuntime) instead.
+  WorkerPool pool(np);
+  return pool.run_job(np, fn, options);
 }
 
 RunStats run(int np, const std::function<void(Comm&)>& fn) {

@@ -243,6 +243,12 @@ class Mailbox {
   /// return kPoisoned.
   void poison();
 
+  /// Reuse: drains every bucket and clears the poison flag. The deque
+  /// buckets themselves (and their allocations) survive, so a pooled
+  /// World's mailboxes warm up once. Caller must guarantee no rank is
+  /// blocked in pop().
+  void reset();
+
   /// Messages queued right now / delivered over the mailbox's lifetime
   /// (watchdog diagnostics).
   std::size_t depth() const;
@@ -312,6 +318,15 @@ class World {
   /// tag, queue depths, and bytes moved.
   std::string stall_report();
 
+  /// Returns the World to its just-constructed state for the next job:
+  /// mailboxes drained and unpoisoned, barrier signals rewound, rank
+  /// boards and abort state cleared — a generation bump, not a
+  /// reallocation. The caller (the WorkerPool's admitted submitter) must
+  /// guarantee every rank thread of the previous job has unwound.
+  void reset();
+  /// Jobs this World has been reset for; diagnostic only.
+  std::uint64_t generation() const noexcept { return generation_; }
+
  private:
   /// Per-rank barrier mailbox: signals[k] counts round-k notifications
   /// received over the rank's lifetime (cumulative counts make sense
@@ -327,6 +342,7 @@ class World {
 
   int np_;
   int rounds_;
+  std::uint64_t generation_ = 0;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::vector<std::unique_ptr<BarrierPeer>> barrier_;
   std::vector<std::unique_ptr<RankBoard>> boards_;
@@ -372,6 +388,9 @@ struct CommCounters {
   obs::TimerHistogram& barrier_wait;
 };
 CommCounters& comm_counters();
+
+/// One-line rendering of an exception for abort attribution.
+std::string describe_exception(const std::exception_ptr& e);
 
 }  // namespace detail
 
@@ -845,11 +864,16 @@ struct RunOptions {
   const FaultPlan* fault_plan = nullptr;
 };
 
-/// Spawns np threads, invokes fn(comm) on each, joins, and returns run
-/// statistics. If any rank throws, the world is poisoned: every other rank
-/// blocked in recv/barrier wakes with RankAbortedError attributing the
-/// failure to the originating rank, and run() rethrows the origin's
-/// exception after all threads are joined.
+/// Runs fn(comm) on np ranks and returns run statistics. If any rank
+/// throws, the world is poisoned: every other rank blocked in recv/barrier
+/// wakes with RankAbortedError attributing the failure to the originating
+/// rank, and run() rethrows the origin's exception after all ranks have
+/// unwound.
+///
+/// Back-compat wrapper: each call builds a transient WorkerPool (see
+/// comm/worker_pool.hpp), so one-shot call sites keep the historical
+/// spawn/join semantics. Code that runs many jobs should hold a WorkerPool
+/// (or a core PardaRuntime) and reuse it.
 RunStats run(int np, const std::function<void(Comm&)>& fn);
 RunStats run(int np, const std::function<void(Comm&)>& fn,
              const RunOptions& options);

@@ -8,9 +8,12 @@
 
 namespace parda {
 
-PardaResult parda_analyze_file(const std::string& path,
-                               const PardaOptions& options,
-                               std::size_t pipe_words) {
+namespace detail {
+
+PardaResult run_with_file_producer(
+    const std::string& path, const PardaOptions& options,
+    std::size_t pipe_words,
+    const std::function<PardaResult(TracePipe&)>& consume) {
   BinaryTraceReader reader(path);
   TracePipe pipe(pipe_words);
 
@@ -54,7 +57,7 @@ PardaResult parda_analyze_file(const std::string& path,
 
   PardaResult result;
   try {
-    result = parda_analyze_stream(pipe, options);
+    result = consume(pipe);
   } catch (...) {
     // Wake a producer blocked on a full pipe before joining it; its next
     // write throws and the thread exits.
@@ -68,6 +71,25 @@ PardaResult parda_analyze_file(const std::string& path,
   producer.join();
   if (producer_error) std::rethrow_exception(producer_error);
   return result;
+}
+
+}  // namespace detail
+
+PardaResult parda_analyze_file_on(comm::WorkerPool& pool,
+                                  const std::string& path,
+                                  const PardaOptions& options,
+                                  std::size_t pipe_words) {
+  return detail::run_with_file_producer(
+      path, options, pipe_words, [&](TracePipe& pipe) {
+        return parda_analyze_stream_on(pool, pipe, options);
+      });
+}
+
+PardaResult parda_analyze_file(const std::string& path,
+                               const PardaOptions& options,
+                               std::size_t pipe_words) {
+  comm::WorkerPool pool(options.num_procs);
+  return parda_analyze_file_on(pool, path, options, pipe_words);
 }
 
 }  // namespace parda

@@ -4,15 +4,39 @@
 // counterpart of the Figure 3 framework.
 #pragma once
 
+#include <functional>
 #include <string>
 
 #include "core/parda.hpp"
 
 namespace parda {
 
+namespace detail {
+
+/// The producer scaffolding shared by the file entry points: spawns a
+/// producer thread that streams `path` into a bounded pipe (honoring the
+/// FaultPlan's producer_fail_after injection), runs `consume(pipe)` on the
+/// calling thread, and tears both down with the root-cause rethrow policy
+/// (a producer error reaches the consumer by pipe poisoning, so the
+/// producer's own exception wins).
+PardaResult run_with_file_producer(
+    const std::string& path, const PardaOptions& options,
+    std::size_t pipe_words,
+    const std::function<PardaResult(TracePipe&)>& consume);
+
+}  // namespace detail
+
 /// Analyzes a binary (.trc) trace file by streaming it through a bounded
-/// pipe into parda_analyze_stream. pipe_words controls the producer/
-/// consumer buffering (the paper's pipe-size knob).
+/// pipe into the streaming algorithm on a caller-owned WorkerPool.
+/// pipe_words controls the producer/consumer buffering (the paper's
+/// pipe-size knob).
+PardaResult parda_analyze_file_on(comm::WorkerPool& pool,
+                                  const std::string& path,
+                                  const PardaOptions& options,
+                                  std::size_t pipe_words = 1 << 20);
+
+/// One-shot file analysis on a transient runtime (the historical entry
+/// point); see parda_analyze_file_on.
 PardaResult parda_analyze_file(const std::string& path,
                                const PardaOptions& options,
                                std::size_t pipe_words = 1 << 20);

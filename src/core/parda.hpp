@@ -18,6 +18,7 @@
 #include <span>
 
 #include "comm/comm.hpp"
+#include "comm/worker_pool.hpp"
 #include "core/messages.hpp"
 #include "core/rank_state.hpp"
 #include "hist/histogram.hpp"
@@ -139,199 +140,251 @@ inline std::vector<RankProfile> gather_profiles(comm::Comm& comm,
   return out;
 }
 
-}  // namespace detail
-
-/// Offline Parda (Algorithm 3): splits the trace into np contiguous chunks
-/// (chunk p owns global positions [p*ceil(N/np), ...)), analyzes them in
-/// parallel, and resolves cross-chunk reuses through the local-infinity
-/// pipeline. The result equals the sequential analysis exactly (unbounded),
-/// or the bounded sequential analysis when options.bound is set.
-template <OrderStatTree Tree = SplayTree>
-PardaResult parda_analyze(std::span<const Addr> trace,
-                          const PardaOptions& options) {
-  const int np = options.num_procs;
-  PARDA_CHECK(np >= 1);
+/// The per-rank body of the offline algorithm (one call per rank inside a
+/// comm job). Shared by parda_analyze and the session layer so the
+/// chunk/merge/reduce scaffolding exists exactly once.
+template <OrderStatTree Tree>
+void offline_rank_body(comm::Comm& comm, std::span<const Addr> trace,
+                       const PardaOptions& options, Histogram& result,
+                       std::vector<RankProfile>& profiles) {
+  const int np = comm.size();
   const std::size_t n = trace.size();
   const std::size_t chunk = (n + static_cast<std::size_t>(np) - 1) /
                             static_cast<std::size_t>(np);
+  const auto p = static_cast<std::size_t>(comm.rank());
+  RankState<Tree> state(options.bound, options.space_optimized);
+  RankProfile profile;
 
+  const std::size_t begin = std::min(p * chunk, n);
+  const std::size_t end = std::min(begin + chunk, n);
+  {
+    obs::SpanScope span("analyze");
+    state.begin_merge_stage();
+    for (std::size_t t = begin; t < end; ++t) {
+      state.process_own(trace[t], static_cast<Timestamp>(t));
+    }
+  }
+  profile.chunk_refs = end - begin;
+
+  {
+    obs::SpanScope span("infinity-pipeline");
+    detail::run_merge_rounds(comm, state, comm.rank(),
+                             [](int virt) { return virt; },
+                             &profile.records_forwarded);
+  }
+  profile.records_received = state.received_count();
+  profile.hits_resolved = state.hist().finite_total();
+  profile.peak_resident = state.peak_resident();
+  detail::publish_rank_metrics(profile, state);
+
+  std::vector<RankProfile> gathered;
+  Histogram reduced;
+  {
+    obs::SpanScope span("reduce");
+    gathered = detail::gather_profiles(comm, profile);
+    reduced = reduce_histogram(comm, state.hist(), 0);
+  }
+  if (comm.rank() == 0) {
+    result = std::move(reduced);
+    profiles = std::move(gathered);
+  }
+}
+
+}  // namespace detail
+
+/// Offline Parda (Algorithm 3) on a caller-owned WorkerPool: splits the
+/// trace into np contiguous chunks (chunk p owns global positions
+/// [p*ceil(N/np), ...)), analyzes them in parallel, and resolves
+/// cross-chunk reuses through the local-infinity pipeline. The result
+/// equals the sequential analysis exactly (unbounded), or the bounded
+/// sequential analysis when options.bound is set.
+template <OrderStatTree Tree = SplayTree>
+PardaResult parda_analyze_on(comm::WorkerPool& pool,
+                             std::span<const Addr> trace,
+                             const PardaOptions& options) {
+  const int np = options.num_procs;
+  PARDA_CHECK(np >= 1);
   Histogram result;
   std::vector<RankProfile> profiles;
-  comm::RunStats stats = comm::run(np, [&](comm::Comm& comm) {
-    const auto p = static_cast<std::size_t>(comm.rank());
-    RankState<Tree> state(options.bound, options.space_optimized);
-    RankProfile profile;
-
-    const std::size_t begin = std::min(p * chunk, n);
-    const std::size_t end = std::min(begin + chunk, n);
-    {
-      obs::SpanScope span("analyze");
-      state.begin_merge_stage();
-      for (std::size_t t = begin; t < end; ++t) {
-        state.process_own(trace[t], static_cast<Timestamp>(t));
-      }
-    }
-    profile.chunk_refs = end - begin;
-
-    {
-      obs::SpanScope span("infinity-pipeline");
-      detail::run_merge_rounds(comm, state, comm.rank(),
-                               [](int virt) { return virt; },
-                               &profile.records_forwarded);
-    }
-    profile.records_received = state.received_count();
-    profile.hits_resolved = state.hist().finite_total();
-    profile.peak_resident = state.peak_resident();
-    detail::publish_rank_metrics(profile, state);
-
-    std::vector<RankProfile> gathered;
-    Histogram reduced;
-    {
-      obs::SpanScope span("reduce");
-      gathered = detail::gather_profiles(comm, profile);
-      reduced = reduce_histogram(comm, state.hist(), 0);
-    }
-    if (comm.rank() == 0) {
-      result = std::move(reduced);
-      profiles = std::move(gathered);
-    }
-  }, options.run_options);
-
+  comm::RunStats stats = pool.run_job(
+      np,
+      [&](comm::Comm& comm) {
+        detail::offline_rank_body<Tree>(comm, trace, options, result,
+                                        profiles);
+      },
+      options.run_options);
   return PardaResult{std::move(result), std::move(stats),
                      std::move(profiles)};
 }
 
-/// Online multi-phase Parda (Algorithms 5-6). Rank 0 drains the pipe in
-/// phases of np*C references and scatters per-virtual-rank chunks; after
-/// each phase all resident state is reduced onto the virtual rank np-1,
-/// which becomes virtual rank 0 of the next phase (rank reversal), so the
-/// global state never travels. Requires space optimization (the reduce
-/// step relies on the disjoint-residency property of Algorithm 4).
+/// One-shot offline analysis on a transient runtime (the historical entry
+/// point). Long-lived callers should hold a core::PardaRuntime (or a raw
+/// WorkerPool) and use parda_analyze_on to amortize thread spawning.
 template <OrderStatTree Tree = SplayTree>
-PardaResult parda_analyze_stream(TracePipe& pipe, const PardaOptions& options) {
-  const int np = options.num_procs;
-  const std::size_t chunk = options.chunk_words;
-  PARDA_CHECK(np >= 1);
-  PARDA_CHECK(chunk >= 1);
-  PARDA_CHECK(options.space_optimized);
+PardaResult parda_analyze(std::span<const Addr> trace,
+                          const PardaOptions& options) {
+  comm::WorkerPool pool(options.num_procs);
+  return parda_analyze_on<Tree>(pool, trace, options);
+}
 
+namespace detail {
+
+/// The per-rank body of the streaming algorithm (Algorithms 5-6): phase
+/// intake + scatter, chunk processing, merge rounds on the virtual
+/// topology, state reduction with rank reversal. Shared by
+/// parda_analyze_stream and the session layer.
+template <OrderStatTree Tree>
+void stream_rank_body(comm::Comm& comm, TracePipe& pipe,
+                      const PardaOptions& options, Histogram& result,
+                      std::vector<RankProfile>& profiles) {
+  const int np = comm.size();
+  const std::size_t chunk = options.chunk_words;
+  RankState<Tree> state(options.bound, /*space_optimized=*/true);
+  RankProfile profile;
+  const int me = comm.rank();
+  bool reversed = false;  // virtual<->physical map flips every phase
+  const auto phys_of = [&](int virt) {
+    return reversed ? np - 1 - virt : virt;
+  };
+  const auto virt_of = [&](int phys) {
+    return reversed ? np - 1 - phys : phys;
+  };
+  Timestamp phase_base = 0;
+  std::uint32_t phase_no = 0;
+
+  while (true) {
+    // --- Phase intake: rank 0 reads ONE block from the pipe and
+    // scatters per-rank (offset, count) views of it — the block is never
+    // copied again, regardless of np (slices are indexed by physical
+    // rank via the virtual mapping). The span is recorded manually
+    // because phase_words and the chunk view outlive this section.
+    const std::int64_t scatter_t0 =
+        obs::enabled() ? obs::tracer().now_ns() : -1;
+    std::vector<Addr> block;
+    std::vector<std::uint64_t> header;
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> slices;
+    if (me == 0) {
+      block = pipe.read_words(chunk * static_cast<std::size_t>(np));
+      header = {block.size()};
+      slices.resize(static_cast<std::size_t>(np));
+      for (int v = 0; v < np; ++v) {
+        const std::size_t lo = std::min(static_cast<std::size_t>(v) * chunk,
+                                        block.size());
+        const std::size_t hi = std::min(lo + chunk, block.size());
+        slices[static_cast<std::size_t>(phys_of(v))] = {lo, hi - lo};
+      }
+    }
+    const std::uint64_t phase_words =
+        comm.broadcast(std::move(header), 0, kTagControl).at(0);
+    const comm::View<Addr> mine = comm.scatterv_view(
+        std::move(block),
+        std::span<const std::pair<std::uint64_t, std::uint64_t>>(slices), 0,
+        kTagChunk);
+    if (scatter_t0 >= 0) {
+      obs::tracer().record(scatter_t0, obs::tracer().now_ns(), "scatter",
+                           phase_no);
+    }
+    if (phase_words == 0) break;
+
+    // --- Chunk processing (Algorithm 7 / modified stack_dist).
+    const int virt = virt_of(me);
+    const Timestamp my_base =
+        phase_base + static_cast<Timestamp>(virt) * chunk;
+    {
+      obs::SpanScope span("analyze", phase_no);
+      state.begin_merge_stage();
+      for (std::size_t i = 0; i < mine.size(); ++i) {
+        state.process_own(mine[i], my_base + i);
+      }
+    }
+    profile.chunk_refs += mine.size();
+    ++profile.phases;
+
+    // --- Merge rounds (Algorithm 3's loop on virtual topology).
+    {
+      obs::SpanScope span("infinity-pipeline", phase_no);
+      detail::run_merge_rounds(comm, state, virt, phys_of,
+                               &profile.records_forwarded);
+    }
+    profile.records_received += state.received_count();
+
+    // --- State reduction onto virtual np-1 (Algorithm 6): the exported
+    // state moves into the message and is imported through a view.
+    {
+      obs::SpanScope span("reduce", phase_no);
+      const int holder_phys = phys_of(np - 1);
+      if (virt != np - 1) {
+        comm.send(holder_phys, kTagState, state.export_state());
+      } else {
+        for (int v = 0; v < np - 1; ++v) {
+          const comm::View<InfRecord> incoming =
+              comm.recv_view<InfRecord>(phys_of(v), kTagState);
+          state.import_state(incoming.span());
+        }
+        state.prune_to_bound();
+      }
+    }
+
+    phase_base += phase_words;
+    reversed = !reversed;  // the holder is virtual rank 0 next phase
+    ++phase_no;
+    if (phase_words < chunk * static_cast<std::uint64_t>(np)) {
+      // Short phase: the pipe is exhausted; everyone agrees because
+      // phase_words was broadcast.
+      break;
+    }
+  }
+
+  profile.hits_resolved = state.hist().finite_total();
+  profile.peak_resident = state.peak_resident();
+  detail::publish_rank_metrics(profile, state);
+  std::vector<RankProfile> gathered;
+  Histogram reduced;
+  {
+    obs::SpanScope span("final-reduce");
+    gathered = detail::gather_profiles(comm, profile);
+    reduced = reduce_histogram(comm, state.hist(), 0);
+  }
+  if (me == 0) {
+    result = std::move(reduced);
+    profiles = std::move(gathered);
+  }
+}
+
+}  // namespace detail
+
+/// Online multi-phase Parda (Algorithms 5-6) on a caller-owned WorkerPool.
+/// Rank 0 drains the pipe in phases of np*C references and scatters
+/// per-virtual-rank chunks; after each phase all resident state is reduced
+/// onto the virtual rank np-1, which becomes virtual rank 0 of the next
+/// phase (rank reversal), so the global state never travels. Requires
+/// space optimization (the reduce step relies on the disjoint-residency
+/// property of Algorithm 4).
+template <OrderStatTree Tree = SplayTree>
+PardaResult parda_analyze_stream_on(comm::WorkerPool& pool, TracePipe& pipe,
+                                    const PardaOptions& options) {
+  const int np = options.num_procs;
+  PARDA_CHECK(np >= 1);
+  PARDA_CHECK(options.chunk_words >= 1);
+  PARDA_CHECK(options.space_optimized);
   Histogram result;
   std::vector<RankProfile> profiles;
-  comm::RunStats stats = comm::run(np, [&](comm::Comm& comm) {
-    RankState<Tree> state(options.bound, /*space_optimized=*/true);
-    RankProfile profile;
-    const int me = comm.rank();
-    bool reversed = false;  // virtual<->physical map flips every phase
-    const auto phys_of = [&](int virt) {
-      return reversed ? np - 1 - virt : virt;
-    };
-    const auto virt_of = [&](int phys) {
-      return reversed ? np - 1 - phys : phys;
-    };
-    Timestamp phase_base = 0;
-    std::uint32_t phase_no = 0;
-
-    while (true) {
-      // --- Phase intake: rank 0 reads ONE block from the pipe and
-      // scatters per-rank (offset, count) views of it — the block is never
-      // copied again, regardless of np (slices are indexed by physical
-      // rank via the virtual mapping). The span is recorded manually
-      // because phase_words and the chunk view outlive this section.
-      const std::int64_t scatter_t0 =
-          obs::enabled() ? obs::tracer().now_ns() : -1;
-      std::vector<Addr> block;
-      std::vector<std::uint64_t> header;
-      std::vector<std::pair<std::uint64_t, std::uint64_t>> slices;
-      if (me == 0) {
-        block = pipe.read_words(chunk * static_cast<std::size_t>(np));
-        header = {block.size()};
-        slices.resize(static_cast<std::size_t>(np));
-        for (int v = 0; v < np; ++v) {
-          const std::size_t lo = std::min(static_cast<std::size_t>(v) * chunk,
-                                          block.size());
-          const std::size_t hi = std::min(lo + chunk, block.size());
-          slices[static_cast<std::size_t>(phys_of(v))] = {lo, hi - lo};
-        }
-      }
-      const std::uint64_t phase_words =
-          comm.broadcast(std::move(header), 0, kTagControl).at(0);
-      const comm::View<Addr> mine = comm.scatterv_view(
-          std::move(block),
-          std::span<const std::pair<std::uint64_t, std::uint64_t>>(slices), 0,
-          kTagChunk);
-      if (scatter_t0 >= 0) {
-        obs::tracer().record(scatter_t0, obs::tracer().now_ns(), "scatter",
-                             phase_no);
-      }
-      if (phase_words == 0) break;
-
-      // --- Chunk processing (Algorithm 7 / modified stack_dist).
-      const int virt = virt_of(me);
-      const Timestamp my_base =
-          phase_base + static_cast<Timestamp>(virt) * chunk;
-      {
-        obs::SpanScope span("analyze", phase_no);
-        state.begin_merge_stage();
-        for (std::size_t i = 0; i < mine.size(); ++i) {
-          state.process_own(mine[i], my_base + i);
-        }
-      }
-      profile.chunk_refs += mine.size();
-      ++profile.phases;
-
-      // --- Merge rounds (Algorithm 3's loop on virtual topology).
-      {
-        obs::SpanScope span("infinity-pipeline", phase_no);
-        detail::run_merge_rounds(comm, state, virt, phys_of,
-                                 &profile.records_forwarded);
-      }
-      profile.records_received += state.received_count();
-
-      // --- State reduction onto virtual np-1 (Algorithm 6): the exported
-      // state moves into the message and is imported through a view.
-      {
-        obs::SpanScope span("reduce", phase_no);
-        const int holder_phys = phys_of(np - 1);
-        if (virt != np - 1) {
-          comm.send(holder_phys, kTagState, state.export_state());
-        } else {
-          for (int v = 0; v < np - 1; ++v) {
-            const comm::View<InfRecord> incoming =
-                comm.recv_view<InfRecord>(phys_of(v), kTagState);
-            state.import_state(incoming.span());
-          }
-          state.prune_to_bound();
-        }
-      }
-
-      phase_base += phase_words;
-      reversed = !reversed;  // the holder is virtual rank 0 next phase
-      ++phase_no;
-      if (phase_words < chunk * static_cast<std::uint64_t>(np)) {
-        // Short phase: the pipe is exhausted; everyone agrees because
-        // phase_words was broadcast.
-        break;
-      }
-    }
-
-    profile.hits_resolved = state.hist().finite_total();
-    profile.peak_resident = state.peak_resident();
-    detail::publish_rank_metrics(profile, state);
-    std::vector<RankProfile> gathered;
-    Histogram reduced;
-    {
-      obs::SpanScope span("final-reduce");
-      gathered = detail::gather_profiles(comm, profile);
-      reduced = reduce_histogram(comm, state.hist(), 0);
-    }
-    if (me == 0) {
-      result = std::move(reduced);
-      profiles = std::move(gathered);
-    }
-  }, options.run_options);
-
+  comm::RunStats stats = pool.run_job(
+      np,
+      [&](comm::Comm& comm) {
+        detail::stream_rank_body<Tree>(comm, pipe, options, result, profiles);
+      },
+      options.run_options);
   return PardaResult{std::move(result), std::move(stats),
                      std::move(profiles)};
+}
+
+/// One-shot streaming analysis on a transient runtime (the historical
+/// entry point); see parda_analyze_stream_on.
+template <OrderStatTree Tree = SplayTree>
+PardaResult parda_analyze_stream(TracePipe& pipe, const PardaOptions& options) {
+  comm::WorkerPool pool(options.num_procs);
+  return parda_analyze_stream_on<Tree>(pool, pipe, options);
 }
 
 /// Convenience: sequential Olken analysis through the same result type,

@@ -1,0 +1,20 @@
+#include "core/runtime.hpp"
+
+#include "core/file_analysis.hpp"
+
+namespace parda::core {
+
+PardaResult AnalysisSession::analyze(std::span<const Addr> trace) {
+  return parda_analyze_on(runtime_->pool(), trace, options_);
+}
+
+PardaResult AnalysisSession::analyze_stream(TracePipe& pipe) {
+  return parda_analyze_stream_on(runtime_->pool(), pipe, options_);
+}
+
+PardaResult AnalysisSession::analyze_file(const std::string& path,
+                                          std::size_t pipe_words) {
+  return parda_analyze_file_on(runtime_->pool(), path, options_, pipe_words);
+}
+
+}  // namespace parda::core

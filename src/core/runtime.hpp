@@ -1,0 +1,81 @@
+// The analysis-session layer: a PardaRuntime owns one persistent
+// WorkerPool (comm/worker_pool.hpp) and hands out lightweight
+// AnalysisSession handles bound to it. Repeated analyses — bench loops,
+// online monitoring windows, many small traces — reuse the same parked
+// worker threads and cached Worlds instead of spawning and joining np OS
+// threads per call.
+//
+// Concurrency model: sessions are cheap value handles; any number of them
+// (on any threads) may call analyze()/analyze_stream()/analyze_file()
+// concurrently. Jobs multiplex the runtime's single pool through its FIFO
+// admission queue — one job runs at a time, in arrival order, and the
+// results are exactly what the transient parda_analyze entry points
+// produce. A failed job (rank exception, injected fault, watchdog abort)
+// throws from that call only; the runtime stays healthy for the next one.
+//
+// The runtime must outlive every session created from it.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "comm/worker_pool.hpp"
+#include "core/parda.hpp"
+
+namespace parda::core {
+
+class PardaRuntime;
+
+/// A binding of analysis options to a runtime. analyze* calls submit jobs
+/// to the runtime's shared pool; tune options() freely between calls.
+class AnalysisSession {
+ public:
+  /// Offline analysis of an in-memory trace (Algorithm 3).
+  PardaResult analyze(std::span<const Addr> trace);
+  /// Online multi-phase analysis of a TracePipe (Algorithms 5-6).
+  PardaResult analyze_stream(TracePipe& pipe);
+  /// Streaming analysis of an on-disk .trc file (producer thread + pipe).
+  PardaResult analyze_file(const std::string& path,
+                           std::size_t pipe_words = 1 << 20);
+
+  PardaOptions& options() noexcept { return options_; }
+  const PardaOptions& options() const noexcept { return options_; }
+
+ private:
+  friend class PardaRuntime;
+  AnalysisSession(PardaRuntime& runtime, PardaOptions options)
+      : runtime_(&runtime), options_(std::move(options)) {}
+
+  PardaRuntime* runtime_;
+  PardaOptions options_;
+};
+
+/// Owns the shared WorkerPool. Construct once, keep it alive for the
+/// process (or the serving scope), and create sessions per client/config.
+class PardaRuntime {
+ public:
+  /// Spawns `initial_workers` parked workers up front (0 = grow lazily to
+  /// the largest num_procs any session asks for).
+  explicit PardaRuntime(int initial_workers = 0) : pool_(initial_workers) {}
+
+  /// Creates a session bound to this runtime with the given options.
+  AnalysisSession session(PardaOptions options = {}) {
+    return AnalysisSession(*this, std::move(options));
+  }
+
+  comm::WorkerPool& pool() noexcept { return pool_; }
+
+  /// Lifecycle counters, mirrored from the pool (see also the runtime.*
+  /// metrics in the obs registry).
+  int capacity() const noexcept { return pool_.capacity(); }
+  std::uint64_t jobs_run() const noexcept { return pool_.jobs_run(); }
+  std::uint64_t worlds_created() const noexcept {
+    return pool_.worlds_created();
+  }
+  std::uint64_t world_reuses() const noexcept { return pool_.world_reuses(); }
+
+ private:
+  comm::WorkerPool pool_;
+};
+
+}  // namespace parda::core

@@ -34,22 +34,27 @@ class SplayTree {
   void clear() noexcept;
   void reserve(std::size_t n);
 
-  /// In-order (ascending timestamp) traversal; fn(TreeEntry).
+  /// In-order (ascending timestamp) traversal; fn(TreeEntry). Allocation-
+  /// free: walks parent links (in-order successor) instead of keeping an
+  /// explicit stack — this runs in every merge round, so a per-call vector
+  /// would churn the heap np times per phase.
   template <typename Fn>
   void for_each(Fn&& fn) const {
-    // Explicit stack: a splay tree may be a path, so recursion could
-    // overflow on large trees.
-    std::vector<std::uint32_t> stack;
-    std::uint32_t cur = root_;
-    while (cur != kNull || !stack.empty()) {
-      while (cur != kNull) {
-        stack.push_back(cur);
-        cur = nodes_[cur].left;
-      }
-      cur = stack.back();
-      stack.pop_back();
+    if (root_ == kNull) return;
+    std::uint32_t cur = leftmost(root_);
+    while (cur != kNull) {
       fn(TreeEntry{nodes_[cur].ts, nodes_[cur].addr});
-      cur = nodes_[cur].right;
+      if (nodes_[cur].right != kNull) {
+        cur = leftmost(nodes_[cur].right);
+      } else {
+        // Climb until we leave a left subtree; that ancestor is next.
+        std::uint32_t up = nodes_[cur].parent;
+        while (up != kNull && nodes_[up].right == cur) {
+          cur = up;
+          up = nodes_[up].parent;
+        }
+        cur = up;
+      }
     }
   }
 

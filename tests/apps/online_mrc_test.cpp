@@ -4,6 +4,8 @@
 #include <vector>
 
 #include "apps/online_mrc.hpp"
+#include "core/parda.hpp"
+#include "core/runtime.hpp"
 #include "hist/mrc.hpp"
 #include "seq/bounded.hpp"
 #include "workload/generators.hpp"
@@ -69,6 +71,63 @@ TEST(OnlineMrcTest, StateStaysBounded) {
   // distance can reach the bound.
   EXPECT_LT(monitor.snapshot().max_distance(), 128u);
   EXPECT_GT(monitor.snapshot().infinities(), 0u);
+}
+
+TEST(WindowedMrcTest, MatchesPerWindowColdAnalysisExactly) {
+  // The runtime-backed monitor analyzes each completed window on the shared
+  // pool; its aggregate must equal folding per-window one-shot
+  // parda_analyze results (the old path: a fresh thread set per window).
+  ZipfWorkload w(400, 0.9, 11);
+  const auto trace = generate_trace(w, 12000);
+  constexpr std::uint64_t kBound = 256;
+  constexpr std::uint64_t kWindow = 1500;
+  constexpr double kDecay = 0.5;
+
+  core::PardaRuntime runtime;
+  WindowedMrcMonitor monitor(runtime, kBound, kWindow, kDecay,
+                             /*num_procs=*/2);
+  for (Addr a : trace) monitor.access(a);
+
+  PardaOptions options;
+  options.num_procs = 2;
+  options.bound = kBound;
+  Histogram expected;
+  std::size_t pos = 0;
+  while (pos + kWindow <= trace.size()) {
+    const std::span<const Addr> window(trace.data() + pos, kWindow);
+    decayed_fold(expected, parda_analyze(window, options).hist, kDecay);
+    pos += kWindow;
+  }
+  if (pos < trace.size()) {
+    const std::span<const Addr> tail(trace.data() + pos, trace.size() - pos);
+    expected.merge(parda_analyze(tail, options).hist);
+  }
+
+  EXPECT_TRUE(monitor.snapshot() == expected);
+  EXPECT_EQ(monitor.references_seen(), trace.size());
+  EXPECT_EQ(monitor.windows_completed(), trace.size() / kWindow);
+  // Every window job reused the runtime's workers: one World, many reuses.
+  EXPECT_EQ(runtime.capacity(), 2);
+  EXPECT_GE(runtime.world_reuses(), monitor.windows_completed() - 1);
+}
+
+TEST(WindowedMrcTest, MissRatioAgreesWithInlineMonitorOnWindowMultiples) {
+  // With decay=1 and window-aligned feeds, the windowed monitor differs
+  // from the inline one only by cross-window reuses becoming infinities —
+  // both count every reference exactly once.
+  ZipfWorkload w(200, 1.0, 13);
+  const auto trace = generate_trace(w, 8000);
+  core::PardaRuntime runtime;
+  WindowedMrcMonitor windowed(runtime, 128, 2000, 1.0, /*num_procs=*/2);
+  OnlineMrcMonitor inline_monitor(128, 2000, 1.0);
+  for (Addr a : trace) {
+    windowed.access(a);
+    inline_monitor.access(a);
+  }
+  const Histogram ws = windowed.snapshot();
+  const Histogram is = inline_monitor.snapshot();
+  EXPECT_EQ(ws.total(), is.total());
+  EXPECT_GE(ws.infinities(), is.infinities());
 }
 
 }  // namespace
