@@ -249,30 +249,25 @@ PatternResult pipeline_move(int np, std::size_t words, int rounds) {
 
 void write_json(const std::string& path,
                 const std::vector<PatternResult>& results) {
-  std::FILE* out = std::fopen(path.c_str(), "w");
-  if (out == nullptr) {
-    std::fprintf(stderr, "bench_comm: cannot write %s\n", path.c_str());
-    return;
+  std::vector<bench::BenchPoint> out;
+  out.reserve(results.size());
+  for (const PatternResult& r : results) {
+    bench::BenchPoint bp;
+    bp.name = r.name;
+    bp.params = {{"np", static_cast<std::uint64_t>(r.np)},
+                 {"words", r.words},
+                 {"rounds", static_cast<std::uint64_t>(r.rounds)}};
+    bp.metrics = {
+        {"wall_seconds", r.stats.wall_seconds},
+        {"max_busy_seconds", r.stats.max_busy()},
+        {"messages", static_cast<double>(r.stats.total_messages())},
+        {"bytes_sent", static_cast<double>(r.stats.total_bytes())},
+        {"bytes_copied", static_cast<double>(r.stats.total_bytes_copied())},
+        {"bytes_shared", static_cast<double>(r.stats.total_bytes_shared())},
+    };
+    out.push_back(std::move(bp));
   }
-  std::fprintf(out, "{\n  \"patterns\": [\n");
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    const PatternResult& r = results[i];
-    std::fprintf(out,
-                 "    {\"name\": \"%s\", \"np\": %d, \"words\": %" PRIu64
-                 ", \"rounds\": %d,\n"
-                 "     \"wall_seconds\": %.6f, \"max_busy_seconds\": %.6f,\n"
-                 "     \"messages\": %" PRIu64 ", \"bytes_sent\": %" PRIu64
-                 ", \"bytes_copied\": %" PRIu64 ", \"bytes_shared\": %" PRIu64
-                 "}%s\n",
-                 r.name.c_str(), r.np, r.words, r.rounds,
-                 r.stats.wall_seconds, r.stats.max_busy(),
-                 r.stats.total_messages(), r.stats.total_bytes(),
-                 r.stats.total_bytes_copied(), r.stats.total_bytes_shared(),
-                 i + 1 < results.size() ? "," : "");
-  }
-  std::fprintf(out, "  ]\n}\n");
-  std::fclose(out);
-  std::printf("wrote %s\n", path.c_str());
+  bench::write_bench_json(path, "comm", out);
 }
 
 void run_pattern_suite() {
@@ -281,9 +276,7 @@ void run_pattern_suite() {
       static_cast<std::size_t>(bench::env_u64("PARDA_BENCH_WORDS", 1 << 16));
   const int rounds =
       static_cast<int>(bench::env_u64("PARDA_BENCH_ROUNDS", 20));
-  const char* json_env = std::getenv("PARDA_BENCH_JSON");
-  const std::string json_path =
-      json_env != nullptr && *json_env != '\0' ? json_env : "BENCH_comm.json";
+  const std::string json_path = bench::bench_json_path("BENCH_comm.json");
 
   std::vector<PatternResult> results;
   results.push_back(broadcast_copying(np, words, rounds));

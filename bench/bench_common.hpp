@@ -26,11 +26,15 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "hist/report.hpp"
 #include "obs/obs.hpp"
+#include "util/json.hpp"
 #include "workload/spec.hpp"
 
 namespace parda::bench {
@@ -55,6 +59,55 @@ inline std::uint64_t scaled_bound(std::uint64_t paper_words) {
   const std::uint64_t s = spec_scale();
   const std::uint64_t b = paper_words / s;
   return b < 16 ? 16 : b;
+}
+
+// ---------------------------------------------------------------------------
+// The "parda.bench.v1" artifact schema shared by every BENCH_*.json file:
+//
+//   {"schema": "parda.bench.v1", "bench": "<harness>", "points": [
+//     {"name": "<measurement>",
+//      "params":  {"np": 8, "words": 65536, ...},   // integers: identity
+//      "metrics": {"wall_seconds": 0.01, ...}}]}    // doubles: compared
+//
+// A point's identity for regression diffing (scripts/bench_diff.py) is
+// (bench, name, params); metrics are what get compared against the
+// threshold. Harnesses build BenchPoints and call write_bench_json.
+// ---------------------------------------------------------------------------
+
+struct BenchPoint {
+  std::string name;
+  std::vector<std::pair<std::string, std::uint64_t>> params;
+  std::vector<std::pair<std::string, double>> metrics;
+};
+
+inline std::string bench_json_path(const char* fallback) {
+  const char* env = std::getenv("PARDA_BENCH_JSON");
+  return env != nullptr && *env != '\0' ? env : fallback;
+}
+
+inline void write_bench_json(const std::string& path,
+                             const std::string& bench,
+                             const std::vector<BenchPoint>& points) {
+  json::Writer w;
+  w.begin_object();
+  w.key("schema").value("parda.bench.v1");
+  w.key("bench").value(bench);
+  w.key("points").begin_array();
+  for (const BenchPoint& p : points) {
+    w.begin_object();
+    w.key("name").value(p.name);
+    w.key("params").begin_object();
+    for (const auto& [k, v] : p.params) w.key(k).value(v);
+    w.end_object();
+    w.key("metrics").begin_object();
+    for (const auto& [k, v] : p.metrics) w.key(k).value(v);
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  write_text_file(path, w.take() + "\n");
+  std::printf("wrote %s\n", path.c_str());
 }
 
 namespace detail {

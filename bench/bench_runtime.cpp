@@ -141,35 +141,26 @@ RuntimePoint measure_warm(int np, const std::vector<Addr>& trace, int reps) {
 
 void write_json(const std::string& path,
                 const std::vector<RuntimePoint>& points) {
-  std::FILE* out = std::fopen(path.c_str(), "w");
-  if (out == nullptr) {
-    std::fprintf(stderr, "bench_runtime: cannot write %s\n", path.c_str());
-    return;
+  std::vector<bench::BenchPoint> out;
+  out.reserve(points.size());
+  for (const RuntimePoint& p : points) {
+    bench::BenchPoint bp;
+    bp.name = p.mode;
+    bp.params = {{"np", static_cast<std::uint64_t>(p.np)},
+                 {"refs", p.refs},
+                 {"reps", static_cast<std::uint64_t>(p.reps)}};
+    bp.metrics = {{"total_seconds", p.total_seconds},
+                  {"per_analysis_ms", p.per_analysis_ms},
+                  {"throughput_mrefs_per_s", p.throughput_mrefs}};
+    out.push_back(std::move(bp));
   }
-  std::fprintf(out, "{\n  \"runtime\": [\n");
-  for (std::size_t i = 0; i < points.size(); ++i) {
-    const RuntimePoint& p = points[i];
-    std::fprintf(out,
-                 "    {\"mode\": \"%s\", \"np\": %d, \"refs\": %" PRIu64
-                 ", \"reps\": %d,\n"
-                 "     \"total_seconds\": %.6f, \"per_analysis_ms\": %.4f, "
-                 "\"throughput_mrefs_per_s\": %.3f}%s\n",
-                 p.mode.c_str(), p.np, p.refs, p.reps, p.total_seconds,
-                 p.per_analysis_ms, p.throughput_mrefs,
-                 i + 1 < points.size() ? "," : "");
-  }
-  std::fprintf(out, "  ]\n}\n");
-  std::fclose(out);
-  std::printf("wrote %s\n", path.c_str());
+  bench::write_bench_json(path, "runtime", out);
 }
 
 void run_runtime_suite() {
   const auto refs = bench::env_u64("PARDA_BENCH_REFS", 2000);
   const int reps = static_cast<int>(bench::env_u64("PARDA_BENCH_REPS", 50));
-  const char* json_env = std::getenv("PARDA_BENCH_JSON");
-  const std::string json_path = json_env != nullptr && *json_env != '\0'
-                                    ? json_env
-                                    : "BENCH_runtime.json";
+  const std::string json_path = bench::bench_json_path("BENCH_runtime.json");
 
   ZipfWorkload w(500, 0.9, 17);
   const auto trace = generate_trace(w, refs);

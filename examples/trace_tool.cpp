@@ -4,15 +4,20 @@
 //   ./trace_tool gen --workload=lbm --refs=100000 --out=lbm.trc
 //   ./trace_tool analyze lbm.trc --procs=4 --bound=2048
 //   ./trace_tool analyze lbm.trc --stream --pipe=65536 --watchdog-ms=1000
-//   ./trace_tool analyze lbm.trc --stream --metrics-out=m.json \
+//   ./trace_tool analyze lbm.trc --stream --metrics-out=m.json
 //                --trace-spans=s.json
+//   ./trace_tool analyze lbm.trc --stream --serve=0 --report
+//   ./trace_tool checkmetrics scrape.prom
 //   ./trace_tool convert lbm.trc lbm.txt
 //
 // Exit codes: 0 success, 1 runtime failure (missing/corrupt trace, aborted
-// analysis), 2 usage error (bad flag or argument).
+// analysis, invalid exposition format), 2 usage error (bad flag or
+// argument).
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <exception>
+#include <optional>
 #include <string>
 
 #include "comm/fault.hpp"
@@ -73,8 +78,8 @@ int run_tool(int argc, char** argv) {
 
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: trace_tool gen|analyze|convert [args] (--help for "
-                 "details)\n");
+                 "usage: trace_tool gen|analyze|convert|checkmetrics [args] "
+                 "(--help for details)\n");
     return kExitUsage;
   }
   const std::string command = argv[1];
@@ -95,6 +100,10 @@ int run_tool(int argc, char** argv) {
   std::uint64_t repeat = 1;
   std::string metrics_out;
   std::string trace_spans;
+  std::string serve;  // "" = off; a port number, 0 = ephemeral
+  bool report = false;
+  std::string report_json;
+  std::string log_level_name;
 
   CliParser cli("Parda trace file tool");
   cli.add_flag("workload", &workload_name,
@@ -122,11 +131,43 @@ int run_tool(int argc, char** argv) {
                "write a parda.metrics.v1 JSON snapshot to FILE");
   cli.add_flag("trace-spans", &trace_spans,
                "write chrome://tracing span JSON to FILE");
+  cli.add_flag("serve", &serve,
+               "serve live telemetry on 127.0.0.1:PORT while analyzing "
+               "(0 = ephemeral; prints the bound port)");
+  cli.add_flag("report", &report,
+               "print the span-attribution report (per-phase critical "
+               "path, straggler rank, per-rank utilization)");
+  cli.add_flag("report-json", &report_json,
+               "write the parda.spanreport.v1 JSON to FILE");
+  cli.add_flag("log-level", &log_level_name,
+               "structured log threshold: trace|debug|info|warn|error|off "
+               "(also $PARDA_LOG_LEVEL)");
   cli.parse(argc - 1, argv + 1);
 
-  // Observability is compiled in but off; either output flag turns it on
-  // for the whole process.
-  if (!metrics_out.empty() || !trace_spans.empty()) obs::set_enabled(true);
+  if (!log_level_name.empty()) {
+    const auto parsed = obs::parse_log_level(log_level_name);
+    if (!parsed.has_value()) {
+      usage_error("bad --log-level '%s'", log_level_name.c_str());
+    }
+    obs::set_log_level(*parsed);
+  }
+
+  std::optional<std::uint16_t> serve_port;
+  if (!serve.empty()) {
+    char* end = nullptr;
+    const unsigned long port = std::strtoul(serve.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || port > 65535) {
+      usage_error("bad --serve port '%s'", serve.c_str());
+    }
+    serve_port = static_cast<std::uint16_t>(port);
+  }
+
+  // Observability is compiled in but off; any telemetry output flag turns
+  // it on for the whole process.
+  if (!metrics_out.empty() || !trace_spans.empty() || serve_port ||
+      report || !report_json.empty()) {
+    obs::set_enabled(true);
+  }
 
   if (command == "gen") {
     if (refs == 0) usage_error("gen: --refs must be positive");
@@ -172,7 +213,15 @@ int run_tool(int argc, char** argv) {
     // One persistent runtime for every iteration: with --repeat > 1 the
     // workers spawn once and every later analysis reuses them, so the
     // per-iteration times show the warm-pool effect directly.
-    core::PardaRuntime runtime;
+    core::RuntimeOptions runtime_options;
+    runtime_options.serve_port = serve_port;
+    core::PardaRuntime runtime(runtime_options);
+    if (serve_port) {
+      std::printf("serving telemetry on http://127.0.0.1:%u "
+                  "(/metrics /metrics.json /spans /healthz)\n",
+                  static_cast<unsigned>(runtime.serve_port()));
+      std::fflush(stdout);
+    }
     auto session = runtime.session(options);
     PardaResult result;
     std::vector<Addr> trace;
@@ -196,7 +245,35 @@ int run_tool(int argc, char** argv) {
       std::printf("wrote %zu trace spans to %s\n",
                   obs::tracer().events().size(), trace_spans.c_str());
     }
+    if (report || !report_json.empty()) {
+      const obs::SpanReport span_report =
+          obs::SpanReport::from_tracer(obs::tracer());
+      if (report) {
+        std::printf("\n%s", span_report.to_table().c_str());
+      }
+      if (!report_json.empty()) {
+        write_text_file(report_json, span_report.to_json() + "\n");
+        std::printf("wrote span report to %s\n", report_json.c_str());
+      }
+    }
     return 0;
+  }
+  if (command == "checkmetrics") {
+    if (cli.positionals().empty()) {
+      usage_error("checkmetrics: missing exposition file path");
+    }
+    const std::string text = read_text_file(cli.positionals()[0]);
+    const std::vector<std::string> problems = obs::validate_prometheus(text);
+    if (problems.empty()) {
+      std::printf("%s: valid Prometheus exposition\n",
+                  cli.positionals()[0].c_str());
+      return 0;
+    }
+    for (const std::string& p : problems) {
+      std::fprintf(stderr, "%s: %s\n", cli.positionals()[0].c_str(),
+                   p.c_str());
+    }
+    return kExitRuntime;
   }
   if (command == "convert") {
     if (cli.positionals().size() < 2) {
@@ -207,8 +284,9 @@ int run_tool(int argc, char** argv) {
     std::printf("converted %zu references\n", trace.size());
     return 0;
   }
-  usage_error("unknown command '%s' (expected gen|analyze|convert)",
-              command.c_str());
+  usage_error(
+      "unknown command '%s' (expected gen|analyze|convert|checkmetrics)",
+      command.c_str());
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 #include <exception>
 
 #include "comm/worker_pool.hpp"
+#include "obs/log.hpp"
 #include "util/timer.hpp"
 
 namespace parda::comm {
@@ -183,6 +184,9 @@ void World::abort(int origin, const std::string& cause) {
     abort_cause_ = cause;
     aborted_.store(true, std::memory_order_release);
   }
+  obs::log(obs::LogLevel::kWarn, "comm.abort")
+      .field("origin", origin)
+      .field("cause", cause);
   for (auto& mailbox : mailboxes_) mailbox->poison();
   for (auto& peer : barrier_) {
     {
@@ -282,6 +286,12 @@ std::string World::stall_report() {
 }  // namespace detail
 
 void Comm::apply_fault(const FaultPoint& pt) {
+  obs::log(obs::LogLevel::kInfo, "fault.inject")
+      .field("rank", rank_)
+      .field("op", fault_op_name(pt.op))
+      .field("action",
+             pt.action == FaultPoint::Action::kDelay ? "delay" : "throw")
+      .field("ms", pt.delay_ms);
   if (pt.action == FaultPoint::Action::kDelay) {
     std::this_thread::sleep_for(std::chrono::milliseconds(pt.delay_ms));
     return;

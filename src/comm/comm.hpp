@@ -60,6 +60,7 @@
 
 #include "comm/fault.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span_tracer.hpp"
 #include "util/check.hpp"
 
 namespace parda::comm {
@@ -474,12 +475,14 @@ class Comm {
     if (obs::enabled()) {
       auto& c = detail::comm_counters();
       c.barriers.add(1);
-      const auto t0 = std::chrono::steady_clock::now();
+      // One clock source feeds both the timer histogram and the wait span
+      // the attribution report folds into per-rank blocked time.
+      obs::SpanTracer& t = obs::tracer();
+      const std::int64_t t0 = t.now_ns();
       world_.barrier(rank_, deadline_from(timeout));
-      c.barrier_wait.record_ns(static_cast<std::uint64_t>(
-          std::chrono::duration_cast<std::chrono::nanoseconds>(
-              std::chrono::steady_clock::now() - t0)
-              .count()));
+      const std::int64_t t1 = t.now_ns();
+      c.barrier_wait.record_ns(static_cast<std::uint64_t>(t1 - t0));
+      t.record(t0, t1, "barrier-wait", obs::thread_phase());
     } else {
       world_.barrier(rank_, deadline_from(timeout));
     }
@@ -693,12 +696,12 @@ class Comm {
     if (obs::enabled()) {
       auto& c = detail::comm_counters();
       c.recvs.add(1);
-      const auto t0 = std::chrono::steady_clock::now();
+      obs::SpanTracer& t = obs::tracer();
+      const std::int64_t t0 = t.now_ns();
       wait = world_.mailbox(rank_).pop(src, tag, out, deadline_from(timeout));
-      c.mailbox_wait.record_ns(static_cast<std::uint64_t>(
-          std::chrono::duration_cast<std::chrono::nanoseconds>(
-              std::chrono::steady_clock::now() - t0)
-              .count()));
+      const std::int64_t t1 = t.now_ns();
+      c.mailbox_wait.record_ns(static_cast<std::uint64_t>(t1 - t0));
+      t.record(t0, t1, "recv-wait", obs::thread_phase());
     } else {
       wait = world_.mailbox(rank_).pop(src, tag, out, deadline_from(timeout));
     }

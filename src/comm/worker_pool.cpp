@@ -6,6 +6,7 @@
 #include <string>
 #include <utility>
 
+#include "obs/log.hpp"
 #include "obs/runtime.hpp"
 #include "util/timer.hpp"
 
@@ -22,6 +23,12 @@ struct PoolCounters {
   obs::Counter& workers_spawned;
   obs::TimerHistogram& admission_wait;
   obs::TimerHistogram& park_wait;
+  // Job-scoped gauges, re-published at every admission (see DESIGN.md
+  // "Live telemetry & attribution"): `last` describes the current/most
+  // recent job, `max` the pool's lifetime high-water mark.
+  obs::Gauge& job_np;
+  obs::Gauge& pool_capacity;
+  obs::Gauge& world_generation;
 };
 
 PoolCounters& pool_counters() {
@@ -32,6 +39,9 @@ PoolCounters& pool_counters() {
       obs::registry().counter("runtime.workers_spawned"),
       obs::registry().timer("runtime.admission_wait"),
       obs::registry().timer("runtime.park_wait"),
+      obs::registry().gauge("runtime.job_np"),
+      obs::registry().gauge("runtime.pool_capacity"),
+      obs::registry().gauge("runtime.world_generation"),
   };
   return counters;
 }
@@ -175,7 +185,14 @@ RunStats WorkerPool::run_job(int np, const std::function<void(Comm&)>& fn,
     ensure_workers(np);
     world = &acquire_world(np);
   }
-  if (timed) pool_counters().admission_wait.record_ns(elapsed_ns(admit_t0));
+  if (timed) {
+    auto& c = pool_counters();
+    c.admission_wait.record_ns(elapsed_ns(admit_t0));
+    c.job_np.set(static_cast<std::uint64_t>(np));
+    c.pool_capacity.set(
+        static_cast<std::uint64_t>(capacity_.load(std::memory_order_acquire)));
+    c.world_generation.set(world->generation());
+  }
   const Finally release_slot([&] {
     {
       std::lock_guard lock(admit_mu_);
@@ -332,7 +349,9 @@ void WorkerPool::service_main() {
       if (svc_stop_ || svc_world_ != world || world->aborted()) break;
       if (detector.sample(*world)) {
         const std::string report = world->stall_report();
-        std::fprintf(stderr, "%s", report.c_str());
+        obs::log(obs::LogLevel::kWarn, "watchdog.stall")
+            .field("np", world->size())
+            .field("report", report);
         world->abort(kWatchdogOrigin, report);
         break;
       }
@@ -359,6 +378,11 @@ std::uint64_t WorkerPool::worlds_created() const noexcept {
 
 std::uint64_t WorkerPool::world_reuses() const noexcept {
   return world_reuses_.load(std::memory_order_relaxed);
+}
+
+bool WorkerPool::watchdog_armed() const noexcept {
+  std::lock_guard lock(svc_mu_);
+  return svc_world_ != nullptr;
 }
 
 }  // namespace parda::comm

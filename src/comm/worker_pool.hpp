@@ -80,6 +80,9 @@ class WorkerPool {
   /// Worlds constructed / reused from the per-np cache.
   std::uint64_t worlds_created() const noexcept;
   std::uint64_t world_reuses() const noexcept;
+  /// Whether the stall watchdog is armed for a job right now (the
+  /// /healthz answer; the service thread itself persists once spawned).
+  bool watchdog_armed() const noexcept;
 
  private:
   /// The job descriptor shared with the workers. Written by the admitted
@@ -137,7 +140,7 @@ class WorkerPool {
   std::atomic<std::uint64_t> world_reuses_{0};
 
   // --- watchdog service thread --------------------------------------------
-  std::mutex svc_mu_;
+  mutable std::mutex svc_mu_;
   std::condition_variable svc_cv_;
   std::thread service_;
   detail::World* svc_world_ = nullptr;  // non-null while a task is armed

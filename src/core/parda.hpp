@@ -253,6 +253,11 @@ void stream_rank_body(comm::Comm& comm, TracePipe& pipe,
   std::uint32_t phase_no = 0;
 
   while (true) {
+    // Attribute everything this thread records during the phase — notably
+    // the recv-wait/barrier-wait spans inside the comm layer — to
+    // phase_no, so the SpanReport can decompose each phase into self vs
+    // blocked time per rank.
+    obs::ScopedThreadPhase phase_scope(phase_no);
     // --- Phase intake: rank 0 reads ONE block from the pipe and
     // scatters per-rank (offset, count) views of it — the block is never
     // copied again, regardless of np (slices are indexed by physical

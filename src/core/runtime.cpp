@@ -1,8 +1,33 @@
 #include "core/runtime.hpp"
 
 #include "core/file_analysis.hpp"
+#include "obs/runtime.hpp"
 
 namespace parda::core {
+
+PardaRuntime::PardaRuntime(const RuntimeOptions& options)
+    : pool_(options.initial_workers) {
+  if (options.serve_port.has_value()) {
+    // A live scrape without recording would read all-zero shards; serving
+    // implies observing.
+    obs::set_enabled(true);
+    server_ = std::make_unique<obs::TelemetryServer>(
+        *options.serve_port, [this] {
+          obs::Health h;
+          h.ok = true;
+          h.workers = pool_.capacity();
+          h.jobs = pool_.jobs_run();
+          h.watchdog = pool_.watchdog_armed();
+          return h;
+        });
+  }
+}
+
+PardaRuntime::~PardaRuntime() {
+  // The health callback dereferences the pool: stop serving before any
+  // member is torn down.
+  server_.reset();
+}
 
 PardaResult AnalysisSession::analyze(std::span<const Addr> trace) {
   return parda_analyze_on(runtime_->pool(), trace, options_);

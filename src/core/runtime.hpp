@@ -16,11 +16,14 @@
 // The runtime must outlive every session created from it.
 #pragma once
 
+#include <memory>
+#include <optional>
 #include <span>
 #include <string>
 
 #include "comm/worker_pool.hpp"
 #include "core/parda.hpp"
+#include "obs/server.hpp"
 
 namespace parda::core {
 
@@ -50,13 +53,30 @@ class AnalysisSession {
   PardaOptions options_;
 };
 
+/// Construction knobs for PardaRuntime; default-constructed reproduces the
+/// historical plain pool.
+struct RuntimeOptions {
+  /// Parked workers spawned up front (0 = grow lazily to the largest
+  /// num_procs any session asks for).
+  int initial_workers = 0;
+  /// When set, the runtime owns a TelemetryServer on 127.0.0.1:*serve_port
+  /// (0 = ephemeral; query serve_port() for the bound port) serving
+  /// /metrics, /metrics.json, /spans, and /healthz for the duration of the
+  /// runtime. Starting the server enables obs recording — with no server
+  /// (and obs otherwise off) the hot paths do zero telemetry work.
+  std::optional<std::uint16_t> serve_port;
+};
+
 /// Owns the shared WorkerPool. Construct once, keep it alive for the
 /// process (or the serving scope), and create sessions per client/config.
 class PardaRuntime {
  public:
   /// Spawns `initial_workers` parked workers up front (0 = grow lazily to
   /// the largest num_procs any session asks for).
-  explicit PardaRuntime(int initial_workers = 0) : pool_(initial_workers) {}
+  explicit PardaRuntime(int initial_workers = 0)
+      : PardaRuntime(RuntimeOptions{initial_workers, std::nullopt}) {}
+  explicit PardaRuntime(const RuntimeOptions& options);
+  ~PardaRuntime();
 
   /// Creates a session bound to this runtime with the given options.
   AnalysisSession session(PardaOptions options = {}) {
@@ -74,8 +94,14 @@ class PardaRuntime {
   }
   std::uint64_t world_reuses() const noexcept { return pool_.world_reuses(); }
 
+  /// The telemetry server's bound port, or 0 when not serving.
+  std::uint16_t serve_port() const noexcept {
+    return server_ ? server_->port() : 0;
+  }
+
  private:
   comm::WorkerPool pool_;
+  std::unique_ptr<obs::TelemetryServer> server_;  // null unless serving
 };
 
 }  // namespace parda::core

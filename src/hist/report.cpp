@@ -88,4 +88,22 @@ void write_text_file(const std::string& path, const std::string& content) {
   }
 }
 
+std::string read_text_file(const std::string& path) {
+  struct Closer {
+    void operator()(std::FILE* f) const noexcept {
+      if (f != nullptr) std::fclose(f);
+    }
+  };
+  std::unique_ptr<std::FILE, Closer> f(std::fopen(path.c_str(), "rb"));
+  if (!f) throw std::runtime_error("cannot open for reading: " + path);
+  std::string out;
+  char buf[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f.get())) > 0) {
+    out.append(buf, n);
+  }
+  if (std::ferror(f.get())) throw std::runtime_error("read failed: " + path);
+  return out;
+}
+
 }  // namespace parda

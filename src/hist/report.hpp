@@ -33,4 +33,7 @@ std::string mrc_to_csv(const std::vector<MrcPoint>& curve);
 /// Writes content to path, throwing std::runtime_error on failure.
 void write_text_file(const std::string& path, const std::string& content);
 
+/// Reads the whole file as text, throwing std::runtime_error on failure.
+std::string read_text_file(const std::string& path);
+
 }  // namespace parda

@@ -1,0 +1,459 @@
+#include "obs/export.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <map>
+#include <optional>
+
+namespace parda::obs {
+
+namespace {
+
+/// "comm.bytes_sent" -> "parda_comm_bytes_sent" (charset [a-zA-Z0-9_:]).
+std::string prom_name(std::string_view name) {
+  std::string out = "parda_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+/// Label values escape backslash, double-quote, and newline.
+std::string escape_label(std::string_view v) {
+  std::string out;
+  for (char c : v) {
+    if (c == '\\') out += "\\\\";
+    else if (c == '"') out += "\\\"";
+    else if (c == '\n') out += "\\n";
+    else out += c;
+  }
+  return out;
+}
+
+/// HELP text escapes backslash and newline (quotes are fine).
+std::string escape_help(std::string_view v) {
+  std::string out;
+  for (char c : v) {
+    if (c == '\\') out += "\\\\";
+    else if (c == '\n') out += "\\n";
+    else out += c;
+  }
+  return out;
+}
+
+void header(std::string& out, const std::string& fam,
+            const std::string& help, const char* type) {
+  out += "# HELP " + fam + " " + escape_help(help) + "\n";
+  out += "# TYPE " + fam + " ";
+  out += type;
+  out += "\n";
+}
+
+std::string rank_label(std::size_t shard) {
+  // Shard 0 is the unattributed (driver/producer) shard.
+  return shard == 0 ? std::string("driver") : std::to_string(shard - 1);
+}
+
+void sample_u64(std::string& out, const std::string& fam,
+                const std::string& labels, std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out += fam;
+  out += labels;
+  out += ' ';
+  out += buf;
+  out += '\n';
+}
+
+/// Emits one family of per-rank u64 samples: shard 0 always (so the family
+/// is never empty), other shards only when active per `active`.
+template <typename Shards, typename Active>
+void per_rank_samples(std::string& out, const std::string& fam,
+                      const Shards& values, const Active& active) {
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0 && !active[i]) continue;
+    sample_u64(out, fam, "{rank=\"" + escape_label(rank_label(i)) + "\"}",
+               values[i]);
+  }
+}
+
+}  // namespace
+
+std::string to_prometheus(const Registry& reg, const SpanTracer& tracer) {
+  std::string out;
+  out.reserve(1 << 14);
+
+  for (const Counter* c : reg.counters()) {
+    const std::string fam = prom_name(c->name()) + "_total";
+    header(out, fam,
+           "Parda counter " + c->name() +
+               " (rank=\"driver\" is the unattributed shard)",
+           "counter");
+    const auto shards = c->shards();
+    std::array<bool, kShards> active{};
+    for (std::size_t i = 0; i < shards.size(); ++i) active[i] = shards[i] != 0;
+    per_rank_samples(out, fam, shards, active);
+  }
+
+  for (const Gauge* g : reg.gauges()) {
+    const auto maxes = g->shards();
+    const auto values = g->values();
+    std::array<bool, kShards> active{};
+    for (std::size_t i = 0; i < maxes.size(); ++i) active[i] = maxes[i] != 0;
+    const std::string fam = prom_name(g->name());
+    header(out, fam,
+           "Parda gauge " + g->name() + " (last value published per rank)",
+           "gauge");
+    per_rank_samples(out, fam, values, active);
+    const std::string fam_max = fam + "_max";
+    header(out, fam_max,
+           "Parda gauge " + g->name() + " lifetime high-water mark per rank",
+           "gauge");
+    per_rank_samples(out, fam_max, maxes, active);
+  }
+
+  for (const TimerHistogram* t : reg.timers()) {
+    const std::string fam = prom_name(t->name()) + "_ns";
+    header(out, fam,
+           "Parda timer " + t->name() +
+               " in nanoseconds (log2 buckets, aggregated across ranks)",
+           "histogram");
+    const TimerHistogram::Aggregate agg = t->aggregate();
+    std::size_t last = 0;
+    for (std::size_t b = 0; b < agg.buckets.size(); ++b) {
+      if (agg.buckets[b] != 0) last = b + 1;
+    }
+    std::uint64_t cum = 0;
+    for (std::size_t b = 0; b < last; ++b) {
+      cum += agg.buckets[b];
+      // Bucket b holds [2^b, 2^(b+1)) ns; integer durations make
+      // le=2^(b+1)-1 the exact inclusive upper bound.
+      const std::uint64_t le = (std::uint64_t{1} << (b + 1)) - 1;
+      sample_u64(out, fam + "_bucket",
+                 "{le=\"" + std::to_string(le) + "\"}", cum);
+    }
+    sample_u64(out, fam + "_bucket", "{le=\"+Inf\"}", agg.count);
+    sample_u64(out, fam + "_sum", "", agg.sum_ns);
+    sample_u64(out, fam + "_count", "", agg.count);
+  }
+
+  {
+    const std::string fam = "parda_obs_spans_dropped_total";
+    header(out, fam,
+           "Span ring overwrites per rank shard (nonzero means the oldest "
+           "spans were lost to wrap-around)",
+           "counter");
+    const auto dropped = tracer.dropped_per_shard();
+    std::array<bool, kShards> active{};
+    for (std::size_t i = 0; i < dropped.size(); ++i) {
+      active[i] = dropped[i] != 0;
+    }
+    per_rank_samples(out, fam, dropped, active);
+  }
+
+  return out;
+}
+
+std::string to_prometheus() { return to_prometheus(registry(), tracer()); }
+
+// --- Validator --------------------------------------------------------------
+
+namespace {
+
+bool valid_metric_name(std::string_view s) {
+  if (s.empty()) return false;
+  auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+           c == ':';
+  };
+  if (!head(s[0])) return false;
+  for (char c : s.substr(1)) {
+    if (!head(c) && !(c >= '0' && c <= '9')) return false;
+  }
+  return true;
+}
+
+bool valid_label_name(std::string_view s) {
+  if (s.empty()) return false;
+  auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+  };
+  if (!head(s[0])) return false;
+  for (char c : s.substr(1)) {
+    if (!head(c) && !(c >= '0' && c <= '9')) return false;
+  }
+  return true;
+}
+
+bool valid_value(std::string_view s) {
+  if (s == "+Inf" || s == "-Inf" || s == "Inf" || s == "NaN") return true;
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const std::string copy(s);
+  std::strtod(copy.c_str(), &end);
+  return end == copy.c_str() + copy.size();
+}
+
+struct Sample {
+  std::string name;
+  // Sorted key=value pairs, `le` excluded for bucket grouping.
+  std::vector<std::pair<std::string, std::string>> labels;
+  std::optional<std::string> le;
+  double value = 0;
+  std::size_t line_no = 0;
+};
+
+/// Base family of a sample name: strips _bucket/_sum/_count when the
+/// stripped name was declared as a histogram.
+std::string histogram_base(const std::string& name,
+                           const std::map<std::string, std::string>& types) {
+  for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+    const std::string_view sv(suffix);
+    if (name.size() > sv.size() &&
+        name.compare(name.size() - sv.size(), sv.size(), sv) == 0) {
+      const std::string base = name.substr(0, name.size() - sv.size());
+      const auto it = types.find(base);
+      if (it != types.end() && it->second == "histogram") return base;
+    }
+  }
+  return name;
+}
+
+}  // namespace
+
+std::vector<std::string> validate_prometheus(std::string_view text) {
+  std::vector<std::string> problems;
+  auto fail = [&](std::size_t line_no, const std::string& msg) {
+    problems.push_back("line " + std::to_string(line_no) + ": " + msg);
+  };
+
+  if (text.empty() || text.back() != '\n') {
+    problems.push_back("exposition must end with a newline");
+  }
+
+  std::map<std::string, std::string> types;   // family -> TYPE
+  std::map<std::string, std::size_t> helps;   // family -> HELP line
+  std::vector<Sample> samples;
+
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    ++line_no;
+    const std::size_t eol = text.find('\n', pos);
+    const std::string_view line =
+        text.substr(pos, eol == std::string_view::npos ? std::string_view::npos
+                                                       : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() : eol + 1;
+    if (line.empty()) continue;
+
+    if (line[0] == '#') {
+      // "# HELP name text" | "# TYPE name type" | plain comment.
+      if (line.rfind("# HELP ", 0) == 0) {
+        const std::string_view rest = line.substr(7);
+        const std::size_t sp = rest.find(' ');
+        const std::string name(rest.substr(0, sp));
+        if (!valid_metric_name(name)) {
+          fail(line_no, "HELP for invalid metric name '" + name + "'");
+        }
+        if (helps.count(name) != 0) {
+          fail(line_no, "duplicate HELP for '" + name + "'");
+        }
+        helps[name] = line_no;
+      } else if (line.rfind("# TYPE ", 0) == 0) {
+        const std::string_view rest = line.substr(7);
+        const std::size_t sp = rest.find(' ');
+        if (sp == std::string_view::npos) {
+          fail(line_no, "TYPE line missing type");
+          continue;
+        }
+        const std::string name(rest.substr(0, sp));
+        const std::string type(rest.substr(sp + 1));
+        if (!valid_metric_name(name)) {
+          fail(line_no, "TYPE for invalid metric name '" + name + "'");
+        }
+        if (type != "counter" && type != "gauge" && type != "histogram" &&
+            type != "summary" && type != "untyped") {
+          fail(line_no, "unknown TYPE '" + type + "'");
+        }
+        if (types.count(name) != 0) {
+          fail(line_no, "duplicate TYPE for '" + name + "'");
+        }
+        if (helps.count(name) == 0) {
+          fail(line_no, "TYPE for '" + name + "' without preceding HELP");
+        }
+        types[name] = type;
+        if (type == "counter" &&
+            (name.size() < 6 ||
+             name.compare(name.size() - 6, 6, "_total") != 0)) {
+          fail(line_no, "counter '" + name + "' must end with _total");
+        }
+      }
+      continue;
+    }
+
+    // Sample line: name[{labels}] value [timestamp]
+    Sample s;
+    s.line_no = line_no;
+    std::size_t i = 0;
+    while (i < line.size() && line[i] != '{' && line[i] != ' ') ++i;
+    s.name = std::string(line.substr(0, i));
+    if (!valid_metric_name(s.name)) {
+      fail(line_no, "invalid metric name '" + s.name + "'");
+      continue;
+    }
+    if (i < line.size() && line[i] == '{') {
+      ++i;
+      while (i < line.size() && line[i] != '}') {
+        std::size_t eq = line.find('=', i);
+        if (eq == std::string_view::npos) {
+          fail(line_no, "malformed label (no '=')");
+          break;
+        }
+        const std::string lname(line.substr(i, eq - i));
+        if (!valid_label_name(lname)) {
+          fail(line_no, "invalid label name '" + lname + "'");
+        }
+        if (eq + 1 >= line.size() || line[eq + 1] != '"') {
+          fail(line_no, "label value must be quoted");
+          break;
+        }
+        std::string lvalue;
+        std::size_t j = eq + 2;
+        bool closed = false;
+        while (j < line.size()) {
+          const char c = line[j];
+          if (c == '\\') {
+            if (j + 1 >= line.size() ||
+                (line[j + 1] != '\\' && line[j + 1] != '"' &&
+                 line[j + 1] != 'n')) {
+              fail(line_no, "bad escape in label value");
+              break;
+            }
+            lvalue += line[j + 1] == 'n' ? '\n' : line[j + 1];
+            j += 2;
+          } else if (c == '"') {
+            closed = true;
+            ++j;
+            break;
+          } else {
+            lvalue += c;
+            ++j;
+          }
+        }
+        if (!closed) {
+          fail(line_no, "unterminated label value");
+          break;
+        }
+        if (lname == "le") {
+          s.le = lvalue;
+        } else {
+          s.labels.emplace_back(lname, lvalue);
+        }
+        i = j;
+        if (i < line.size() && line[i] == ',') ++i;
+      }
+      if (i < line.size() && line[i] == '}') ++i;
+    }
+    if (i >= line.size() || line[i] != ' ') {
+      fail(line_no, "missing value after metric");
+      continue;
+    }
+    ++i;
+    const std::size_t sp = line.find(' ', i);
+    const std::string value_text(
+        line.substr(i, sp == std::string_view::npos ? std::string_view::npos
+                                                    : sp - i));
+    if (!valid_value(value_text)) {
+      fail(line_no, "non-numeric sample value '" + value_text + "'");
+      continue;
+    }
+    s.value = value_text == "+Inf" || value_text == "Inf"
+                  ? std::numeric_limits<double>::infinity()
+                  : std::strtod(value_text.c_str(), nullptr);
+    std::sort(s.labels.begin(), s.labels.end());
+    samples.push_back(std::move(s));
+  }
+
+  // Every sample's family must have a TYPE declared (before use is implied
+  // by emission order; we check presence here and order via line numbers).
+  for (const Sample& s : samples) {
+    const std::string fam = histogram_base(s.name, types);
+    const auto it = types.find(fam);
+    if (it == types.end()) {
+      fail(s.line_no, "sample '" + s.name + "' has no TYPE declaration");
+    }
+  }
+
+  // Histogram consistency per (family, labels-minus-le).
+  struct HistGroup {
+    std::vector<std::pair<double, double>> buckets;  // (le, cumulative)
+    std::optional<double> sum;
+    std::optional<double> count;
+    std::size_t line_no = 0;
+  };
+  std::map<std::string, HistGroup> groups;
+  auto group_key = [](const std::string& fam, const Sample& s) {
+    std::string key = fam;
+    for (const auto& [k, v] : s.labels) key += "|" + k + "=" + v;
+    return key;
+  };
+  for (const Sample& s : samples) {
+    const std::string fam = histogram_base(s.name, types);
+    if (fam == s.name || types.find(fam)->second != "histogram") continue;
+    HistGroup& g = groups[group_key(fam, s)];
+    g.line_no = s.line_no;
+    if (s.name == fam + "_bucket") {
+      if (!s.le.has_value()) {
+        fail(s.line_no, "_bucket sample without le label");
+        continue;
+      }
+      const double le = *s.le == "+Inf"
+                            ? std::numeric_limits<double>::infinity()
+                            : std::strtod(s.le->c_str(), nullptr);
+      g.buckets.emplace_back(le, s.value);
+    } else if (s.name == fam + "_sum") {
+      g.sum = s.value;
+    } else if (s.name == fam + "_count") {
+      g.count = s.value;
+    }
+  }
+  for (const auto& [key, g] : groups) {
+    const std::string fam = key.substr(0, key.find('|'));
+    if (g.buckets.empty()) {
+      fail(g.line_no, "histogram '" + fam + "' has no _bucket samples");
+      continue;
+    }
+    for (std::size_t b = 1; b < g.buckets.size(); ++b) {
+      if (!(g.buckets[b].first > g.buckets[b - 1].first)) {
+        fail(g.line_no, "histogram '" + fam + "' le values not increasing");
+      }
+      if (g.buckets[b].second < g.buckets[b - 1].second) {
+        fail(g.line_no,
+             "histogram '" + fam + "' bucket counts not monotonic");
+      }
+    }
+    if (!std::isinf(g.buckets.back().first)) {
+      fail(g.line_no, "histogram '" + fam + "' missing le=\"+Inf\" bucket");
+    }
+    if (!g.count.has_value()) {
+      fail(g.line_no, "histogram '" + fam + "' missing _count");
+    } else if (std::isinf(g.buckets.back().first) &&
+               g.buckets.back().second != *g.count) {
+      fail(g.line_no,
+           "histogram '" + fam + "' +Inf bucket != _count");
+    }
+    if (!g.sum.has_value()) {
+      fail(g.line_no, "histogram '" + fam + "' missing _sum");
+    }
+  }
+
+  return problems;
+}
+
+}  // namespace parda::obs

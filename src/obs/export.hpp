@@ -1,0 +1,43 @@
+// Prometheus text exposition (format 0.0.4) for the metrics registry and
+// the span tracer, plus the hand-rolled format validator the tests and the
+// CI telemetry smoke run scrape output through.
+//
+// Mapping ("." becomes "_", everything prefixed "parda_"):
+//   Counter  comm.bytes_sent  -> parda_comm_bytes_sent_total{rank="0"} ...
+//   Gauge    runtime.job_np   -> parda_runtime_job_np{rank="driver"} ...
+//                                parda_runtime_job_np_max{...}        ...
+//   Timer    comm.mailbox_wait-> parda_comm_mailbox_wait_ns_bucket{le="2"}
+//                                ..._sum / ..._count   (log2-ns buckets,
+//                                aggregated across shards)
+// plus parda_obs_spans_dropped_total{rank=...} from the tracer rings.
+//
+// Rendering reads the same relaxed per-rank shard slots the hot path
+// writes — a scrape never takes a lock a worker can hold (the registry
+// mutex only guards name registration, which workers touch once at handle
+// resolution), so serving /metrics cannot stall an in-flight analysis.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/span_tracer.hpp"
+
+namespace parda::obs {
+
+/// Renders the registry (and the tracer's drop counters) as Prometheus
+/// text exposition format. Deterministic order: counters, gauges, timers,
+/// then the tracer synthetics.
+std::string to_prometheus(const Registry& reg, const SpanTracer& tracer);
+
+/// Convenience over the process globals (what /metrics serves).
+std::string to_prometheus();
+
+/// Hand-rolled exposition-format validator: HELP/TYPE presence and order,
+/// metric/label name charsets, label escaping, numeric sample values,
+/// counter naming, histogram bucket monotonicity and _sum/_count
+/// consistency. Returns one message per violation; empty = valid.
+std::vector<std::string> validate_prometheus(std::string_view text);
+
+}  // namespace parda::obs

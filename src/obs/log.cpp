@@ -1,0 +1,137 @@
+#include "obs/log.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+
+#include "obs/runtime.hpp"
+
+namespace parda::obs {
+
+namespace {
+
+std::atomic<int> g_level{-1};  // -1 = not yet initialized from the env
+std::atomic<std::FILE*> g_sink{nullptr};
+std::mutex g_emit_mu;
+
+int level_from_env() {
+  const char* env = std::getenv("PARDA_LOG_LEVEL");
+  if (env != nullptr && *env != '\0') {
+    if (const auto parsed = parse_log_level(env); parsed.has_value()) {
+      return static_cast<int>(*parsed);
+    }
+  }
+  return static_cast<int>(LogLevel::kWarn);
+}
+
+std::chrono::steady_clock::time_point log_epoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+}  // namespace
+
+LogLevel log_level() noexcept {
+  int level = g_level.load(std::memory_order_relaxed);
+  if (level < 0) {
+    // First query initializes from PARDA_LOG_LEVEL; races are benign
+    // (every racer computes the same value).
+    level = level_from_env();
+    g_level.store(level, std::memory_order_relaxed);
+  }
+  return static_cast<LogLevel>(level);
+}
+
+void set_log_level(LogLevel level) noexcept {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+std::optional<LogLevel> parse_log_level(std::string_view name) noexcept {
+  if (name == "trace") return LogLevel::kTrace;
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  if (name == "off") return LogLevel::kOff;
+  return std::nullopt;
+}
+
+const char* log_level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kTrace: return "trace";
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "?";
+}
+
+void set_log_sink(std::FILE* sink) noexcept {
+  g_sink.store(sink, std::memory_order_release);
+}
+
+LogEvent::LogEvent(LogLevel level, const char* event) noexcept {
+  if (!log_enabled(level) || level == LogLevel::kOff) return;
+  live_ = true;
+  const auto ts = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now() - log_epoch())
+                      .count();
+  json::Writer head;
+  head.begin_object();
+  head.key("ts_ns").value(static_cast<std::int64_t>(ts));
+  head.key("level").value(log_level_name(level));
+  head.key("rank").value(thread_rank());
+  if (thread_phase() != kNoPhaseAttr) {
+    head.key("phase").value(static_cast<std::uint64_t>(thread_phase()));
+  }
+  head.key("event").value(event);
+  // The head object is left unclosed on purpose; the destructor appends
+  // the fields object and the closing brace.
+  head_ = head.take();
+  fields_.begin_object();
+}
+
+LogEvent::~LogEvent() {
+  if (!live_) return;
+  fields_.end_object();
+  std::string line = std::move(head_);
+  line += ",\"fields\":";
+  line += fields_.str();
+  line += "}\n";
+  std::FILE* sink = g_sink.load(std::memory_order_acquire);
+  if (sink == nullptr) sink = stderr;
+  std::lock_guard lock(g_emit_mu);
+  std::fwrite(line.data(), 1, line.size(), sink);
+  std::fflush(sink);
+}
+
+LogEvent& LogEvent::field(std::string_view key, std::string_view value) {
+  if (live_) fields_.key(key).value(value);
+  return *this;
+}
+
+LogEvent& LogEvent::field(std::string_view key, std::uint64_t value) {
+  if (live_) fields_.key(key).value(value);
+  return *this;
+}
+
+LogEvent& LogEvent::field(std::string_view key, std::int64_t value) {
+  if (live_) fields_.key(key).value(value);
+  return *this;
+}
+
+LogEvent& LogEvent::field(std::string_view key, double value) {
+  if (live_) fields_.key(key).value(value);
+  return *this;
+}
+
+LogEvent& LogEvent::field(std::string_view key, bool value) {
+  if (live_) fields_.key(key).value(value);
+  return *this;
+}
+
+}  // namespace parda::obs

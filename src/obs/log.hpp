@@ -1,0 +1,93 @@
+// Structured logging: leveled JSON-lines events replacing the ad-hoc
+// stderr prints in the comm abort/watchdog/fault paths and the drivers.
+//
+// One event is one line:
+//   {"ts_ns":123456,"level":"warn","rank":2,"phase":7,
+//    "event":"fault.inject","fields":{"action":"delay","ms":50}}
+//
+// ts_ns is steady-clock nanoseconds since the log's epoch (the first use
+// in the process), rank/phase come from the calling thread's obs
+// attribution (obs/runtime.hpp; rank -1 and absent phase = driver), and
+// fields are event-specific key/values added through the builder.
+//
+// The level gate is one relaxed atomic load; a suppressed event costs
+// nothing else (no clock read, no formatting). Emission takes a mutex so
+// concurrent ranks never interleave bytes of a line. Logging is
+// independent of the metrics/span enable flag: the default level kWarn
+// keeps abort and watchdog diagnostics visible exactly where the old
+// stderr prints were, controlled by PARDA_LOG_LEVEL / --log-level
+// (trace|debug|info|warn|error|off).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "util/json.hpp"
+
+namespace parda::obs {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+/// Current threshold: events below it are dropped. Initialized from
+/// PARDA_LOG_LEVEL on first query (default kWarn).
+LogLevel log_level() noexcept;
+void set_log_level(LogLevel level) noexcept;
+
+/// Parses "trace" | "debug" | "info" | "warn" | "error" | "off"
+/// (case-sensitive); nullopt on anything else.
+std::optional<LogLevel> parse_log_level(std::string_view name) noexcept;
+const char* log_level_name(LogLevel level) noexcept;
+
+/// Redirects emission (default stderr). Pass nullptr to restore stderr.
+/// The stream is borrowed, not owned; tests point it at a tmpfile.
+void set_log_sink(std::FILE* sink) noexcept;
+
+/// Whether an event at `level` would be emitted — use to skip expensive
+/// field computation.
+inline bool log_enabled(LogLevel level) noexcept {
+  return static_cast<int>(level) >= static_cast<int>(log_level());
+}
+
+/// Builder for one event; emits on destruction (end of the full
+/// expression). A suppressed event never touches the clock or allocates.
+class LogEvent {
+ public:
+  LogEvent(LogLevel level, const char* event) noexcept;
+  LogEvent(const LogEvent&) = delete;
+  LogEvent& operator=(const LogEvent&) = delete;
+  ~LogEvent();
+
+  LogEvent& field(std::string_view key, std::string_view value);
+  LogEvent& field(std::string_view key, const char* value) {
+    return field(key, std::string_view(value));
+  }
+  LogEvent& field(std::string_view key, std::uint64_t value);
+  LogEvent& field(std::string_view key, std::int64_t value);
+  LogEvent& field(std::string_view key, int value) {
+    return field(key, static_cast<std::int64_t>(value));
+  }
+  LogEvent& field(std::string_view key, double value);
+  LogEvent& field(std::string_view key, bool value);
+
+ private:
+  bool live_ = false;  // passed the level gate at construction
+  json::Writer fields_;
+  std::string head_;  // everything before the fields object
+};
+
+/// Entry point: obs::log(LogLevel::kWarn, "comm.abort").field("origin", 2);
+inline LogEvent log(LogLevel level, const char* event) noexcept {
+  return LogEvent(level, event);
+}
+
+}  // namespace parda::obs

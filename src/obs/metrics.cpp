@@ -47,6 +47,16 @@ std::array<std::uint64_t, kShards> Gauge::shards() const noexcept {
   return out;
 }
 
+std::array<std::uint64_t, kShards> Gauge::values() const noexcept {
+  std::array<std::uint64_t, kShards> out{};
+  for (int i = 0; i < kShards; ++i) {
+    out[static_cast<std::size_t>(i)] =
+        slots_[static_cast<std::size_t>(i)].value.load(
+            std::memory_order_relaxed);
+  }
+  return out;
+}
+
 void Gauge::reset() noexcept {
   for (auto& s : slots_) {
     s.value.store(0, std::memory_order_relaxed);
@@ -139,6 +149,30 @@ std::uint64_t Registry::counter_total(std::string_view name) const {
   return 0;
 }
 
+std::vector<const Counter*> Registry::counters() const {
+  std::lock_guard lock(mu_);
+  std::vector<const Counter*> out;
+  out.reserve(counters_.size());
+  for (const auto& c : counters_) out.push_back(c.get());
+  return out;
+}
+
+std::vector<const Gauge*> Registry::gauges() const {
+  std::lock_guard lock(mu_);
+  std::vector<const Gauge*> out;
+  out.reserve(gauges_.size());
+  for (const auto& g : gauges_) out.push_back(g.get());
+  return out;
+}
+
+std::vector<const TimerHistogram*> Registry::timers() const {
+  std::lock_guard lock(mu_);
+  std::vector<const TimerHistogram*> out;
+  out.reserve(timers_.size());
+  for (const auto& t : timers_) out.push_back(t.get());
+  return out;
+}
+
 namespace {
 
 /// Shards trimmed to the last active one: [unattributed, rank0, rank1, ...].
@@ -185,6 +219,17 @@ std::string Registry::to_json() const {
     w.key(g->name()).begin_object();
     w.key("max").value(g->max());
     write_shard_array(w, g->shards());
+    // Job-scoped reading: the last value each shard published (gauges are
+    // re-published per job, so this never carries a previous job's value).
+    const auto values = g->values();
+    w.key("last_unattributed").value(values[0]);
+    w.key("last").begin_array();
+    const auto maxes = g->shards();
+    std::size_t n = active_shards(maxes);
+    for (std::size_t i = 1; i < std::max<std::size_t>(n, 1); ++i) {
+      w.value(values[i]);
+    }
+    w.end_array();
     w.end_object();
   }
   w.end_object();

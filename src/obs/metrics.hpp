@@ -112,7 +112,12 @@ class Gauge {
 
   const std::string& name() const noexcept { return name_; }
   std::uint64_t max() const noexcept;
+  /// Running max per shard: index 0 unattributed, r+1 = rank r.
   std::array<std::uint64_t, kShards> shards() const noexcept;
+  /// Last-set value per shard. Gauges are re-published per job (see
+  /// DESIGN.md "Live telemetry"): `values` reflects the current/most
+  /// recent job, `shards` (the max) the lifetime high-water mark.
+  std::array<std::uint64_t, kShards> values() const noexcept;
   void reset() noexcept;
 
  private:
@@ -194,6 +199,13 @@ class Registry {
   /// Convenience lookups for tests and report code: total across shards,
   /// or 0 if the metric was never registered.
   std::uint64_t counter_total(std::string_view name) const;
+
+  /// Stable handles to every registered metric, for the export renderers
+  /// (obs/export.hpp). Metrics are never removed, so the pointers stay
+  /// valid for the registry's lifetime; only the vector copy is guarded.
+  std::vector<const Counter*> counters() const;
+  std::vector<const Gauge*> gauges() const;
+  std::vector<const TimerHistogram*> timers() const;
 
  private:
   template <typename T>

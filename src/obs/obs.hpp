@@ -1,11 +1,18 @@
 // Umbrella for the observability layer: the enable/attribution runtime,
 // the metrics registry (Counter / Gauge / TimerHistogram with per-rank
-// shards), and the span tracer with chrome://tracing export.
+// shards), the span tracer with chrome://tracing export, structured
+// logging, Prometheus exposition, the span-attribution report, and the
+// telemetry HTTP server.
 //
-// See DESIGN.md section "Observability" for the schema, the overhead
-// budget, and how spans map onto the paper's Algorithms 3-7 phases.
+// See DESIGN.md sections "Observability" and "Live telemetry &
+// attribution" for the schemas, the overhead budget, and how spans map
+// onto the paper's Algorithms 3-7 phases.
 #pragma once
 
+#include "obs/export.hpp"       // IWYU pragma: export
+#include "obs/log.hpp"          // IWYU pragma: export
 #include "obs/metrics.hpp"      // IWYU pragma: export
+#include "obs/report.hpp"       // IWYU pragma: export
 #include "obs/runtime.hpp"      // IWYU pragma: export
+#include "obs/server.hpp"       // IWYU pragma: export
 #include "obs/span_tracer.hpp"  // IWYU pragma: export

@@ -22,9 +22,15 @@ inline constexpr int kMaxRanks = 64;
 /// Shard 0 is unattributed; rank r records into shard r + 1.
 inline constexpr int kShards = kMaxRanks + 1;
 
+/// Sentinel phase for threads outside any streaming phase (mirrors
+/// span_tracer.hpp's kNoPhase; kept here so the attribution state is
+/// self-contained).
+inline constexpr unsigned kNoPhaseAttr = 0xFFFFFFFFu;
+
 namespace detail {
 inline std::atomic<bool> g_enabled{false};
 inline thread_local int t_shard = 0;
+inline thread_local unsigned t_phase = kNoPhaseAttr;
 }  // namespace detail
 
 inline bool enabled() noexcept {
@@ -43,6 +49,34 @@ inline void clear_thread_rank() noexcept { detail::t_shard = 0; }
 inline int thread_shard() noexcept { return detail::t_shard; }
 /// Rank of the calling thread, or -1 if unattributed.
 inline int thread_rank() noexcept { return detail::t_shard - 1; }
+
+/// Phase attribution: the streaming driver tags each rank thread with the
+/// current Algorithm 5 phase so instrumentation recorded below it (comm
+/// wait spans, log events) lands in the right phase without threading the
+/// phase number through every layer.
+inline void set_thread_phase(unsigned phase) noexcept {
+  detail::t_phase = phase;
+}
+inline void clear_thread_phase() noexcept {
+  detail::t_phase = kNoPhaseAttr;
+}
+/// Current phase of the calling thread (kNoPhaseAttr outside a phase).
+inline unsigned thread_phase() noexcept { return detail::t_phase; }
+
+/// RAII phase attribution for one streaming phase iteration.
+class ScopedThreadPhase {
+ public:
+  explicit ScopedThreadPhase(unsigned phase) noexcept
+      : prev_(detail::t_phase) {
+    detail::t_phase = phase;
+  }
+  ScopedThreadPhase(const ScopedThreadPhase&) = delete;
+  ScopedThreadPhase& operator=(const ScopedThreadPhase&) = delete;
+  ~ScopedThreadPhase() { detail::t_phase = prev_; }
+
+ private:
+  unsigned prev_;
+};
 
 /// RAII rank attribution for a thread's lifetime (used by comm::run and
 /// tests).

@@ -1,0 +1,191 @@
+#include "obs/server.hpp"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span_tracer.hpp"
+#include "util/json.hpp"
+
+namespace parda::obs {
+
+namespace {
+
+constexpr int kPollTimeoutMs = 100;
+constexpr std::size_t kMaxRequestBytes = 8 * 1024;
+
+const char* status_text(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    default: return "Error";
+  }
+}
+
+void write_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // client went away; nothing to do for a scrape endpoint
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+TelemetryServer::TelemetryServer(std::uint16_t port, HealthFn health)
+    : health_(std::move(health)) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0)
+    throw std::runtime_error("telemetry: socket() failed");
+
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error(
+        std::string("telemetry: cannot listen on 127.0.0.1:") +
+        std::to_string(port) + ": " + std::strerror(err));
+  }
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
+      0) {
+    port_ = ntohs(bound.sin_port);
+  } else {
+    port_ = port;
+  }
+
+  thread_ = std::thread([this] { serve_loop(); });
+}
+
+TelemetryServer::~TelemetryServer() { stop(); }
+
+void TelemetryServer::stop() {
+  if (stop_.exchange(true)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void TelemetryServer::serve_loop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, kPollTimeoutMs);
+    if (ready <= 0) continue;  // timeout (re-check stop) or EINTR
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+    serve_one(client);
+    ::close(client);
+  }
+}
+
+void TelemetryServer::serve_one(int client_fd) const {
+  // A stalled client must not wedge the loop (and with it, stop()).
+  timeval timeout{};
+  timeout.tv_sec = 2;
+  ::setsockopt(client_fd, SOL_SOCKET, SO_RCVTIMEO, &timeout,
+               sizeof(timeout));
+
+  // Read until the end of the request head (we ignore any body: every
+  // endpoint is a GET).
+  std::string req;
+  char buf[1024];
+  while (req.size() < kMaxRequestBytes &&
+         req.find("\r\n\r\n") == std::string::npos) {
+    const ssize_t n = ::recv(client_fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    req.append(buf, static_cast<std::size_t>(n));
+  }
+
+  const std::size_t line_end = req.find("\r\n");
+  const std::string_view line =
+      std::string_view(req).substr(0, line_end == std::string::npos
+                                          ? req.size()
+                                          : line_end);
+  Response resp;
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string_view::npos ? sp1 : line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos) {
+    resp = Response{405, "text/plain", "bad request line\n"};
+  } else if (line.substr(0, sp1) != "GET") {
+    resp = Response{405, "text/plain", "only GET is supported\n"};
+  } else {
+    std::string_view path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    if (const std::size_t q = path.find('?'); q != std::string_view::npos)
+      path = path.substr(0, q);
+    resp = handle(path);
+  }
+
+  std::string out = "HTTP/1.1 " + std::to_string(resp.status) + " " +
+                    status_text(resp.status) + "\r\n";
+  out += "Content-Type: " + resp.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(resp.body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += resp.body;
+  write_all(client_fd, out);
+  ::shutdown(client_fd, SHUT_WR);
+}
+
+TelemetryServer::Response TelemetryServer::handle(
+    std::string_view path) const {
+  if (path == "/metrics") {
+    return {200, "text/plain; version=0.0.4; charset=utf-8",
+            to_prometheus()};
+  }
+  if (path == "/metrics.json") {
+    return {200, "application/json", registry().to_json()};
+  }
+  if (path == "/spans") {
+    return {200, "application/json", tracer().to_chrome_json()};
+  }
+  if (path == "/healthz") {
+    Health h;
+    if (health_) h = health_();
+    json::Writer w;
+    w.begin_object();
+    w.key("ok").value(h.ok);
+    w.key("workers").value(h.workers);
+    w.key("jobs").value(h.jobs);
+    w.key("watchdog").value(h.watchdog);
+    if (!h.detail.empty()) w.key("detail").value(h.detail);
+    w.end_object();
+    return {200, "application/json", w.take() + "\n"};
+  }
+  return {404, "text/plain",
+          "unknown path; try /metrics /metrics.json /spans /healthz\n"};
+}
+
+}  // namespace parda::obs

@@ -1,0 +1,75 @@
+// TelemetryServer: a minimal poll-loop HTTP/1.1 server exposing the obs
+// layer while an analysis is running. Opt-in (RuntimeOptions.serve_port /
+// trace_tool --serve); when off, nothing here is constructed and the hot
+// paths do zero extra work.
+//
+// Endpoints (GET, Connection: close):
+//   /metrics       Prometheus text exposition 0.0.4 (obs/export.hpp)
+//   /metrics.json  the "parda.metrics.v1" snapshot (Registry::to_json)
+//   /spans         chrome://tracing JSON (SpanTracer::to_chrome_json)
+//   /healthz       pool + watchdog status from the runtime's callback
+//
+// Every endpoint renders from the same relaxed per-rank shard slots the
+// hot path writes, so a scrape never takes a lock a worker can hold and
+// cannot stall an in-flight analysis. Requests are served one at a time on
+// the server's own thread — scrape traffic, not an RPC plane. The listener
+// binds 127.0.0.1 only; port 0 picks an ephemeral port (see port()).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace parda::obs {
+
+/// What /healthz reports. Filled by the owning runtime's callback so the
+/// obs library never links against the comm layer.
+struct Health {
+  bool ok = true;
+  int workers = 0;           // pool worker threads alive
+  std::uint64_t jobs = 0;    // jobs admitted so far
+  bool watchdog = false;     // stall-watchdog service thread running
+  std::string detail;        // optional free-form note ("" = omitted)
+};
+
+using HealthFn = std::function<Health()>;
+
+class TelemetryServer {
+ public:
+  /// Binds and starts serving immediately; throws std::runtime_error if
+  /// the port cannot be bound. port 0 = ephemeral (query port()).
+  /// health may be empty: /healthz then reports {"ok":true} only.
+  explicit TelemetryServer(std::uint16_t port, HealthFn health = {});
+  TelemetryServer(const TelemetryServer&) = delete;
+  TelemetryServer& operator=(const TelemetryServer&) = delete;
+  ~TelemetryServer();
+
+  /// The actually bound port (resolves port 0).
+  std::uint16_t port() const noexcept { return port_; }
+
+  /// Stops the poll loop and joins the serving thread. Idempotent.
+  void stop();
+
+  /// Request dispatch, exposed for tests: maps a request path to
+  /// (status, content-type, body).
+  struct Response {
+    int status = 200;
+    std::string content_type;
+    std::string body;
+  };
+  Response handle(std::string_view path) const;
+
+ private:
+  void serve_loop();
+  void serve_one(int client_fd) const;
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  HealthFn health_;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+}  // namespace parda::obs

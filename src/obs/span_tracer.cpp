@@ -23,6 +23,12 @@ void SpanTracer::record(std::int64_t t_start_ns, std::int64_t t_end_ns,
   // (the rank's own thread); the unattributed shard may have several, and
   // the claim keeps their writes disjoint.
   const std::uint64_t idx = ring.n.fetch_add(1, std::memory_order_relaxed);
+  if (idx >= capacity_) {
+    // The claimed slot overwrites the shard's oldest span: count the loss
+    // (relaxed, shard-local) so exports can surface it instead of wrapping
+    // silently.
+    ring.dropped.fetch_add(1, std::memory_order_relaxed);
+  }
   SpanEvent& slot = ring.events[static_cast<std::size_t>(idx % capacity_)];
   slot.t_start_ns = t_start_ns;
   slot.t_end_ns = t_end_ns;
@@ -57,14 +63,25 @@ std::vector<SpanEvent> SpanTracer::events_for_rank(int rank) const {
 std::uint64_t SpanTracer::dropped() const noexcept {
   std::uint64_t d = 0;
   for (const auto& ring : rings_) {
-    const std::uint64_t n = ring->n.load(std::memory_order_relaxed);
-    if (n > capacity_) d += n - capacity_;
+    d += ring->dropped.load(std::memory_order_relaxed);
   }
   return d;
 }
 
+std::array<std::uint64_t, kShards> SpanTracer::dropped_per_shard()
+    const noexcept {
+  std::array<std::uint64_t, kShards> out{};
+  for (std::size_t i = 0; i < rings_.size(); ++i) {
+    out[i] = rings_[i]->dropped.load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
 void SpanTracer::clear() noexcept {
-  for (auto& ring : rings_) ring->n.store(0, std::memory_order_relaxed);
+  for (auto& ring : rings_) {
+    ring->n.store(0, std::memory_order_relaxed);
+    ring->dropped.store(0, std::memory_order_relaxed);
+  }
 }
 
 std::string SpanTracer::to_chrome_json() const {
@@ -108,6 +125,11 @@ std::string SpanTracer::to_chrome_json() const {
   }
   w.end_array();
   w.key("displayTimeUnit").value("ms");
+  // Ring-wrap visibility: a nonzero count here means the oldest spans were
+  // overwritten and the trace above is the tail, not the whole run.
+  w.key("otherData").begin_object();
+  w.key("spansDropped").value(dropped());
+  w.end_object();
   w.end_object();
   return w.take();
 }

@@ -11,6 +11,7 @@
 // nothing at all while obs is disabled.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -58,6 +59,10 @@ class SpanTracer {
 
   /// Events overwritten by ring wrap-around across all shards.
   std::uint64_t dropped() const noexcept;
+  /// Per-shard overwrite counts (index 0 unattributed, r+1 = rank r) —
+  /// the obs.spans_dropped counter surfaced in /metrics and the
+  /// chrome-trace metadata.
+  std::array<std::uint64_t, kShards> dropped_per_shard() const noexcept;
 
   void clear() noexcept;
 
@@ -70,7 +75,8 @@ class SpanTracer {
   struct Ring {
     explicit Ring(std::size_t cap) : events(cap) {}
     std::vector<SpanEvent> events;
-    std::atomic<std::uint64_t> n{0};  // total events ever claimed
+    std::atomic<std::uint64_t> n{0};        // total events ever claimed
+    std::atomic<std::uint64_t> dropped{0};  // overwrites after wrap
   };
 
   std::chrono::steady_clock::time_point epoch_;
@@ -86,8 +92,11 @@ SpanTracer& tracer();
 /// outlive the tracer).
 class SpanScope {
  public:
+  /// The phase defaults to the calling thread's attribution (see
+  /// obs/runtime.hpp), so spans recorded below the streaming driver's
+  /// ScopedThreadPhase land in the right phase automatically.
   explicit SpanScope(const char* op,
-                     std::uint32_t phase = kNoPhase) noexcept {
+                     std::uint32_t phase = thread_phase()) noexcept {
     if (enabled()) {
       op_ = op;
       phase_ = phase;

@@ -116,6 +116,12 @@ Writer& Writer::null() {
   return *this;
 }
 
+Writer& Writer::raw(std::string_view json) {
+  comma();
+  out_ += json;
+  return *this;
+}
+
 // --- Value accessors -------------------------------------------------------
 
 const Value* Value::find(std::string_view key) const noexcept {

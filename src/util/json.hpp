@@ -37,6 +37,10 @@ class Writer {
   Writer& value(double v);
   Writer& value(bool v);
   Writer& null();
+  /// Splices pre-rendered JSON in value position verbatim (no escaping).
+  /// The caller owns the well-formedness of `json` — used to embed one
+  /// writer's document (e.g. a metrics snapshot) inside another.
+  Writer& raw(std::string_view json);
 
   const std::string& str() const noexcept { return out_; }
   std::string take() { return std::move(out_); }

@@ -16,6 +16,11 @@ void TablePrinter::add_row(std::vector<std::string> cells) {
 }
 
 void TablePrinter::print(std::FILE* out) const {
+  const std::string rendered = str();
+  std::fwrite(rendered.data(), 1, rendered.size(), out);
+}
+
+std::string TablePrinter::str() const {
   std::vector<std::size_t> widths(headers_.size());
   for (std::size_t c = 0; c < headers_.size(); ++c)
     widths[c] = headers_[c].size();
@@ -24,20 +29,25 @@ void TablePrinter::print(std::FILE* out) const {
       widths[c] = std::max(widths[c], row[c].size());
   }
 
-  auto print_row = [&](const std::vector<std::string>& row) {
+  std::string out;
+  auto append_row = [&](const std::vector<std::string>& row) {
     for (std::size_t c = 0; c < row.size(); ++c) {
-      std::fprintf(out, "%s%-*s", c == 0 ? "" : "  ",
-                   static_cast<int>(widths[c]), row[c].c_str());
+      if (c != 0) out += "  ";
+      out += row[c];
+      // Pad all but the last column so lines carry no trailing blanks.
+      if (c + 1 < row.size())
+        out.append(widths[c] - row[c].size(), ' ');
     }
-    std::fprintf(out, "\n");
+    out += '\n';
   };
 
-  print_row(headers_);
+  append_row(headers_);
   std::size_t total = 0;
   for (std::size_t w : widths) total += w + 2;
-  for (std::size_t i = 0; i + 2 < total; ++i) std::fputc('-', out);
-  std::fputc('\n', out);
-  for (const auto& row : rows_) print_row(row);
+  out.append(total > 2 ? total - 2 : 0, '-');
+  out += '\n';
+  for (const auto& row : rows_) append_row(row);
+  return out;
 }
 
 std::string TablePrinter::fmt(double v, int precision) {

@@ -17,6 +17,9 @@ class TablePrinter {
   /// Renders to the given stream (default stdout) with a header rule.
   void print(std::FILE* out = stdout) const;
 
+  /// Renders the same output as print() into a string.
+  std::string str() const;
+
   /// Helpers for formatting numeric cells.
   static std::string fmt(double v, int precision = 2);
   static std::string fmt_u64(unsigned long long v);

@@ -135,6 +135,34 @@ TEST(PardaRuntimeTest, ConcurrentSessionsMatchSequentialResults) {
   EXPECT_EQ(runtime.jobs_run(), 12u);
 }
 
+TEST(PardaRuntimeTest, GaugesRepublishPerJob) {
+  // Runtime gauges are re-published at every job admission: `values` holds
+  // the shape of the most recent job, `shards`/`max` the lifetime
+  // high-water mark (see DESIGN.md "Live telemetry & attribution").
+  struct ScopedEnable {
+    bool prev = obs::enabled();
+    ScopedEnable() { obs::set_enabled(true); }
+    ~ScopedEnable() { obs::set_enabled(prev); }
+  } on;
+
+  const auto trace = make_trace(3000, 9);
+  core::PardaRuntime runtime;
+  PardaOptions big;
+  big.num_procs = 4;
+  runtime.session(big).analyze(trace);
+  PardaOptions small;
+  small.num_procs = 2;
+  runtime.session(small).analyze(trace);
+
+  // Both jobs were admitted from this (unattributed) thread: shard 0.
+  obs::Gauge& np = obs::registry().gauge("runtime.job_np");
+  EXPECT_EQ(np.values()[0], 2u);  // current job's np, not a running max
+  EXPECT_GE(np.shards()[0], 4u);  // ...which lives in the high-water mark
+  EXPECT_GE(np.max(), 4u);
+  obs::Gauge& capacity = obs::registry().gauge("runtime.pool_capacity");
+  EXPECT_GE(capacity.values()[0], 2u);
+}
+
 TEST(PardaRuntimeTest, AnalyzeStreamViaSession) {
   const auto trace = make_trace(12000, 7);
   PardaOptions options;

@@ -262,6 +262,11 @@ TEST(ObsSpans, RingWrapCountsDroppedEvents) {
     t.record(i, i + 1, "op");
   }
   EXPECT_EQ(t.dropped(), 5u);
+  // The per-shard breakdown (the obs.spans_dropped counter in /metrics)
+  // attributes every overwrite to the recording rank's shard.
+  const auto per_shard = t.dropped_per_shard();
+  EXPECT_EQ(per_shard[1], 5u);  // rank 0 records into shard 1
+  EXPECT_EQ(per_shard[0], 0u);
   const auto kept = t.events();
   ASSERT_EQ(kept.size(), 16u);
   EXPECT_EQ(kept.front().t_start_ns, 5);  // oldest five were overwritten

@@ -1,0 +1,484 @@
+// Live-telemetry tests: SpanReport attribution math on synthetic span
+// lists, the Prometheus exporter + hand-rolled format validator, the
+// structured JSON-lines logger, the TelemetryServer's endpoint routing and
+// real HTTP serving (including scrapes concurrent with an in-flight
+// streaming analysis), and the end-to-end acceptance check that a
+// fault-injected delay on one rank is automatically named as the
+// straggler by `SpanReport`.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "comm/fault.hpp"
+#include "core/parda.hpp"
+#include "core/runtime.hpp"
+#include "obs/obs.hpp"
+#include "trace/trace_pipe.hpp"
+#include "util/json.hpp"
+#include "workload/generators.hpp"
+
+namespace parda::obs {
+namespace {
+
+json::Value parse_ok(const std::string& text) { return json::parse(text); }
+
+class ScopedEnable {
+ public:
+  ScopedEnable() : prev_(enabled()) { set_enabled(true); }
+  ~ScopedEnable() { set_enabled(prev_); }
+
+ private:
+  bool prev_;
+};
+
+// ---------------------------------------------------------------------------
+// SpanReport: attribution math on synthetic event lists.
+// ---------------------------------------------------------------------------
+
+SpanEvent ev(std::int64_t t0, std::int64_t t1, const char* op,
+             std::uint32_t phase, std::int32_t rank) {
+  return SpanEvent{t0, t1, op, phase, rank};
+}
+
+TEST(SpanReport, WaitRefinementAndStragglerSelfTime) {
+  // Phase 0, three ranks. Rank 1 computes for the full 100 units; ranks 0
+  // and 2 cover the same extent but spend 80 of it blocked — the classic
+  // one-straggler shape.
+  const std::vector<SpanEvent> events = {
+      ev(0, 100, "infinity-pipeline", 0, 0),
+      ev(10, 90, "recv-wait", 0, 0),
+      ev(0, 100, "analyze", 0, 1),
+      ev(0, 100, "infinity-pipeline", 0, 2),
+      ev(15, 95, "barrier-wait", 0, 2),
+  };
+  const SpanReport report = SpanReport::from_events(events);
+
+  ASSERT_EQ(report.phases().size(), 1u);
+  const PhaseReport& phase = report.phases()[0];
+  EXPECT_EQ(phase.phase, 0u);
+  EXPECT_EQ(phase.t_begin_ns, 0);
+  EXPECT_EQ(phase.t_end_ns, 100);
+  EXPECT_EQ(phase.critical_path_ns, 100u);
+  ASSERT_EQ(phase.ranks.size(), 3u);
+
+  const RankSlice& r0 = phase.ranks[0];
+  EXPECT_EQ(r0.total_ns, 100u);
+  EXPECT_EQ(r0.wait_ns, 80u);
+  EXPECT_EQ(r0.self_ns, 20u);
+  const RankSlice& r1 = phase.ranks[1];
+  EXPECT_EQ(r1.total_ns, 100u);
+  EXPECT_EQ(r1.wait_ns, 0u);
+  EXPECT_EQ(r1.self_ns, 100u);
+  EXPECT_EQ(r1.compute_ns, 100u);
+
+  // The straggler is the rank with the most SELF time, not the most wall
+  // time — every rank spans the full extent here.
+  EXPECT_EQ(phase.straggler_rank, 1);
+  EXPECT_EQ(phase.straggler_self_ns, 100u);
+  EXPECT_EQ(report.straggler_rank(), 1);
+  // All three ranks cover the extent: no pipeline bubble.
+  EXPECT_EQ(phase.bubble_ns, 0u);
+  EXPECT_EQ(report.wall_ns(), 100u);
+}
+
+TEST(SpanReport, BubbleCountsUncoveredExtent) {
+  // Rank 1 starts 40 units late: the phase extent is 100, rank 1 covers 60,
+  // so the bubble is 40.
+  const std::vector<SpanEvent> events = {
+      ev(0, 100, "analyze", 2, 0),
+      ev(40, 100, "analyze", 2, 1),
+  };
+  const SpanReport report = SpanReport::from_events(events);
+  ASSERT_EQ(report.phases().size(), 1u);
+  EXPECT_EQ(report.phases()[0].bubble_ns, 40u);
+  EXPECT_EQ(report.phases()[0].critical_path_ns, 100u);
+}
+
+TEST(SpanReport, IoAndComputeSharesAndNoPhaseSortsLast) {
+  const std::vector<SpanEvent> events = {
+      ev(0, 30, "scatter", 1, 0),    ev(30, 90, "analyze", 1, 0),
+      ev(0, 50, "analyze", 0, 0),    ev(200, 260, "final-reduce", kNoPhase, 0),
+  };
+  const SpanReport report = SpanReport::from_events(events);
+  ASSERT_EQ(report.phases().size(), 3u);
+  EXPECT_EQ(report.phases()[0].phase, 0u);
+  EXPECT_EQ(report.phases()[1].phase, 1u);
+  EXPECT_EQ(report.phases()[2].phase, kNoPhase);  // pseudo-phase sorts last
+
+  const RankSlice& slice = report.phases()[1].ranks[0];
+  EXPECT_EQ(slice.io_ns, 30u);
+  EXPECT_EQ(slice.compute_ns, 60u);
+  EXPECT_EQ(slice.total_ns, 90u);
+
+  // Per-rank utilization folds every phase plus the pseudo-phase.
+  ASSERT_EQ(report.ranks().size(), 1u);
+  EXPECT_EQ(report.ranks()[0].busy_ns, 200u);
+  EXPECT_EQ(report.ranks()[0].self_ns, 200u);
+  EXPECT_GT(report.ranks()[0].utilization, 0.0);
+}
+
+TEST(SpanReport, JsonMatchesSpanReportV1Schema) {
+  const std::vector<SpanEvent> events = {
+      ev(0, 100, "analyze", 0, 0),
+      ev(0, 80, "analyze", 0, 1),
+      ev(120, 140, "final-reduce", kNoPhase, 0),
+  };
+  const SpanReport report = SpanReport::from_events(events, 7);
+  const json::Value doc = parse_ok(report.to_json());
+  EXPECT_EQ(doc.at("schema").as_string(), "parda.spanreport.v1");
+  EXPECT_EQ(doc.at("spans_dropped").as_u64(), 7u);
+  EXPECT_EQ(doc.at("straggler_rank").as_i64(), 0);
+  EXPECT_EQ(doc.at("wall_ns").as_u64(), 140u);
+
+  const auto& phases = doc.at("phases").array;
+  ASSERT_EQ(phases.size(), 2u);
+  EXPECT_EQ(phases[0].at("phase").as_u64(), 0u);
+  EXPECT_EQ(phases[1].at("phase").kind,
+            json::Value::Kind::kNull);  // kNoPhase -> null
+  const auto& ranks = phases[0].at("ranks").array;
+  ASSERT_EQ(ranks.size(), 2u);
+  EXPECT_EQ(ranks[0].at("rank").as_i64(), 0);
+  EXPECT_EQ(ranks[0].at("total_ns").as_u64(), 100u);
+}
+
+TEST(SpanReport, TableNamesRanksAndPhases) {
+  const std::vector<SpanEvent> events = {
+      ev(0, 100, "analyze", 3, 2),
+      ev(0, 40, "reduce", kNoPhase, -1),  // driver work, no phase
+  };
+  const std::string table = SpanReport::from_events(events).to_table();
+  EXPECT_NE(table.find("rank"), std::string::npos);
+  EXPECT_NE(table.find("straggler"), std::string::npos);
+  EXPECT_NE(table.find("driver"), std::string::npos);
+  EXPECT_NE(table.find("3"), std::string::npos);
+}
+
+TEST(SpanReport, EmptyEventsProduceEmptyReport) {
+  const SpanReport report = SpanReport::from_events({});
+  EXPECT_TRUE(report.phases().empty());
+  EXPECT_TRUE(report.ranks().empty());
+  EXPECT_EQ(report.straggler_rank(), -1);
+  EXPECT_EQ(report.wall_ns(), 0u);
+  parse_ok(report.to_json());  // still well-formed JSON
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus exporter + hand-rolled validator.
+// ---------------------------------------------------------------------------
+
+TEST(PrometheusExport, RendersAndValidates) {
+  ScopedEnable on;
+  Registry reg;
+  SpanTracer spans(16);
+
+  Counter& bytes = reg.counter("test.bytes_sent");
+  bytes.add_for_rank(0, 100);
+  bytes.add_for_rank(1, 250);
+  Gauge& np = reg.gauge("test.job_np");
+  np.set_for_rank(0, 4);
+  reg.timer("test.wait").record_ns(1500);
+  spans.record(0, 10, "analyze", 0);
+
+  const std::string text = to_prometheus(reg, spans);
+  EXPECT_NE(text.find("# TYPE parda_test_bytes_sent_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("parda_test_bytes_sent_total{rank=\"1\"} 250"),
+            std::string::npos);
+  EXPECT_NE(text.find("parda_test_job_np{rank=\"0\"} 4"), std::string::npos);
+  EXPECT_NE(text.find("parda_test_wait_ns_bucket{le=\"+Inf\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("parda_obs_spans_dropped_total"), std::string::npos);
+
+  const std::vector<std::string> problems = validate_prometheus(text);
+  EXPECT_TRUE(problems.empty())
+      << "validator rejected our own exposition: " << problems[0];
+}
+
+TEST(PrometheusValidator, FlagsBrokenDocuments) {
+  // A well-formed miniature document passes...
+  EXPECT_TRUE(validate_prometheus("# HELP a_total ok\n"
+                                  "# TYPE a_total counter\n"
+                                  "a_total{rank=\"0\"} 1\n")
+                  .empty());
+  // ...counters must end in _total...
+  EXPECT_FALSE(validate_prometheus("# HELP a ok\n"
+                                   "# TYPE a counter\n"
+                                   "a 1\n")
+                   .empty());
+  // ...label values must escape backslashes/quotes/newlines...
+  EXPECT_FALSE(validate_prometheus("# HELP a_total ok\n"
+                                   "# TYPE a_total counter\n"
+                                   "a_total{rank=\"b\"ad\"} 1\n")
+                   .empty());
+  // ...metric names have a restricted charset...
+  EXPECT_FALSE(validate_prometheus("# HELP a-b ok\n"
+                                   "# TYPE a-b gauge\n"
+                                   "a-b 1\n")
+                   .empty());
+  // ...sample values must be numeric...
+  EXPECT_FALSE(validate_prometheus("# HELP a ok\n"
+                                   "# TYPE a gauge\n"
+                                   "a banana\n")
+                   .empty());
+  // ...histograms need a +Inf bucket...
+  EXPECT_FALSE(validate_prometheus("# HELP h ok\n"
+                                   "# TYPE h histogram\n"
+                                   "h_bucket{le=\"1\"} 1\n"
+                                   "h_sum 1\n"
+                                   "h_count 1\n")
+                   .empty());
+  // ...and cumulative buckets must be monotone.
+  EXPECT_FALSE(validate_prometheus("# HELP h ok\n"
+                                   "# TYPE h histogram\n"
+                                   "h_bucket{le=\"1\"} 5\n"
+                                   "h_bucket{le=\"2\"} 3\n"
+                                   "h_bucket{le=\"+Inf\"} 5\n"
+                                   "h_sum 1\n"
+                                   "h_count 5\n")
+                   .empty());
+}
+
+// ---------------------------------------------------------------------------
+// Structured logging.
+// ---------------------------------------------------------------------------
+
+TEST(StructuredLog, EmitsOneJsonLineWithAttribution) {
+  std::FILE* sink = std::tmpfile();
+  ASSERT_NE(sink, nullptr);
+  const LogLevel prev = log_level();
+  set_log_sink(sink);
+  set_log_level(LogLevel::kInfo);
+
+  {
+    ScopedThreadRank rank(2);
+    ScopedThreadPhase phase(7);
+    log(LogLevel::kInfo, "test.event")
+        .field("action", "delay")
+        .field("ms", std::uint64_t{50})
+        .field("ratio", 0.5)
+        .field("ok", true);
+  }
+  log(LogLevel::kDebug, "test.suppressed").field("k", 1);  // below threshold
+
+  set_log_sink(nullptr);
+  set_log_level(prev);
+
+  std::rewind(sink);
+  char buf[4096];
+  std::string contents;
+  std::size_t got;
+  while ((got = std::fread(buf, 1, sizeof buf, sink)) > 0) {
+    contents.append(buf, got);
+  }
+  std::fclose(sink);
+
+  // Exactly one line: the suppressed event must leave no trace.
+  ASSERT_FALSE(contents.empty());
+  EXPECT_EQ(contents.find('\n'), contents.size() - 1);
+  const json::Value doc = parse_ok(contents);
+  EXPECT_EQ(doc.at("level").as_string(), "info");
+  EXPECT_EQ(doc.at("event").as_string(), "test.event");
+  EXPECT_EQ(doc.at("rank").as_i64(), 2);
+  EXPECT_EQ(doc.at("phase").as_u64(), 7u);
+  EXPECT_GE(doc.at("ts_ns").as_i64(), 0);
+  EXPECT_EQ(doc.at("fields").at("action").as_string(), "delay");
+  EXPECT_EQ(doc.at("fields").at("ms").as_u64(), 50u);
+  EXPECT_TRUE(doc.at("fields").at("ok").boolean);
+}
+
+TEST(StructuredLog, LevelParsingRoundTrips) {
+  EXPECT_EQ(parse_log_level("trace"), LogLevel::kTrace);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+  EXPECT_FALSE(parse_log_level("loud").has_value());
+  EXPECT_STREQ(log_level_name(LogLevel::kError), "error");
+}
+
+// ---------------------------------------------------------------------------
+// TelemetryServer: routing + real HTTP.
+// ---------------------------------------------------------------------------
+
+/// Blocking one-shot HTTP GET against 127.0.0.1:port; returns the full
+/// response (status line, headers, body).
+std::string http_get(std::uint16_t port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string request =
+      "GET " + path + " HTTP/1.1\r\nHost: 127.0.0.1\r\n\r\n";
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n =
+        ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) break;
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof buf, 0)) > 0) {
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string http_body(const std::string& response) {
+  const std::size_t at = response.find("\r\n\r\n");
+  return at == std::string::npos ? std::string() : response.substr(at + 4);
+}
+
+TEST(TelemetryServer, RoutesAllEndpoints) {
+  ScopedEnable on;
+  TelemetryServer server(0, [] {
+    Health h;
+    h.workers = 4;
+    h.jobs = 9;
+    h.watchdog = true;
+    return h;
+  });
+  EXPECT_GT(server.port(), 0);  // port 0 resolved to an ephemeral port
+
+  const auto metrics = server.handle("/metrics");
+  EXPECT_EQ(metrics.status, 200);
+  EXPECT_EQ(metrics.content_type, "text/plain; version=0.0.4; charset=utf-8");
+  EXPECT_TRUE(validate_prometheus(metrics.body).empty());
+
+  const auto metrics_json = server.handle("/metrics.json");
+  EXPECT_EQ(metrics_json.status, 200);
+  EXPECT_EQ(parse_ok(metrics_json.body).at("schema").as_string(),
+            "parda.metrics.v1");
+
+  const auto spans = server.handle("/spans");
+  EXPECT_EQ(spans.status, 200);
+  parse_ok(spans.body).at("traceEvents");
+
+  const auto health = server.handle("/healthz");
+  EXPECT_EQ(health.status, 200);
+  const json::Value doc = parse_ok(health.body);
+  EXPECT_TRUE(doc.at("ok").boolean);
+  EXPECT_EQ(doc.at("workers").as_i64(), 4);
+  EXPECT_EQ(doc.at("jobs").as_u64(), 9u);
+  EXPECT_TRUE(doc.at("watchdog").boolean);
+
+  EXPECT_EQ(server.handle("/nope").status, 404);
+  server.stop();
+  server.stop();  // idempotent
+}
+
+TEST(TelemetryServer, ServesRealHttpGets) {
+  ScopedEnable on;
+  TelemetryServer server(0);
+  const std::string health = http_get(server.port(), "/healthz");
+  EXPECT_NE(health.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_TRUE(parse_ok(http_body(health)).at("ok").boolean);
+
+  const std::string metrics = http_get(server.port(), "/metrics");
+  EXPECT_NE(metrics.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_NE(metrics.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_TRUE(validate_prometheus(http_body(metrics)).empty());
+
+  const std::string missing = http_get(server.port(), "/missing");
+  EXPECT_NE(missing.find("HTTP/1.1 404"), std::string::npos);
+}
+
+TEST(TelemetryServer, ScrapesConcurrentWithStreamingAnalysis) {
+  ScopedEnable on;
+  tracer().clear();
+
+  core::RuntimeOptions runtime_options;
+  runtime_options.serve_port = 0;  // ephemeral
+  core::PardaRuntime runtime(runtime_options);
+  ASSERT_GT(runtime.serve_port(), 0);
+
+  ZipfWorkload w(500, 0.9, 21);
+  const auto trace = generate_trace(w, 20000);
+  PardaOptions options;
+  options.num_procs = 4;
+  options.chunk_words = 1024;  // several streaming phases
+
+  std::atomic<bool> done{false};
+  std::thread scraper([&] {
+    // Hammer every endpoint while the analyses run; each scrape must be a
+    // complete, valid response even mid-phase.
+    int scrapes = 0;
+    while (!done.load(std::memory_order_relaxed) || scrapes < 3) {
+      const std::string m = http_get(runtime.serve_port(), "/metrics");
+      EXPECT_NE(m.find("HTTP/1.1 200"), std::string::npos);
+      EXPECT_TRUE(validate_prometheus(http_body(m)).empty());
+      parse_ok(http_body(http_get(runtime.serve_port(), "/metrics.json")));
+      parse_ok(http_body(http_get(runtime.serve_port(), "/healthz")));
+      ++scrapes;
+    }
+  });
+
+  auto session = runtime.session(options);
+  const Histogram reference = parda_analyze(trace, options).hist;
+  for (int i = 0; i < 4; ++i) {
+    TracePipe pipe(trace.size() + 1);
+    pipe.write(std::vector<Addr>(trace));
+    pipe.close();
+    EXPECT_TRUE(session.analyze_stream(pipe).hist == reference);
+  }
+  done.store(true, std::memory_order_relaxed);
+  scraper.join();
+
+  // The spans endpoint reflects the finished run.
+  const std::string spans = http_body(http_get(runtime.serve_port(), "/spans"));
+  EXPECT_NE(parse_ok(spans).at("traceEvents").array.size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Acceptance: a fault-injected delay on one rank is named as the straggler.
+// ---------------------------------------------------------------------------
+
+TEST(SpanReportIntegration, InjectedDelayNamesTheDelayedRank) {
+  ScopedEnable on;
+  tracer().clear();
+
+  // Delay rank 2's first recv by 80ms — long against a small-trace phase.
+  const comm::FaultPlan plan =
+      comm::FaultPlan::parse("rank=2,op=recv,n=0,action=delay,ms=80");
+
+  ZipfWorkload w(500, 0.9, 33);
+  const auto trace = generate_trace(w, 8000);
+  PardaOptions options;
+  options.num_procs = 4;
+  options.chunk_words = 1024;
+  options.run_options.fault_plan = &plan;
+
+  core::PardaRuntime runtime;
+  auto session = runtime.session(options);
+  TracePipe pipe(trace.size() + 1);
+  pipe.write(std::vector<Addr>(trace));
+  pipe.close();
+  session.analyze_stream(pipe);
+
+  const SpanReport report = SpanReport::from_tracer(tracer());
+  ASSERT_FALSE(report.phases().empty());
+  // The injected sleep happens on rank 2's own thread (before it blocks),
+  // so it shows up as SELF time there and as WAIT time on its peers.
+  EXPECT_EQ(report.straggler_rank(), 2)
+      << "attribution table:\n"
+      << report.to_table();
+}
+
+}  // namespace
+}  // namespace parda::obs
