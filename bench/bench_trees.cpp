@@ -1,19 +1,133 @@
 // Ablation A1: order-statistic tree engine choice (splay vs AVL vs treap
 // vs sorted vector) under the reuse-distance access pattern — the design
 // space the paper's Section VII surveys ([13] AVL, [17][18] splay).
+//
+// Writes a parda.bench.v1 artifact (default BENCH_trees.json, override
+// with PARDA_BENCH_JSON): olken_zipf_* points sweep the footprint m on a
+// zipf trace, olken_stream_* hit the splay tree's sequential worst case,
+// churn_* measure raw insert/count/erase cycles at a fixed resident size.
+// Environment: PARDA_BENCH_TREE_REFS (trace length, default 64K),
+// PARDA_BENCH_TREE_REPS (default 3; median rep reported).
+//
+// The google-benchmark registrations remain for ad-hoc filtered runs.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "seq/olken.hpp"
 #include "tree/avl_tree.hpp"
 #include "tree/splay_tree.hpp"
 #include "tree/treap.hpp"
 #include "tree/vector_tree.hpp"
+#include "util/timer.hpp"
 #include "workload/generators.hpp"
 
 namespace parda {
 namespace {
+
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+// ---------------------------------------------------------------------------
+// The parda.bench.v1 artifact suite.
+// ---------------------------------------------------------------------------
+
+template <typename Fn>
+bench::BenchPoint measure(std::string name, std::uint64_t m,
+                          std::uint64_t ops, int reps, Fn body) {
+  std::vector<double> secs;
+  secs.reserve(static_cast<std::size_t>(reps));
+  for (int i = 0; i < reps; ++i) {
+    WallTimer timer;
+    body();
+    secs.push_back(timer.seconds());
+  }
+  const double med = median(secs);
+  bench::BenchPoint p;
+  p.name = std::move(name);
+  p.params = {{"m", m}};
+  p.metrics = {{"ns_per_op", med * 1e9 / static_cast<double>(ops)}};
+  return p;
+}
+
+template <typename Tree>
+void tree_points(const char* tree_name, std::size_t refs, int reps,
+                 std::vector<bench::BenchPoint>& points) {
+  for (const std::uint64_t m : {std::uint64_t{1} << 10, std::uint64_t{1} << 14}) {
+    ZipfWorkload w(m, 0.9, 7);
+    const auto trace = generate_trace(w, refs);
+    points.push_back(measure(std::string("olken_zipf_") + tree_name, m,
+                             trace.size(), reps, [&trace] {
+                               benchmark::DoNotOptimize(
+                                   olken_analysis<Tree>(trace).total());
+                             }));
+  }
+  {
+    // Sequential sweep: every access lands on the tree's deepest key —
+    // the splay tree's worst-ish case, the AVL tree's steady state.
+    SequentialWorkload w(std::uint64_t{1} << 12);
+    const auto trace = generate_trace(w, refs);
+    points.push_back(measure(std::string("olken_stream_") + tree_name,
+                             std::uint64_t{1} << 12, trace.size(), reps,
+                             [&trace] {
+                               benchmark::DoNotOptimize(
+                                   olken_analysis<Tree>(trace).total());
+                             }));
+  }
+  {
+    // Raw insert/count/erase churn at a fixed resident size.
+    const std::uint64_t window = std::uint64_t{1} << 12;
+    points.push_back(measure(
+        std::string("churn_") + tree_name, window, 4 * window, reps,
+        [window] {
+          Tree tree;
+          for (Timestamp ts = 0; ts < 4 * window; ++ts) {
+            tree.insert(ts, ts);
+            if (ts >= window) {
+              benchmark::DoNotOptimize(tree.count_greater(ts - window));
+              tree.erase(ts - window);
+            }
+          }
+        }));
+  }
+}
+
+void run_trees_suite() {
+  const auto refs =
+      static_cast<std::size_t>(bench::env_u64("PARDA_BENCH_TREE_REFS", 1 << 16));
+  const int reps =
+      static_cast<int>(bench::env_u64("PARDA_BENCH_TREE_REPS", 3));
+  const std::string json_path = bench::bench_json_path("BENCH_trees.json");
+
+  std::vector<bench::BenchPoint> points;
+  tree_points<SplayTree>("splay", refs, reps, points);
+  tree_points<AvlTree>("avl", refs, reps, points);
+  tree_points<Treap>("treap", refs, reps, points);
+  // VectorTree is O(m) per erase: zipf/churn only at the small footprint
+  // would still dominate the suite at full size, so it stays out of the
+  // artifact (run BM_OlkenEngine_Zipf<VectorTree> ad hoc instead).
+
+  std::printf("\ntrees (refs=%zu, reps=%d)\n%-20s %8s %12s\n", refs, reps,
+              "point", "m", "ns_per_op");
+  for (const bench::BenchPoint& p : points) {
+    std::printf("%-20s %8" PRIu64 " %12.2f\n", p.name.c_str(),
+                p.params[0].second, p.metrics[0].second);
+  }
+  bench::write_bench_json(json_path, "trees", points);
+}
+
+// ---------------------------------------------------------------------------
+// google-benchmark registrations (ad-hoc runs; not part of the artifact).
+// ---------------------------------------------------------------------------
 
 template <typename Tree>
 void BM_OlkenEngine_Zipf(benchmark::State& state) {
@@ -34,8 +148,6 @@ BENCHMARK_TEMPLATE(BM_OlkenEngine_Zipf, VectorTree)->Arg(1 << 10);
 
 template <typename Tree>
 void BM_OlkenEngine_Streaming(benchmark::State& state) {
-  // Sequential sweeps: the splay tree's worst-ish case (every access hits
-  // the tree's deepest key), the AVL tree's steady state.
   SequentialWorkload w(static_cast<std::uint64_t>(state.range(0)));
   const auto trace = generate_trace(w, 1 << 16);
   for (auto _ : state) {
@@ -52,7 +164,6 @@ BENCHMARK_TEMPLATE(BM_OlkenEngine_Streaming, Treap)->Arg(1 << 12);
 
 template <typename Tree>
 void BM_TreeChurn(benchmark::State& state) {
-  // Raw insert/count/erase churn at a fixed resident size.
   const std::uint64_t window = static_cast<std::uint64_t>(state.range(0));
   for (auto _ : state) {
     Tree tree;
@@ -75,4 +186,11 @@ BENCHMARK_TEMPLATE(BM_TreeChurn, Treap)->Arg(1 << 12);
 }  // namespace
 }  // namespace parda
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  parda::run_trees_suite();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -3,6 +3,7 @@
 //
 //   ./trace_tool gen --workload=lbm --refs=100000 --out=lbm.trc
 //   ./trace_tool analyze lbm.trc --procs=4 --bound=2048
+//   ./trace_tool analyze lbm.trc --engine=lru        # raw-speed log2 MRC
 //   ./trace_tool analyze lbm.trc --stream --pipe=65536 --watchdog-ms=1000
 //   ./trace_tool analyze lbm.trc --stream --metrics-out=m.json
 //                --trace-spans=s.json
@@ -13,6 +14,7 @@
 // Exit codes: 0 success, 1 runtime failure (missing/corrupt trace, aborted
 // analysis, invalid exposition format), 2 usage error (bad flag or
 // argument).
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -24,6 +26,14 @@
 #include "core/file_analysis.hpp"
 #include "core/parda.hpp"
 #include "core/runtime.hpp"
+#include "seq/bennett_kruskal.hpp"
+#include "seq/bounded.hpp"
+#include "seq/interval_analyzer.hpp"
+#include "seq/lru_chain.hpp"
+#include "seq/naive.hpp"
+#include "seq/olken.hpp"
+#include "tree/avl_tree.hpp"
+#include "tree/treap.hpp"
 #include "hist/mrc.hpp"
 #include "hist/report.hpp"
 #include "obs/obs.hpp"
@@ -56,6 +66,53 @@ void store(const std::string& path, const std::vector<parda::Addr>& trace) {
   } else {
     parda::write_trace_binary(path, trace);
   }
+}
+
+constexpr const char* kEngineNames =
+    "parda|lru|olken|splay|avl|treap|fenwick|interval|naive";
+
+bool is_known_engine(const std::string& e) {
+  return e == "parda" || e == "lru" || e == "olken" || e == "splay" ||
+         e == "avl" || e == "treap" || e == "fenwick" || e == "interval" ||
+         e == "naive";
+}
+
+/// Runs a whole trace through a sequential engine and publishes its
+/// structural counters under "engine.*" (when telemetry is on), mirroring
+/// what the parallel driver publishes per rank.
+template <parda::ReuseAnalyzer A>
+parda::Histogram run_seq(A analyzer, std::span<const parda::Addr> trace) {
+  parda::Histogram h = parda::analyze_trace(analyzer, trace);
+  if (parda::obs::enabled()) {
+    analyzer.stats().publish(parda::obs::registry(), "engine");
+  }
+  return h;
+}
+
+parda::Histogram run_seq_engine(const std::string& engine,
+                                std::span<const parda::Addr> trace,
+                                std::uint64_t bound) {
+  using namespace parda;
+  if (engine == "lru") return run_seq(LruChainAnalyzer(bound), trace);
+  if (engine == "olken" || engine == "splay") {
+    return bound != 0 ? run_seq(BoundedAnalyzer<SplayTree>(bound), trace)
+                      : run_seq(OlkenAnalyzer<SplayTree>(), trace);
+  }
+  if (engine == "avl") {
+    return bound != 0 ? run_seq(BoundedAnalyzer<AvlTree>(bound), trace)
+                      : run_seq(OlkenAnalyzer<AvlTree>(), trace);
+  }
+  if (engine == "treap") {
+    return bound != 0 ? run_seq(BoundedAnalyzer<Treap>(bound), trace)
+                      : run_seq(OlkenAnalyzer<Treap>(), trace);
+  }
+  if (bound != 0) {
+    usage_error("analyze: --engine=%s does not support --bound",
+                engine.c_str());
+  }
+  if (engine == "fenwick") return run_seq(BennettKruskalAnalyzer(), trace);
+  if (engine == "interval") return run_seq(IntervalAnalyzer(), trace);
+  return run_seq(NaiveStackAnalyzer(), trace);  // "naive"
 }
 
 void print_result(const parda::PardaResult& result) {
@@ -91,6 +148,7 @@ int run_tool(int argc, char** argv) {
   std::string out = "trace.trc";
   std::uint64_t procs = 4;
   std::uint64_t bound = 0;
+  std::string engine = "parda";
   bool stream = false;
   std::uint64_t chunk = 1 << 16;
   std::uint64_t pipe_words = 1 << 20;
@@ -114,6 +172,9 @@ int run_tool(int argc, char** argv) {
   cli.add_flag("out", &out, "gen: output path (.trc binary, .txt text)");
   cli.add_flag("procs", &procs, "analyze: ranks");
   cli.add_flag("bound", &bound, "analyze: cache bound (0 = unbounded)");
+  cli.add_flag("engine", &engine,
+               "analyze: parda (parallel, default) or a sequential engine: "
+               "lru|olken|splay|avl|treap|fenwick|interval|naive");
   cli.add_flag("stream", &stream,
                "analyze: stream the file through a bounded pipe");
   cli.add_flag("chunk", &chunk, "analyze --stream: per-rank chunk size C");
@@ -143,6 +204,11 @@ int run_tool(int argc, char** argv) {
                "structured log threshold: trace|debug|info|warn|error|off "
                "(also $PARDA_LOG_LEVEL)");
   cli.parse(argc - 1, argv + 1);
+
+  if (!is_known_engine(engine)) {
+    usage_error("bad --engine '%s' (expected %s)", engine.c_str(),
+                kEngineNames);
+  }
 
   if (!log_level_name.empty()) {
     const auto parsed = obs::parse_log_level(log_level_name);
@@ -193,46 +259,71 @@ int run_tool(int argc, char** argv) {
       usage_error("analyze: --pipe must be positive");
     }
 
-    comm::FaultPlan plan = fault_plan_spec.empty()
-                               ? comm::FaultPlan::from_env()
-                               : comm::FaultPlan::parse(fault_plan_spec);
-    PardaOptions options;
-    options.num_procs = static_cast<int>(procs);
-    options.bound = bound;
-    options.chunk_words = chunk;
-    if (!plan.empty()) options.run_options.fault_plan = &plan;
-    if (watchdog_ms > 0) {
-      options.run_options.watchdog_interval =
-          std::chrono::milliseconds(watchdog_ms);
-    }
-    if (timeout_ms > 0) {
-      options.run_options.op_timeout = std::chrono::milliseconds(timeout_ms);
-    }
-
     if (repeat == 0) usage_error("analyze: --repeat must be positive");
-    // One persistent runtime for every iteration: with --repeat > 1 the
-    // workers spawn once and every later analysis reuses them, so the
-    // per-iteration times show the warm-pool effect directly.
-    core::RuntimeOptions runtime_options;
-    runtime_options.serve_port = serve_port;
-    core::PardaRuntime runtime(runtime_options);
-    if (serve_port) {
-      std::printf("serving telemetry on http://127.0.0.1:%u "
-                  "(/metrics /metrics.json /spans /healthz)\n",
-                  static_cast<unsigned>(runtime.serve_port()));
-      std::fflush(stdout);
-    }
-    auto session = runtime.session(options);
     PardaResult result;
-    std::vector<Addr> trace;
-    if (!stream) trace = load(cli.positionals()[0]);
-    for (std::uint64_t i = 0; i < repeat; ++i) {
-      result = stream ? session.analyze_file(cli.positionals()[0], pipe_words)
-                      : session.analyze(trace);
-      if (repeat > 1) {
-        std::printf("iteration %llu: %.3f ms wall\n",
-                    static_cast<unsigned long long>(i + 1),
-                    result.stats.wall_seconds * 1e3);
+    if (engine != "parda") {
+      // Sequential engines run inline — no runtime, no workers — so the
+      // streaming/serving machinery does not apply.
+      if (stream) {
+        usage_error("analyze: --engine=%s is sequential; --stream supports "
+                    "only --engine=parda",
+                    engine.c_str());
+      }
+      if (serve_port) usage_error("analyze: --serve requires --engine=parda");
+      const std::vector<Addr> trace = load(cli.positionals()[0]);
+      for (std::uint64_t i = 0; i < repeat; ++i) {
+        const auto t0 = std::chrono::steady_clock::now();
+        result.hist = run_seq_engine(engine, trace, bound);
+        const std::chrono::duration<double> wall =
+            std::chrono::steady_clock::now() - t0;
+        result.stats.wall_seconds = wall.count();
+        if (repeat > 1) {
+          std::printf("iteration %llu: %.3f ms wall\n",
+                      static_cast<unsigned long long>(i + 1),
+                      wall.count() * 1e3);
+        }
+      }
+    } else {
+      comm::FaultPlan plan = fault_plan_spec.empty()
+                                 ? comm::FaultPlan::from_env()
+                                 : comm::FaultPlan::parse(fault_plan_spec);
+      PardaOptions options;
+      options.num_procs = static_cast<int>(procs);
+      options.bound = bound;
+      options.chunk_words = chunk;
+      if (!plan.empty()) options.run_options.fault_plan = &plan;
+      if (watchdog_ms > 0) {
+        options.run_options.watchdog_interval =
+            std::chrono::milliseconds(watchdog_ms);
+      }
+      if (timeout_ms > 0) {
+        options.run_options.op_timeout = std::chrono::milliseconds(timeout_ms);
+      }
+
+      // One persistent runtime for every iteration: with --repeat > 1 the
+      // workers spawn once and every later analysis reuses them, so the
+      // per-iteration times show the warm-pool effect directly.
+      core::RuntimeOptions runtime_options;
+      runtime_options.serve_port = serve_port;
+      core::PardaRuntime runtime(runtime_options);
+      if (serve_port) {
+        std::printf("serving telemetry on http://127.0.0.1:%u "
+                    "(/metrics /metrics.json /spans /healthz)\n",
+                    static_cast<unsigned>(runtime.serve_port()));
+        std::fflush(stdout);
+      }
+      auto session = runtime.session(options);
+      std::vector<Addr> trace;
+      if (!stream) trace = load(cli.positionals()[0]);
+      for (std::uint64_t i = 0; i < repeat; ++i) {
+        result = stream
+                     ? session.analyze_file(cli.positionals()[0], pipe_words)
+                     : session.analyze(trace);
+        if (repeat > 1) {
+          std::printf("iteration %llu: %.3f ms wall\n",
+                      static_cast<unsigned long long>(i + 1),
+                      result.stats.wall_seconds * 1e3);
+        }
       }
     }
     print_result(result);

@@ -1,0 +1,60 @@
+// CLI contract tests for trace_tool, run against the real binary (path
+// injected by CMake): strict flag handling must distinguish usage errors
+// (exit 2) from runtime failures (exit 1) and success (exit 0).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+namespace {
+
+int run(const std::string& args) {
+  const std::string cmd =
+      std::string(PARDA_TRACE_TOOL_PATH) + " " + args + " >/dev/null 2>&1";
+  const int status = std::system(cmd.c_str());
+  return WEXITSTATUS(status);
+}
+
+class TraceToolCliTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ASSERT_EQ(run("gen --workload=zipf:m=500,a=0.9 --refs=20000 "
+                  "--out=trace_cli_test.trc"),
+              0);
+  }
+};
+
+TEST_F(TraceToolCliTest, UnknownEngineIsUsageError) {
+  EXPECT_EQ(run("analyze trace_cli_test.trc --engine=warp"), 2);
+}
+
+TEST_F(TraceToolCliTest, UnknownEngineRejectedForEveryCommand) {
+  // The name is validated at parse time, before any work happens.
+  EXPECT_EQ(run("gen --refs=10 --engine=warp --out=should_not_exist.trc"), 2);
+}
+
+TEST_F(TraceToolCliTest, SequentialEngineRuns) {
+  EXPECT_EQ(run("analyze trace_cli_test.trc --engine=lru"), 0);
+  EXPECT_EQ(run("analyze trace_cli_test.trc --engine=lru --bound=256"), 0);
+  EXPECT_EQ(run("analyze trace_cli_test.trc --engine=olken"), 0);
+  EXPECT_EQ(run("analyze trace_cli_test.trc --engine=fenwick"), 0);
+}
+
+TEST_F(TraceToolCliTest, SequentialEngineWithStreamIsUsageError) {
+  EXPECT_EQ(run("analyze trace_cli_test.trc --engine=lru --stream"), 2);
+}
+
+TEST_F(TraceToolCliTest, BoundOnUnboundedOnlyEngineIsUsageError) {
+  EXPECT_EQ(run("analyze trace_cli_test.trc --engine=fenwick --bound=64"), 2);
+  EXPECT_EQ(run("analyze trace_cli_test.trc --engine=naive --bound=64"), 2);
+}
+
+TEST_F(TraceToolCliTest, MissingTraceIsRuntimeError) {
+  EXPECT_EQ(run("analyze no_such_file.trc --engine=lru"), 1);
+}
+
+TEST_F(TraceToolCliTest, DefaultEngineStillWorks) {
+  EXPECT_EQ(run("analyze trace_cli_test.trc --procs=2"), 0);
+}
+
+}  // namespace

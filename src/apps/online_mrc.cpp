@@ -1,5 +1,6 @@
 #include "apps/online_mrc.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "hist/mrc.hpp"
@@ -40,6 +41,20 @@ void OnlineMrcMonitor::access(Addr a) {
   current_.record(analyzer_.access(a));
   ++seen_;
   if (seen_ % window_ == 0) roll_window();
+}
+
+void OnlineMrcMonitor::feed(std::span<const Addr> refs) {
+  while (!refs.empty()) {
+    // Slice at the window boundary so rolls happen exactly where the
+    // per-reference loop would roll them.
+    const std::uint64_t room = window_ - (seen_ % window_);
+    const std::size_t take = static_cast<std::size_t>(
+        std::min<std::uint64_t>(room, refs.size()));
+    analyzer_.access_block(refs.first(take), current_);
+    seen_ += take;
+    refs = refs.subspan(take);
+    if (seen_ % window_ == 0) roll_window();
+  }
 }
 
 void OnlineMrcMonitor::roll_window() {
@@ -89,6 +104,18 @@ void WindowedMrcMonitor::access(Addr a) {
   pending_.push_back(a);
   ++seen_;
   if (pending_.size() == window_) roll_window();
+}
+
+void WindowedMrcMonitor::feed(std::span<const Addr> refs) {
+  while (!refs.empty()) {
+    const std::size_t take =
+        std::min(refs.size(), static_cast<std::size_t>(window_) -
+                                  pending_.size());
+    pending_.insert(pending_.end(), refs.begin(), refs.begin() + take);
+    seen_ += take;
+    refs = refs.subspan(take);
+    if (pending_.size() == window_) roll_window();
+  }
 }
 
 void WindowedMrcMonitor::roll_window() {

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/runtime.hpp"
@@ -34,6 +35,11 @@ class OnlineMrcMonitor {
 
   /// Feeds one reference.
   void access(Addr a);
+
+  /// Feeds a batch of references: identical tallies and window rolls to
+  /// calling access() per reference, but each full window segment goes
+  /// through the engine's prefetched process_block path.
+  void feed(std::span<const Addr> refs);
 
   /// Recency-weighted miss ratio at the given cache size (<= bound).
   /// Includes the partially filled current window.
@@ -78,6 +84,10 @@ class WindowedMrcMonitor {
 
   /// Feeds one reference; a completed window triggers one pool job.
   void access(Addr a);
+
+  /// Feeds a batch of references; every window completed inside the batch
+  /// triggers its pool job at the same point access() would.
+  void feed(std::span<const Addr> refs);
 
   /// Recency-weighted miss ratio at the given cache size (<= bound).
   /// Includes the partially filled current window (analyzed on demand).

@@ -43,6 +43,11 @@ struct PardaOptions {
   /// Streaming only: per-rank chunk size C; each phase consumes np*C
   /// references (Algorithm 5).
   std::size_t chunk_words = 1 << 16;
+  /// Feed each rank's chunk through the batched process_own_block path
+  /// (software-prefetched hash probes) instead of the per-reference loop.
+  /// Results are identical either way; the toggle exists so bench_engines
+  /// can measure the two paths head-to-head.
+  bool block_dispatch = true;
   /// Fault-tolerance knobs forwarded to comm::run: per-op deadlines, the
   /// stall watchdog, and deterministic fault injection. The default is the
   /// historical wait-forever behavior.
@@ -160,8 +165,13 @@ void offline_rank_body(comm::Comm& comm, std::span<const Addr> trace,
   {
     obs::SpanScope span("analyze");
     state.begin_merge_stage();
-    for (std::size_t t = begin; t < end; ++t) {
-      state.process_own(trace[t], static_cast<Timestamp>(t));
+    if (options.block_dispatch) {
+      state.process_own_block(trace.subspan(begin, end - begin),
+                              static_cast<Timestamp>(begin));
+    } else {
+      for (std::size_t t = begin; t < end; ++t) {
+        state.process_own(trace[t], static_cast<Timestamp>(t));
+      }
     }
   }
   profile.chunk_refs = end - begin;
@@ -298,8 +308,12 @@ void stream_rank_body(comm::Comm& comm, TracePipe& pipe,
     {
       obs::SpanScope span("analyze", phase_no);
       state.begin_merge_stage();
-      for (std::size_t i = 0; i < mine.size(); ++i) {
-        state.process_own(mine[i], my_base + i);
+      if (options.block_dispatch) {
+        state.process_own_block(mine.span(), my_base);
+      } else {
+        for (std::size_t i = 0; i < mine.size(); ++i) {
+          state.process_own(mine[i], my_base + i);
+        }
       }
     }
     profile.chunk_refs += mine.size();

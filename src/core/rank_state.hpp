@@ -82,6 +82,19 @@ class RankState {
     note_resident();
   }
 
+  /// Batched process_own over a contiguous run of this rank's chunk whose
+  /// first reference sits at global position base_ts. Identical tallies and
+  /// record stream to the per-reference loop; the hash probe a few
+  /// references ahead is software-prefetched.
+  void process_own_block(std::span<const Addr> block, Timestamp base_ts) {
+    constexpr std::size_t kAhead = 8;
+    const std::size_t n = block.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i + kAhead < n) table_.prefetch(block[i + kAhead]);
+      process_own(block[i], base_ts + i);
+    }
+  }
+
   /// Processes a received local-infinity list (one merge round). Survivors
   /// (still-unresolved references) are appended to the outgoing queue.
   void process_incoming(std::span<const InfRecord> records) {

@@ -1,0 +1,176 @@
+#include "seq/lru_chain.hpp"
+
+#include <cstdio>
+
+namespace parda {
+
+void LruChainAnalyzer::insert_miss(Addr z) {
+  if (bound_ != 0 && size_ == bound_) evict_tail();
+  // Allocate: recycle from the free list, else extend the arena. The
+  // chain only grows on first references, so bounded operation reaches
+  // `bound` arena slots and then runs allocation-free forever.
+  std::uint32_t x;
+  if (free_ != kNull) {
+    x = free_;
+    free_ = nodes_[x].next;
+    --free_count_;
+  } else {
+    PARDA_CHECK(nodes_.size() < static_cast<std::size_t>(kNull));
+    x = static_cast<std::uint32_t>(nodes_.size());
+    nodes_.emplace_back();
+  }
+  nodes_[x].addr = z;
+  table_.insert_or_assign(z, x);
+
+  // Every resident node shifts down one position: slide each level's
+  // boundary marker one hop toward the head, and drop the old head from
+  // level 0 into level 1.
+  if (size_ > 0) {
+    std::uint64_t hops = 0;
+    for (std::uint32_t i = 1; i < kMaxLevels && marker_[i] != kNull; ++i) {
+      const std::uint32_t m = marker_[i];
+      nodes_[m].level = i + 1;
+      marker_[i] = nodes_[m].prev;
+      ++hops;
+    }
+    marker_hops_ += hops;
+    nodes_[head_].level = 1;
+  }
+
+  nodes_[x].prev = kNull;
+  nodes_[x].next = head_;
+  nodes_[x].level = 0;
+  if (head_ != kNull) {
+    nodes_[head_].prev = x;
+  } else {
+    tail_ = x;
+  }
+  head_ = x;
+  ++size_;
+  if (size_ > peak_) peak_ = size_;
+
+  // A marker springs into existence the first time position 2^i - 1 is
+  // occupied, i.e. when the pre-insert size was exactly 2^i - 1; the
+  // shifted old tail is then the new boundary node of level i.
+  const std::uint64_t old_size = size_ - 1;
+  if (old_size >= 1 && ((old_size + 1) & old_size) == 0) {
+    const auto i = static_cast<std::uint32_t>(std::bit_width(old_size));
+    PARDA_DCHECK(i < kMaxLevels);
+    marker_[i] = tail_;
+  }
+}
+
+void LruChainAnalyzer::evict_tail() {
+  const std::uint32_t t = tail_;
+  PARDA_DCHECK(t != kNull);
+  const std::uint32_t level = nodes_[t].level;
+  // The tail is a boundary node only when the chain length is exactly
+  // 2^level; removing it leaves position 2^level - 1 unoccupied, so the
+  // marker vanishes with it. A longer chain's tail sits past every
+  // boundary and no marker moves.
+  if (level >= 1 && marker_[level] == t) marker_[level] = kNull;
+  table_.erase(nodes_[t].addr);
+  tail_ = nodes_[t].prev;
+  if (tail_ != kNull) {
+    nodes_[tail_].next = kNull;
+  } else {
+    head_ = kNull;
+  }
+  nodes_[t].next = free_;
+  free_ = t;
+  ++free_count_;
+  --size_;
+  ++evictions_;
+}
+
+void LruChainAnalyzer::reset() {
+  nodes_.clear();  // capacity retained; arena refills without allocation
+  table_.clear();
+  hist_.clear();
+  marker_.fill(kNull);
+  bins_.fill(0);
+  head_ = tail_ = free_ = kNull;
+  inf_count_ = now_ = size_ = peak_ = 0;
+  free_count_ = evictions_ = marker_hops_ = 0;
+  finished_ = false;
+}
+
+namespace {
+
+/// The log2 bucket a chain position belongs to: 0 for position 0,
+/// floor(log2(p)) + 1 otherwise (bucket i >= 1 spans [2^(i-1), 2^i)).
+std::uint32_t bucket_of_position(std::uint64_t p) noexcept {
+  return p == 0 ? 0u : static_cast<std::uint32_t>(std::bit_width(p));
+}
+
+bool fail(std::string* why, const char* fmt, std::uint64_t a,
+          std::uint64_t b) {
+  if (why != nullptr) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), fmt, static_cast<unsigned long long>(a),
+                  static_cast<unsigned long long>(b));
+    *why = buf;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool LruChainAnalyzer::check_invariants(std::string* why) const {
+  std::uint64_t pos = 0;
+  std::uint32_t prev = kNull;
+  std::array<std::uint32_t, kMaxLevels> seen_marker;
+  seen_marker.fill(kNull);
+  for (std::uint32_t x = head_; x != kNull; x = nodes_[x].next) {
+    if (pos > size_) return fail(why, "chain longer than size %llu", size_, 0);
+    if (nodes_[x].prev != prev) {
+      return fail(why, "bad prev link at position %llu", pos, 0);
+    }
+    const std::uint32_t want = bucket_of_position(pos);
+    if (nodes_[x].level != want) {
+      return fail(why, "level %llu at position %llu",
+                  nodes_[x].level, pos);
+    }
+    const Timestamp* slot = table_.find(nodes_[x].addr);
+    if (slot == nullptr || static_cast<std::uint32_t>(*slot) != x) {
+      return fail(why, "table does not map node at position %llu", pos, 0);
+    }
+    // Position 2^i - 1 is the boundary node of level i: remember it to
+    // compare against marker_.
+    if (pos >= 1 && ((pos + 1) & pos) == 0) {
+      seen_marker[static_cast<std::uint32_t>(std::bit_width(pos))] = x;
+    }
+    prev = x;
+    ++pos;
+  }
+  if (pos != size_) return fail(why, "chain length %llu != size %llu", pos, size_);
+  if (tail_ != prev) return fail(why, "tail mismatch %llu", tail_, 0);
+  if (table_.size() != size_) {
+    return fail(why, "table size %llu != size %llu", table_.size(), size_);
+  }
+  for (std::uint32_t i = 1; i < kMaxLevels; ++i) {
+    if (marker_[i] != seen_marker[i]) {
+      return fail(why, "marker[%llu] off (expected node at 2^i-1): %llu", i,
+                  marker_[i]);
+    }
+  }
+  if (marker_[0] != kNull) return fail(why, "marker[0] must stay null", 0, 0);
+  std::uint64_t free_len = 0;
+  for (std::uint32_t x = free_; x != kNull; x = nodes_[x].next) {
+    ++free_len;
+    if (free_len > nodes_.size()) {
+      return fail(why, "free list cycle after %llu nodes", free_len, 0);
+    }
+  }
+  if (free_len != free_count_) {
+    return fail(why, "free list length %llu != count %llu", free_len,
+                free_count_);
+  }
+  if (size_ + free_count_ != nodes_.size()) {
+    return fail(why, "arena %llu != chain+free %llu", nodes_.size(),
+                size_ + free_count_);
+  }
+  return true;
+}
+
+}  // namespace parda

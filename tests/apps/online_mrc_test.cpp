@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "apps/online_mrc.hpp"
@@ -25,6 +27,24 @@ TEST(OnlineMrcTest, NoDecayMatchesBoundedAnalysis) {
   }
   EXPECT_EQ(monitor.references_seen(), trace.size());
   EXPECT_EQ(monitor.windows_completed(), trace.size() / 1000);
+}
+
+TEST(OnlineMrcTest, BatchedFeedMatchesPerReferenceLoop) {
+  ZipfWorkload w(300, 0.9, 13);
+  const auto trace = generate_trace(w, 23500);  // not a window multiple
+  OnlineMrcMonitor batched(256, 1000, 0.75);
+  // Feed in awkward batch sizes so segments straddle window boundaries.
+  std::span<const Addr> rest(trace);
+  for (std::size_t take = 1; !rest.empty(); take = take * 2 + 1) {
+    const std::size_t n = std::min(take, rest.size());
+    batched.feed(rest.first(n));
+    rest = rest.subspan(n);
+  }
+  OnlineMrcMonitor looped(256, 1000, 0.75);
+  for (Addr a : trace) looped.access(a);
+  EXPECT_TRUE(batched.snapshot() == looped.snapshot());
+  EXPECT_EQ(batched.references_seen(), looped.references_seen());
+  EXPECT_EQ(batched.windows_completed(), looped.windows_completed());
 }
 
 TEST(OnlineMrcTest, DecayTracksPhaseChange) {
@@ -109,6 +129,23 @@ TEST(WindowedMrcTest, MatchesPerWindowColdAnalysisExactly) {
   // Every window job reused the runtime's workers: one World, many reuses.
   EXPECT_EQ(runtime.capacity(), 2);
   EXPECT_GE(runtime.world_reuses(), monitor.windows_completed() - 1);
+}
+
+TEST(WindowedMrcTest, BatchedFeedMatchesPerReferenceLoop) {
+  ZipfWorkload w(250, 0.9, 17);
+  const auto trace = generate_trace(w, 7300);  // not a window multiple
+  core::PardaRuntime runtime;
+  WindowedMrcMonitor batched(runtime, 128, 1500, 0.5, /*num_procs=*/2);
+  std::span<const Addr> rest(trace);
+  for (std::size_t take = 7; !rest.empty(); take += 601) {
+    const std::size_t n = std::min(take, rest.size());
+    batched.feed(rest.first(n));
+    rest = rest.subspan(n);
+  }
+  WindowedMrcMonitor looped(runtime, 128, 1500, 0.5, /*num_procs=*/2);
+  for (Addr a : trace) looped.access(a);
+  EXPECT_TRUE(batched.snapshot() == looped.snapshot());
+  EXPECT_EQ(batched.windows_completed(), looped.windows_completed());
 }
 
 TEST(WindowedMrcTest, MissRatioAgreesWithInlineMonitorOnWindowMultiples) {
