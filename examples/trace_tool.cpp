@@ -307,6 +307,12 @@ int run_tool(int argc, char** argv) {
       runtime_options.serve_port = serve_port;
       core::PardaRuntime runtime(runtime_options);
       if (serve_port) {
+        // The PARDA_SERVE_PORT line is a machine-parseable contract:
+        // scripts resolve an ephemeral --serve=0 port by grepping exactly
+        // "^PARDA_SERVE_PORT=" (see scripts/run_telemetry_smoke.sh and
+        // scripts/run_soak.sh). Keep it first and keep the format stable.
+        std::printf("PARDA_SERVE_PORT=%u\n",
+                    static_cast<unsigned>(runtime.serve_port()));
         std::printf("serving telemetry on http://127.0.0.1:%u "
                     "(/metrics /metrics.json /spans /healthz)\n",
                     static_cast<unsigned>(runtime.serve_port()));
@@ -385,6 +391,13 @@ int run_tool(int argc, char** argv) {
 int main(int argc, char** argv) {
   try {
     return run_tool(argc, argv);
+  } catch (const parda::obs::ServerBindError& e) {
+    // A taken or unbindable --serve port is a runtime failure with a
+    // dedicated diagnostic, not a crash: scripts distinguish it from
+    // usage errors by the exit code.
+    std::fprintf(stderr, "trace_tool: cannot bind telemetry port %u: %s\n",
+                 static_cast<unsigned>(e.port()), e.what());
+    return parda::kExitRuntime;
   } catch (const std::exception& e) {
     // Runtime failures (missing or corrupt traces, aborted analyses) get a
     // one-line diagnostic and an exit code distinct from usage errors.

@@ -32,15 +32,33 @@ def load_points(path):
             doc = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
         die(f"bench_diff: cannot read {path}: {e}")
+    if not isinstance(doc, dict):
+        die(f"bench_diff: {path}: top level must be an object, "
+            f"got {type(doc).__name__}")
     if doc.get("schema") != "parda.bench.v1":
         die(f"bench_diff: {path}: expected schema parda.bench.v1, "
             f"got {doc.get('schema')!r}")
     bench = doc.get("bench", "")
+    raw_points = doc.get("points", [])
+    if not isinstance(raw_points, list):
+        die(f"bench_diff: {path}: 'points' must be an array")
     points = {}
-    for p in doc.get("points", []):
-        key = (bench, p["name"],
-               tuple(sorted(p.get("params", {}).items())))
-        points[key] = p.get("metrics", {})
+    for i, p in enumerate(raw_points):
+        if not isinstance(p, dict) or "name" not in p:
+            die(f"bench_diff: {path}: points[{i}] must be an object "
+                f"with a 'name'")
+        params = p.get("params", {})
+        metrics = p.get("metrics", {})
+        if not isinstance(params, dict) or not isinstance(metrics, dict):
+            die(f"bench_diff: {path}: points[{i}] ({p['name']}): 'params' "
+                f"and 'metrics' must be objects")
+        bad = [m for m, v in metrics.items()
+               if not isinstance(v, (int, float)) or isinstance(v, bool)]
+        if bad:
+            die(f"bench_diff: {path}: points[{i}] ({p['name']}): "
+                f"non-numeric metric value(s): {', '.join(sorted(bad))}")
+        key = (bench, p["name"], tuple(sorted(params.items())))
+        points[key] = metrics
     return points
 
 

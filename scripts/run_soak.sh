@@ -1,0 +1,188 @@
+#!/usr/bin/env bash
+# Multi-tenant serving soak: run `parda_serve` for SOAK_SECONDS (default
+# 60) under a mixed tenant population — two twins on identical streams
+# (cross-tenant isolation check: their flushed histograms must be
+# byte-identical), a heavy tenant big enough to trip its memory quota and
+# degrade, and a hostile tenant that sends malformed frames, an oversized
+# body, and a deliberately slow upload. Mid-run the /metrics exposition is
+# scraped and validated with `trace_tool checkmetrics`. The soak fails if
+# the server crashes, RSS exceeds the soak budget, the twins diverge, or
+# the SIGTERM drain does not flush every tenant and exit 0.
+#
+# Usage: scripts/run_soak.sh [BUILD_DIR]   (default: build)
+# Env:   SOAK_SECONDS  total soak duration (default 60)
+#        SOAK_RSS_MB   server RSS budget in MiB (default 512)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+SERVE="$BUILD_DIR/examples/parda_serve"
+TOOL="$BUILD_DIR/examples/trace_tool"
+SOAK_SECONDS="${SOAK_SECONDS:-60}"
+SOAK_RSS_MB="${SOAK_RSS_MB:-512}"
+for bin in "$SERVE" "$TOOL"; do
+  if [[ ! -x "$bin" ]]; then
+    echo "error: $bin not built (run: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j)" >&2
+    exit 1
+  fi
+done
+
+WORK="$(mktemp -d)"
+SERVE_PID=""
+cleanup() {
+  [[ -n "$SERVE_PID" ]] && kill -9 "$SERVE_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+# Deterministic text ingest batches: the twins replay the same cycle of
+# files, so any divergence in their flushed histograms is a cross-tenant
+# isolation bug, not workload noise.
+python3 - "$WORK" <<'EOF'
+import sys, os
+work = sys.argv[1]
+for b in range(8):
+    with open(os.path.join(work, f"twin_batch{b}.txt"), "w") as f:
+        for i in range(4096):
+            f.write(f"{(i * 2654435761 + b * 97) % 1500:#x}\n")
+for b in range(8):
+    with open(os.path.join(work, f"heavy_batch{b}.txt"), "w") as f:
+        for i in range(8192):
+            f.write(f"{(i + b * 8192) * 64}\n")  # ever-growing footprint
+EOF
+# > 8 MiB: must bounce off the server's body cap with 413.
+head -c $((9 * 1024 * 1024)) /dev/zero | tr '\0' 'a' > "$WORK/oversize.body"
+
+"$SERVE" --port=0 --procs=2 --bound=65536 --window=4096 \
+    --memory-quota=$((256 * 1024)) --sampler-tracked=1024 \
+    --flush-dir="$WORK/flush" --log-level=warn \
+    > "$WORK/serve.out" 2> "$WORK/serve.log" &
+SERVE_PID=$!
+
+PORT=""
+for _ in $(seq 1 100); do
+  PORT="$(sed -n 's/^PARDA_SERVE_PORT=\([0-9]*\)$/\1/p' "$WORK/serve.out" | head -n1)"
+  [[ -n "$PORT" ]] && break
+  sleep 0.1
+done
+if [[ -z "$PORT" ]]; then
+  echo "error: PARDA_SERVE_PORT line never appeared" >&2
+  cat "$WORK/serve.out" "$WORK/serve.log" >&2
+  exit 1
+fi
+BASE="http://127.0.0.1:$PORT"
+echo "soak: serving on port $PORT for ${SOAK_SECONDS}s (pid $SERVE_PID)"
+
+expect_status() {  # expect_status WANT curl-args...
+  local want="$1"; shift
+  local got
+  got="$(curl -s -o /dev/null -w '%{http_code}' "$@")"
+  if [[ "$got" != "$want" ]]; then
+    echo "error: expected HTTP $want, got $got for: $*" >&2
+    exit 1
+  fi
+}
+
+check_rss() {
+  local rss_kb
+  rss_kb="$(awk '/^VmRSS:/{print $2}' "/proc/$SERVE_PID/status" 2>/dev/null || echo 0)"
+  if (( rss_kb > SOAK_RSS_MB * 1024 )); then
+    echo "error: server RSS ${rss_kb} KiB exceeds budget ${SOAK_RSS_MB} MiB" >&2
+    exit 1
+  fi
+}
+
+expect_status 200 -X POST "$BASE/tenants/twin-a"
+expect_status 200 -X POST "$BASE/tenants/twin-b"
+# Heavy gets a big window (512 KiB reserved buffer) but a 128 KiB memory
+# quota, so it MUST degrade to the fixed-size sampler early in the soak.
+expect_status 200 -H 'Content-Type: application/json' --data-binary \
+  '{"window": 65536, "quotas": {"memory_quota_bytes": 131072, "sampler_tracked": 256}}' \
+  "$BASE/tenants/heavy"
+expect_status 200 -X POST "$BASE/tenants/hostile"
+expect_status 200 -X POST "$BASE/tenants/slowpoke"
+
+DEADLINE=$(( $(date +%s) + SOAK_SECONDS ))
+HALFWAY=$(( $(date +%s) + SOAK_SECONDS / 2 ))
+SCRAPED=0
+round=0
+while (( $(date +%s) < DEADLINE )); do
+  b=$(( round % 8 ))
+  # Twins ingest the same batch; heavy keeps growing until its quota
+  # degrades it in place (both 200: kOk and kDegraded are admitted).
+  expect_status 200 --data-binary "@$WORK/twin_batch$b.txt" "$BASE/ingest/twin-a"
+  expect_status 200 --data-binary "@$WORK/twin_batch$b.txt" "$BASE/ingest/twin-b"
+  expect_status 200 --data-binary "@$WORK/heavy_batch$b.txt" "$BASE/ingest/heavy"
+
+  # Hostile traffic, one flavor per round. None of it may crash the
+  # server or perturb the other tenants.
+  case $(( round % 3 )) in
+    0) expect_status 400 --data-binary 'xyzzy not-an-address' \
+           "$BASE/ingest/hostile" ;;                      # malformed frame
+    1) expect_status 413 --data-binary "@$WORK/oversize.body" \
+           "$BASE/ingest/heavy" ;;                        # oversized trace
+    2) curl -s -o /dev/null --limit-rate 1K --max-time 8 \
+           --data-binary "@$WORK/twin_batch0.txt" \
+           "$BASE/ingest/slowpoke" || true ;;             # slow client
+  esac
+
+  if (( SCRAPED == 0 && $(date +%s) >= HALFWAY )); then
+    curl -fsS "$BASE/metrics" > "$WORK/scrape.prom"
+    "$TOOL" checkmetrics "$WORK/scrape.prom"
+    grep -q 'parda_serve_ingest_refs' "$WORK/scrape.prom" || {
+      echo "error: per-tenant ingest metrics missing from scrape" >&2; exit 1; }
+    curl -fsS "$BASE/tenants" > "$WORK/tenants.json"
+    SCRAPED=1
+    echo "soak: mid-run scrape valid"
+  fi
+  check_rss
+  round=$(( round + 1 ))
+done
+echo "soak: $round rounds of mixed traffic done"
+
+if ! kill -0 "$SERVE_PID" 2>/dev/null; then
+  echo "error: server died during the soak" >&2
+  cat "$WORK/serve.log" >&2
+  exit 1
+fi
+if (( SCRAPED == 0 )); then
+  echo "error: soak too short for the mid-run scrape" >&2
+  exit 1
+fi
+
+# The heavy tenant must have degraded rather than blowing past its quota.
+curl -fsS "$BASE/tenants/heavy" > "$WORK/heavy.json"
+grep -q '"mode": *"degraded"' "$WORK/heavy.json" || {
+  echo "error: heavy tenant never degraded:" >&2
+  cat "$WORK/heavy.json" >&2
+  exit 1
+}
+
+# Graceful drain: SIGTERM must flush every tenant and exit 0.
+kill -TERM "$SERVE_PID"
+EXIT_CODE=0
+wait "$SERVE_PID" || EXIT_CODE=$?
+SERVE_PID=""
+if (( EXIT_CODE != 0 )); then
+  echo "error: drain exited $EXIT_CODE" >&2
+  cat "$WORK/serve.log" >&2
+  exit 1
+fi
+for t in twin-a twin-b heavy hostile slowpoke; do
+  [[ -s "$WORK/flush/$t.hist.json" ]] || {
+    echo "error: drain did not flush tenant $t" >&2; exit 1; }
+done
+
+# Cross-tenant isolation: identical streams => byte-identical flushed
+# histograms. The slow client has its own tenant, so the twins saw exactly
+# the same batches in the same order.
+cmp -s "$WORK/flush/twin-a.hist.json" "$WORK/flush/twin-b.hist.json" || {
+  echo "error: twins ingested identical streams but their flushed" \
+       "histograms differ (cross-tenant interference)" >&2
+  diff "$WORK/flush/twin-a.hist.json" "$WORK/flush/twin-b.hist.json" | head >&2
+  exit 1
+}
+echo "soak: twin histograms byte-identical"
+
+echo "soak passed: $round rounds, no crash, RSS under ${SOAK_RSS_MB} MiB," \
+     "heavy degraded in place, drain flushed all tenants"

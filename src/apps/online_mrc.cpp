@@ -119,7 +119,18 @@ void WindowedMrcMonitor::feed(std::span<const Addr> refs) {
 }
 
 void WindowedMrcMonitor::roll_window() {
-  const Histogram window_hist = session_.analyze(pending_).hist;
+  // Abort safety: a failed window job (injected fault, deadline, watchdog
+  // abort) drops THIS window's references and rethrows, leaving the
+  // monitor usable — the buffer must not stay full, or the next feed()
+  // would take zero references per iteration and spin forever.
+  Histogram window_hist;
+  try {
+    window_hist = session_.analyze(pending_).hist;
+  } catch (...) {
+    pending_.clear();
+    ++aborted_;
+    throw;
+  }
   decayed_fold(aggregate_, window_hist, decay_);
   pending_.clear();
   ++windows_;

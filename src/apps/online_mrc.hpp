@@ -96,9 +96,35 @@ class WindowedMrcMonitor {
   /// The decayed histogram, including the in-progress window.
   Histogram snapshot() const;
 
+  /// The completed-windows aggregate only — no on-demand analysis of the
+  /// in-progress window, so unlike snapshot() it cannot throw. The serving
+  /// layer reads this when capturing a quarantined tenant's final state
+  /// (analyzing its pending window would just re-trip the fault).
+  const Histogram& aggregate() const noexcept { return aggregate_; }
+
   std::uint64_t references_seen() const noexcept { return seen_; }
   std::uint64_t windows_completed() const noexcept { return windows_; }
+  /// Window jobs that aborted (fault injection, deadline, watchdog). Each
+  /// such window's references were dropped; see roll_window's contract.
+  std::uint64_t windows_aborted() const noexcept { return aborted_; }
   std::uint64_t bound() const noexcept { return session_.options().bound; }
+
+  /// The session's analysis options. Mutating them between feeds is
+  /// allowed (the serving layer installs per-tenant fault plans and
+  /// deadlines here); changing bound/num_procs mid-stream changes how
+  /// subsequent windows are analyzed.
+  PardaOptions& options() noexcept { return session_.options(); }
+
+  /// References buffered for the in-progress window.
+  std::size_t pending_refs() const noexcept { return pending_.size(); }
+
+  /// Resident-state estimate for per-tenant quota accounting: the window
+  /// buffer plus the dense aggregate histogram. O(window + bound) because
+  /// bounded windows cap finite distances below `bound`.
+  std::uint64_t footprint_bytes() const noexcept {
+    return static_cast<std::uint64_t>(pending_.capacity()) * sizeof(Addr) +
+           static_cast<std::uint64_t>(aggregate_.counts().capacity()) * 8;
+  }
 
  private:
   void roll_window();
@@ -110,6 +136,7 @@ class WindowedMrcMonitor {
   Histogram aggregate_;        // decayed sum of completed windows (scaled)
   std::uint64_t seen_ = 0;
   std::uint64_t windows_ = 0;
+  std::uint64_t aborted_ = 0;
 };
 
 }  // namespace parda

@@ -16,6 +16,7 @@
 // The runtime must outlive every session created from it.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <optional>
 #include <span>
@@ -23,6 +24,7 @@
 
 #include "comm/worker_pool.hpp"
 #include "core/parda.hpp"
+#include "obs/metrics.hpp"
 #include "obs/server.hpp"
 
 namespace parda::core {
@@ -99,8 +101,24 @@ class PardaRuntime {
     return server_ ? server_->port() : 0;
   }
 
+  /// The owned telemetry server, or nullptr when not serving. The serving
+  /// layer uses this to mount its routes (TelemetryServer::set_handler).
+  obs::TelemetryServer* telemetry() noexcept { return server_.get(); }
+
+  /// Jobs submitted through sessions that have not finished yet (queued
+  /// in the pool's FIFO admission or running). The admission-control hook
+  /// for layers that must shed load before the queue grows without bound:
+  /// sampled by MrcService, published as the runtime.pending_jobs gauge.
+  std::uint64_t pending_jobs() const noexcept {
+    return pending_jobs_.load(std::memory_order_relaxed);
+  }
+
  private:
+  friend class AnalysisSession;
+
   comm::WorkerPool pool_;
+  std::atomic<std::uint64_t> pending_jobs_{0};
+  obs::Gauge* pending_gauge_;                     // cached handle
   std::unique_ptr<obs::TelemetryServer> server_;  // null unless serving
 };
 

@@ -73,14 +73,77 @@ void sample_u64(std::string& out, const std::string& fam,
 
 /// Emits one family of per-rank u64 samples: shard 0 always (so the family
 /// is never empty), other shards only when active per `active`.
+/// `extra` is a pre-rendered label list ('k="v",k2="v2"') merged before the
+/// rank label.
 template <typename Shards, typename Active>
 void per_rank_samples(std::string& out, const std::string& fam,
-                      const Shards& values, const Active& active) {
+                      const std::string& extra, const Shards& values,
+                      const Active& active) {
   for (std::size_t i = 0; i < values.size(); ++i) {
     if (i != 0 && !active[i]) continue;
-    sample_u64(out, fam, "{rank=\"" + escape_label(rank_label(i)) + "\"}",
-               values[i]);
+    std::string labels = "{";
+    if (!extra.empty()) {
+      labels += extra;
+      labels += ',';
+    }
+    labels += "rank=\"" + escape_label(rank_label(i)) + "\"}";
+    sample_u64(out, fam, labels, values[i]);
   }
+}
+
+/// Label names must match [a-zA-Z_][a-zA-Z0-9_]*; anything else maps to
+/// '_' (mirrors prom_name for metric names).
+std::string sanitize_label_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       c == '_';
+    const bool ok = alpha || (i > 0 && c >= '0' && c <= '9');
+    out += ok ? c : '_';
+  }
+  if (out.empty()) out = "_";
+  return out;
+}
+
+/// A registry metric name optionally carries a label set in the name
+/// string itself — "serve.ingest_refs{tenant=alice,reason=rate}" — which
+/// is how label-dimensioned metrics (per-tenant serving counters) ride on
+/// the flat name->metric registry. split_name separates the family base
+/// from the rendered label list.
+struct LabeledName {
+  std::string base;    // registry name without the label block
+  std::string labels;  // rendered 'k="v",k2="v2"' (escaped); "" if none
+};
+
+LabeledName split_name(std::string_view name) {
+  LabeledName out;
+  const std::size_t brace = name.find('{');
+  if (brace == std::string_view::npos || name.empty() ||
+      name.back() != '}') {
+    out.base = std::string(name);
+    return out;
+  }
+  out.base = std::string(name.substr(0, brace));
+  const std::string_view inner =
+      name.substr(brace + 1, name.size() - brace - 2);
+  std::size_t pos = 0;
+  while (pos < inner.size()) {
+    const std::size_t comma = inner.find(',', pos);
+    const std::string_view pair = inner.substr(
+        pos, comma == std::string_view::npos ? std::string_view::npos
+                                             : comma - pos);
+    pos = comma == std::string_view::npos ? inner.size() : comma + 1;
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string_view::npos) continue;  // malformed pair: dropped
+    if (!out.labels.empty()) out.labels += ',';
+    out.labels += sanitize_label_name(pair.substr(0, eq));
+    out.labels += "=\"";
+    out.labels += escape_label(pair.substr(eq + 1));
+    out.labels += '"';
+  }
+  return out;
 }
 
 }  // namespace
@@ -89,58 +152,104 @@ std::string to_prometheus(const Registry& reg, const SpanTracer& tracer) {
   std::string out;
   out.reserve(1 << 14);
 
+  // Metrics whose names carry a label block share a Prometheus family with
+  // every other label set of the same base name, and the exposition format
+  // allows exactly one HELP/TYPE per family — so each kind groups by
+  // family first and emits the header once.
+  std::map<std::string,
+           std::vector<std::pair<const Counter*, LabeledName>>>
+      counter_fams;
   for (const Counter* c : reg.counters()) {
-    const std::string fam = prom_name(c->name()) + "_total";
+    LabeledName ln = split_name(c->name());
+    counter_fams[prom_name(ln.base) + "_total"].emplace_back(c,
+                                                             std::move(ln));
+  }
+  for (const auto& [fam, members] : counter_fams) {
     header(out, fam,
-           "Parda counter " + c->name() +
+           "Parda counter " + members.front().second.base +
                " (rank=\"driver\" is the unattributed shard)",
            "counter");
-    const auto shards = c->shards();
-    std::array<bool, kShards> active{};
-    for (std::size_t i = 0; i < shards.size(); ++i) active[i] = shards[i] != 0;
-    per_rank_samples(out, fam, shards, active);
+    for (const auto& [c, ln] : members) {
+      const auto shards = c->shards();
+      std::array<bool, kShards> active{};
+      for (std::size_t i = 0; i < shards.size(); ++i) {
+        active[i] = shards[i] != 0;
+      }
+      per_rank_samples(out, fam, ln.labels, shards, active);
+    }
   }
 
+  std::map<std::string, std::vector<std::pair<const Gauge*, LabeledName>>>
+      gauge_fams;
   for (const Gauge* g : reg.gauges()) {
-    const auto maxes = g->shards();
-    const auto values = g->values();
-    std::array<bool, kShards> active{};
-    for (std::size_t i = 0; i < maxes.size(); ++i) active[i] = maxes[i] != 0;
-    const std::string fam = prom_name(g->name());
+    LabeledName ln = split_name(g->name());
+    gauge_fams[prom_name(ln.base)].emplace_back(g, std::move(ln));
+  }
+  for (const auto& [fam, members] : gauge_fams) {
     header(out, fam,
-           "Parda gauge " + g->name() + " (last value published per rank)",
+           "Parda gauge " + members.front().second.base +
+               " (last value published per rank)",
            "gauge");
-    per_rank_samples(out, fam, values, active);
+    for (const auto& [g, ln] : members) {
+      const auto maxes = g->shards();
+      const auto values = g->values();
+      std::array<bool, kShards> active{};
+      for (std::size_t i = 0; i < maxes.size(); ++i) {
+        active[i] = maxes[i] != 0;
+      }
+      per_rank_samples(out, fam, ln.labels, values, active);
+    }
     const std::string fam_max = fam + "_max";
     header(out, fam_max,
-           "Parda gauge " + g->name() + " lifetime high-water mark per rank",
+           "Parda gauge " + members.front().second.base +
+               " lifetime high-water mark per rank",
            "gauge");
-    per_rank_samples(out, fam_max, maxes, active);
+    for (const auto& [g, ln] : members) {
+      const auto maxes = g->shards();
+      std::array<bool, kShards> active{};
+      for (std::size_t i = 0; i < maxes.size(); ++i) {
+        active[i] = maxes[i] != 0;
+      }
+      per_rank_samples(out, fam_max, ln.labels, maxes, active);
+    }
   }
 
+  std::map<std::string,
+           std::vector<std::pair<const TimerHistogram*, LabeledName>>>
+      timer_fams;
   for (const TimerHistogram* t : reg.timers()) {
-    const std::string fam = prom_name(t->name()) + "_ns";
+    LabeledName ln = split_name(t->name());
+    timer_fams[prom_name(ln.base) + "_ns"].emplace_back(t, std::move(ln));
+  }
+  for (const auto& [fam, members] : timer_fams) {
     header(out, fam,
-           "Parda timer " + t->name() +
+           "Parda timer " + members.front().second.base +
                " in nanoseconds (log2 buckets, aggregated across ranks)",
            "histogram");
-    const TimerHistogram::Aggregate agg = t->aggregate();
-    std::size_t last = 0;
-    for (std::size_t b = 0; b < agg.buckets.size(); ++b) {
-      if (agg.buckets[b] != 0) last = b + 1;
+    for (const auto& [t, ln] : members) {
+      const std::string extra =
+          ln.labels.empty() ? std::string() : ln.labels + ',';
+      const TimerHistogram::Aggregate agg = t->aggregate();
+      std::size_t last = 0;
+      for (std::size_t b = 0; b < agg.buckets.size(); ++b) {
+        if (agg.buckets[b] != 0) last = b + 1;
+      }
+      std::uint64_t cum = 0;
+      for (std::size_t b = 0; b < last; ++b) {
+        cum += agg.buckets[b];
+        // Bucket b holds [2^b, 2^(b+1)) ns; integer durations make
+        // le=2^(b+1)-1 the exact inclusive upper bound.
+        const std::uint64_t le = (std::uint64_t{1} << (b + 1)) - 1;
+        sample_u64(out, fam + "_bucket",
+                   "{" + extra + "le=\"" + std::to_string(le) + "\"}", cum);
+      }
+      sample_u64(out, fam + "_bucket", "{" + extra + "le=\"+Inf\"}",
+                 agg.count);
+      sample_u64(out, fam + "_sum",
+                 ln.labels.empty() ? "" : "{" + ln.labels + "}", agg.sum_ns);
+      sample_u64(out, fam + "_count",
+                 ln.labels.empty() ? "" : "{" + ln.labels + "}", agg.count);
     }
-    std::uint64_t cum = 0;
-    for (std::size_t b = 0; b < last; ++b) {
-      cum += agg.buckets[b];
-      // Bucket b holds [2^b, 2^(b+1)) ns; integer durations make
-      // le=2^(b+1)-1 the exact inclusive upper bound.
-      const std::uint64_t le = (std::uint64_t{1} << (b + 1)) - 1;
-      sample_u64(out, fam + "_bucket",
-                 "{le=\"" + std::to_string(le) + "\"}", cum);
-    }
-    sample_u64(out, fam + "_bucket", "{le=\"+Inf\"}", agg.count);
-    sample_u64(out, fam + "_sum", "", agg.sum_ns);
-    sample_u64(out, fam + "_count", "", agg.count);
   }
 
   {
@@ -154,7 +263,7 @@ std::string to_prometheus(const Registry& reg, const SpanTracer& tracer) {
     for (std::size_t i = 0; i < dropped.size(); ++i) {
       active[i] = dropped[i] != 0;
     }
-    per_rank_samples(out, fam, dropped, active);
+    per_rank_samples(out, fam, "", dropped, active);
   }
 
   return out;

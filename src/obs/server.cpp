@@ -6,9 +6,9 @@
 #include <sys/time.h>
 #include <unistd.h>
 
+#include <cctype>
 #include <cerrno>
 #include <cstring>
-#include <stdexcept>
 
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
@@ -20,13 +20,20 @@ namespace parda::obs {
 namespace {
 
 constexpr int kPollTimeoutMs = 100;
-constexpr std::size_t kMaxRequestBytes = 8 * 1024;
+constexpr std::size_t kMaxHeadBytes = 8 * 1024;
 
 const char* status_text(int status) {
   switch (status) {
     case 200: return "OK";
+    case 400: return "Bad Request";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
+    case 409: return "Conflict";
+    case 411: return "Length Required";
+    case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
     default: return "Error";
   }
 }
@@ -44,13 +51,55 @@ void write_all(int fd, const std::string& data) {
   }
 }
 
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Case-insensitive header lookup over the raw request head; returns the
+/// trimmed value or nullopt.
+std::optional<std::string> find_header(std::string_view head,
+                                       std::string_view name) {
+  std::size_t pos = head.find("\r\n");
+  while (pos != std::string_view::npos && pos + 2 < head.size()) {
+    const std::size_t start = pos + 2;
+    const std::size_t end = head.find("\r\n", start);
+    const std::string_view line = head.substr(
+        start, end == std::string_view::npos ? std::string_view::npos
+                                             : end - start);
+    if (line.empty()) break;
+    const std::size_t colon = line.find(':');
+    if (colon != std::string_view::npos &&
+        iequals(line.substr(0, colon), name)) {
+      std::string_view v = line.substr(colon + 1);
+      while (!v.empty() && (v.front() == ' ' || v.front() == '\t')) {
+        v.remove_prefix(1);
+      }
+      while (!v.empty() && (v.back() == ' ' || v.back() == '\r')) {
+        v.remove_suffix(1);
+      }
+      return std::string(v);
+    }
+    pos = end;
+  }
+  return std::nullopt;
+}
+
 }  // namespace
 
 TelemetryServer::TelemetryServer(std::uint16_t port, HealthFn health)
     : health_(std::move(health)) {
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0)
-    throw std::runtime_error("telemetry: socket() failed");
+  if (listen_fd_ < 0) {
+    throw ServerBindError(port, "telemetry: socket() failed: " +
+                                    std::string(std::strerror(errno)));
+  }
 
   const int one = 1;
   ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
@@ -65,9 +114,9 @@ TelemetryServer::TelemetryServer(std::uint16_t port, HealthFn health)
     const int err = errno;
     ::close(listen_fd_);
     listen_fd_ = -1;
-    throw std::runtime_error(
-        std::string("telemetry: cannot listen on 127.0.0.1:") +
-        std::to_string(port) + ": " + std::strerror(err));
+    throw ServerBindError(
+        port, std::string("telemetry: cannot listen on 127.0.0.1:") +
+                  std::to_string(port) + ": " + std::strerror(err));
   }
 
   sockaddr_in bound{};
@@ -96,6 +145,11 @@ void TelemetryServer::stop() {
   }
 }
 
+void TelemetryServer::set_handler(RouteFn handler) {
+  const std::lock_guard<std::mutex> lock(handler_mu_);
+  handler_ = std::move(handler);
+}
+
 void TelemetryServer::serve_loop() {
   while (!stop_.load(std::memory_order_relaxed)) {
     pollfd pfd{};
@@ -111,43 +165,96 @@ void TelemetryServer::serve_loop() {
 }
 
 void TelemetryServer::serve_one(int client_fd) const {
-  // A stalled client must not wedge the loop (and with it, stop()).
+  // A stalled or deliberately slow client must not wedge the loop (and
+  // with it, stop()): every recv is bounded by this timeout, so the worst
+  // a hostile client can cost is a couple of seconds of serial service.
   timeval timeout{};
   timeout.tv_sec = 2;
   ::setsockopt(client_fd, SOL_SOCKET, SO_RCVTIMEO, &timeout,
                sizeof(timeout));
 
-  // Read until the end of the request head (we ignore any body: every
-  // endpoint is a GET).
+  // Read until the end of the request head.
   std::string req;
-  char buf[1024];
-  while (req.size() < kMaxRequestBytes &&
-         req.find("\r\n\r\n") == std::string::npos) {
+  char buf[4096];
+  std::size_t head_end = std::string::npos;
+  while (req.size() < kMaxHeadBytes + kMaxBodyBytes) {
+    head_end = req.find("\r\n\r\n");
+    if (head_end != std::string::npos) break;
+    if (req.size() >= kMaxHeadBytes) break;
     const ssize_t n = ::recv(client_fd, buf, sizeof(buf), 0);
     if (n < 0 && errno == EINTR) continue;
     if (n <= 0) break;
     req.append(buf, static_cast<std::size_t>(n));
   }
 
+  Response resp;
+  Request parsed;
+  bool dispatch = false;
+
   const std::size_t line_end = req.find("\r\n");
   const std::string_view line =
       std::string_view(req).substr(0, line_end == std::string::npos
                                           ? req.size()
                                           : line_end);
-  Response resp;
   const std::size_t sp1 = line.find(' ');
   const std::size_t sp2 =
       sp1 == std::string_view::npos ? sp1 : line.find(' ', sp1 + 1);
-  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos) {
-    resp = Response{405, "text/plain", "bad request line\n"};
-  } else if (line.substr(0, sp1) != "GET") {
-    resp = Response{405, "text/plain", "only GET is supported\n"};
+  if (head_end == std::string::npos || sp1 == std::string_view::npos ||
+      sp2 == std::string_view::npos) {
+    resp = Response{400, "text/plain", "bad request line\n"};
   } else {
+    parsed.method = std::string(line.substr(0, sp1));
     std::string_view path = line.substr(sp1 + 1, sp2 - sp1 - 1);
     if (const std::size_t q = path.find('?'); q != std::string_view::npos)
       path = path.substr(0, q);
-    resp = handle(path);
+    parsed.path = std::string(path);
+
+    if (parsed.method != "GET" && parsed.method != "POST") {
+      resp = Response{405, "text/plain", "only GET and POST are supported\n"};
+    } else {
+      const std::string_view head = std::string_view(req).substr(0, head_end);
+      if (const auto ct = find_header(head, "Content-Type")) {
+        parsed.content_type = *ct;
+      }
+      std::size_t content_length = 0;
+      bool have_length = false;
+      if (const auto cl = find_header(head, "Content-Length")) {
+        char* end = nullptr;
+        content_length = std::strtoul(cl->c_str(), &end, 10);
+        have_length = end != nullptr && *end == '\0';
+      }
+      // A POST without Content-Length is an empty-body request (curl -X
+      // POST); only a chunked body, which this server does not speak, is
+      // answered 411.
+      if (parsed.method == "POST" && !have_length &&
+          find_header(head, "Transfer-Encoding").has_value()) {
+        resp = Response{411, "text/plain",
+                        "chunked bodies are not supported; send "
+                        "Content-Length\n"};
+      } else if (content_length > kMaxBodyBytes) {
+        resp = Response{413, "text/plain",
+                        "body exceeds " + std::to_string(kMaxBodyBytes) +
+                            " bytes\n"};
+      } else {
+        std::string body = req.substr(head_end + 4);
+        while (body.size() < content_length) {
+          const ssize_t n = ::recv(client_fd, buf, sizeof(buf), 0);
+          if (n < 0 && errno == EINTR) continue;
+          if (n <= 0) break;
+          body.append(buf, static_cast<std::size_t>(n));
+        }
+        if (body.size() < content_length) {
+          resp = Response{400, "text/plain", "truncated request body\n"};
+        } else {
+          body.resize(content_length);
+          parsed.body = std::move(body);
+          dispatch = true;
+        }
+      }
+    }
   }
+
+  if (dispatch) resp = handle(parsed);
 
   std::string out = "HTTP/1.1 " + std::to_string(resp.status) + " " +
                     status_text(resp.status) + "\r\n";
@@ -160,7 +267,27 @@ void TelemetryServer::serve_one(int client_fd) const {
 }
 
 TelemetryServer::Response TelemetryServer::handle(
-    std::string_view path) const {
+    const Request& request) const {
+  RouteFn handler;
+  {
+    // Copy, then invoke unlocked: a handler that blocks on the analysis
+    // pool must not hold the dispatch lock.
+    std::lock_guard<std::mutex> lock(handler_mu_);
+    handler = handler_;
+  }
+  if (handler) {
+    try {
+      if (std::optional<Response> r = handler(request)) return *r;
+    } catch (const std::exception& e) {
+      return {500, "text/plain",
+              std::string("handler error: ") + e.what() + "\n"};
+    }
+  }
+
+  if (request.method != "GET") {
+    return {405, "text/plain", "built-in endpoints are GET only\n"};
+  }
+  const std::string& path = request.path;
   if (path == "/metrics") {
     return {200, "text/plain; version=0.0.4; charset=utf-8",
             to_prometheus()};
@@ -186,6 +313,14 @@ TelemetryServer::Response TelemetryServer::handle(
   }
   return {404, "text/plain",
           "unknown path; try /metrics /metrics.json /spans /healthz\n"};
+}
+
+TelemetryServer::Response TelemetryServer::handle(
+    std::string_view path) const {
+  Request r;
+  r.method = "GET";
+  r.path = std::string(path);
+  return handle(r);
 }
 
 }  // namespace parda::obs

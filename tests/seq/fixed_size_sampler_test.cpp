@@ -1,0 +1,151 @@
+#include "seq/fixed_size_sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "hist/mrc.hpp"
+#include "seq/analyzer.hpp"
+#include "seq/bounded.hpp"
+#include "tree/splay_tree.hpp"
+#include "workload/generators.hpp"
+
+namespace parda {
+namespace {
+
+std::vector<Addr> zipf_trace(std::uint64_t refs, std::uint64_t footprint,
+                             std::uint64_t seed) {
+  ZipfWorkload w(footprint, 0.9, seed);
+  return generate_trace(w, refs);
+}
+
+TEST(FixedSizeSamplerTest, FullRateLargeBudgetMatchesExactBoundedEngine) {
+  // With rate 1.0 and a budget no footprint reaches, every reference is
+  // sampled at scale 1: the histogram must equal the bounded engine's.
+  const auto trace = zipf_trace(20000, 300, 1);
+  FixedSizeSampler sampler(/*max_tracked=*/4096);
+  BoundedAnalyzer<SplayTree> exact(4096);
+  const Histogram sampled = analyze_trace(sampler, trace);
+  const Histogram reference = analyze_trace(exact, trace);
+  EXPECT_TRUE(sampled == reference);
+}
+
+TEST(FixedSizeSamplerTest, TrackedSetNeverExceedsBudget) {
+  constexpr std::size_t kBudget = 128;
+  FixedSizeSampler sampler(kBudget, /*distance_cap=*/1 << 16);
+  // Ever-growing footprint: every address distinct.
+  for (Addr a = 0; a < 200000; ++a) sampler.process(a * 64);
+  EXPECT_LE(sampler.tracked(), kBudget);
+  EXPECT_GT(sampler.budget_evictions(), 0u);
+  // The adaptive threshold must have decayed the rate below 1.
+  EXPECT_LT(sampler.rate(), 1.0);
+  sampler.finish();
+  EXPECT_EQ(sampler.references_seen(), 200000u);
+}
+
+TEST(FixedSizeSamplerTest, FootprintStaysBoundedOnUnboundedStream) {
+  constexpr std::size_t kBudget = 256;
+  constexpr std::uint64_t kCap = 4096;
+  FixedSizeSampler sampler(kBudget, kCap);
+  std::uint64_t peak = 0;
+  for (Addr a = 0; a < 500000; ++a) {
+    sampler.process(a * 8);
+    if ((a & 0xFFF) == 0) peak = std::max(peak, sampler.footprint_bytes());
+  }
+  peak = std::max(peak, sampler.footprint_bytes());
+  // O(budget + cap): generous constant, but far below the ~500k-entry
+  // state an exact analyzer would need.
+  EXPECT_LT(peak, (kBudget * 256 + kCap * 8) * 4);
+}
+
+TEST(FixedSizeSamplerTest, MissRatioAccuracyOnZipf) {
+  const auto trace = zipf_trace(200000, 20000, 7);
+  BoundedAnalyzer<SplayTree> exact(1 << 16);
+  const Histogram reference = analyze_trace(exact, trace);
+  FixedSizeSampler sampler(/*max_tracked=*/256, /*distance_cap=*/1 << 16);
+  const Histogram approx = analyze_trace(sampler, trace);
+
+  // SHARDS at a 256-entry budget: mean absolute miss-ratio error across
+  // power-of-two cache sizes must stay small (the paper reports < 0.01 at
+  // 8K samples; 0.05 leaves margin for the tiny budget).
+  double err = 0.0;
+  int points = 0;
+  for (std::uint64_t c = 1; c <= 16384; c *= 2) {
+    err += std::abs(miss_ratio(approx, c) - miss_ratio(reference, c));
+    ++points;
+  }
+  EXPECT_LT(err / points, 0.05) << "mean abs MRC error too high";
+}
+
+TEST(FixedSizeSamplerTest, WindowTakeKeepsSamplingState) {
+  FixedSizeSampler sampler(1024);
+  const auto trace = zipf_trace(4000, 200, 3);
+  sampler.process_block(trace);
+  const Histogram first = sampler.take_window_histogram();
+  EXPECT_GT(first.total(), 0u);
+  EXPECT_EQ(sampler.histogram().total(), 0u);
+
+  // Same addresses again: the recency stack survived the take, so reuse
+  // distances stay finite instead of re-registering as cold misses.
+  sampler.process_block(trace);
+  const Histogram second = sampler.take_window_histogram();
+  EXPECT_GT(second.finite_total(), 0u);
+  EXPECT_EQ(second.infinities(), 0u);
+}
+
+TEST(FixedSizeSamplerTest, DistanceCapSendsDeepReusesToInfinity) {
+  constexpr std::uint64_t kCap = 64;
+  FixedSizeSampler sampler(8192, kCap);
+  // Cyclic sweep over 1000 addresses: every reuse distance is 999, far
+  // over the cap, so after the cold pass everything lands in infinity.
+  for (int round = 0; round < 3; ++round) {
+    for (Addr a = 0; a < 1000; ++a) sampler.process(a);
+  }
+  sampler.finish();
+  EXPECT_EQ(sampler.histogram().finite_total(), 0u);
+  EXPECT_EQ(sampler.histogram().infinities(), 3000u);
+}
+
+TEST(FixedSizeSamplerTest, ScaledCountsApproximateTotalReferences) {
+  // Distances are recorded with weight ~1/R: the histogram mass must stay
+  // in the same ballpark as the true reference count even after the rate
+  // decays (SHARDS_adj closes the per-window gap).
+  const auto trace = zipf_trace(100000, 30000, 11);
+  FixedSizeSampler sampler(512, 1 << 16);
+  sampler.process_block(trace);
+  const Histogram h = sampler.take_window_histogram();
+  const double total = static_cast<double>(h.total());
+  EXPECT_GT(total, 0.5 * static_cast<double>(trace.size()));
+  EXPECT_LT(total, 1.5 * static_cast<double>(trace.size()));
+}
+
+TEST(FixedSizeSamplerTest, ResetRestoresInitialState) {
+  FixedSizeSampler sampler(64);
+  for (Addr a = 0; a < 10000; ++a) sampler.process(a);
+  EXPECT_LT(sampler.rate(), 1.0);
+  sampler.reset();
+  EXPECT_DOUBLE_EQ(sampler.rate(), 1.0);
+  EXPECT_EQ(sampler.tracked(), 0u);
+  EXPECT_EQ(sampler.references_seen(), 0u);
+  EXPECT_EQ(sampler.histogram().total(), 0u);
+
+  const auto trace = zipf_trace(20000, 300, 5);
+  FixedSizeSampler fresh(64);
+  FixedSizeSampler recycled = std::move(sampler);
+  const Histogram a = analyze_trace(fresh, trace);
+  const Histogram b = analyze_trace(recycled, trace);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(FixedSizeSamplerTest, FinishIsIdempotent) {
+  FixedSizeSampler sampler(32);
+  for (Addr a = 0; a < 5000; ++a) sampler.process(a % 700);
+  sampler.finish();
+  const Histogram after_first = sampler.histogram();
+  sampler.finish();
+  EXPECT_TRUE(sampler.histogram() == after_first);
+}
+
+}  // namespace
+}  // namespace parda
