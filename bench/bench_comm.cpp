@@ -4,14 +4,17 @@
 //
 // Besides the google-benchmark microbenchmarks, this harness runs a
 // data-movement pattern suite (broadcast / scatter / pipeline, each in its
-// copying and zero-copy form) and writes the copy-count accounting to
-// BENCH_comm.json (override the path with PARDA_BENCH_JSON). This is the
-// artifact that shows the zero-copy transport actually removes copies
-// rather than merely relabeling them.
+// copying and zero-copy form) across every in-process wire (threads, shm,
+// tcp) and writes the copy-count accounting to BENCH_comm.json (override
+// the path with PARDA_BENCH_JSON). This is the artifact that shows the
+// zero-copy transport actually removes copies rather than merely
+// relabeling them — and what each byte costs once it has to cross a real
+// wire.
 //
 // Environment: PARDA_BENCH_PROCS (default 8), PARDA_BENCH_WORDS (default
 // 64Ki words per payload), PARDA_BENCH_ROUNDS (default 20),
-// PARDA_BENCH_JSON (default BENCH_comm.json).
+// PARDA_BENCH_TRANSPORTS (comma-separated specs, default
+// "threads,shm,tcp"), PARDA_BENCH_JSON (default BENCH_comm.json).
 #include <benchmark/benchmark.h>
 
 #include <cinttypes>
@@ -24,6 +27,7 @@
 
 #include "bench_common.hpp"
 #include "comm/comm.hpp"
+#include "comm/transport/spec.hpp"
 
 namespace parda::comm {
 namespace {
@@ -130,13 +134,26 @@ BENCHMARK(BM_MoveSend)->Arg(1 << 16)->UseRealTime();
 
 struct PatternResult {
   std::string name;
+  std::string transport;  // TransportSpec kind the pattern ran over
   int np;
   std::uint64_t words;   // payload words per round
   int rounds;
   RunStats stats;
 };
 
-PatternResult broadcast_copying(int np, std::size_t words, int rounds) {
+/// Pattern context: which wire to run over plus the shared sweep sizes.
+struct PatternEnv {
+  RunOptions options;
+  std::string transport;  // spec kind, for the point identity
+  int np;
+  std::size_t words;
+  int rounds;
+};
+
+PatternResult broadcast_copying(const PatternEnv& env) {
+  const int np = env.np;
+  const std::size_t words = env.words;
+  const int rounds = env.rounds;
   const RunStats stats = run(np, [&](Comm& comm) {
     const std::vector<std::uint64_t> block(words, 7);
     for (int i = 0; i < rounds; ++i) {
@@ -145,11 +162,14 @@ PatternResult broadcast_copying(int np, std::size_t words, int rounds) {
       data = comm.broadcast(std::move(data), 0, i + 1);
       benchmark::DoNotOptimize(data.data());
     }
-  });
-  return {"broadcast_copying", np, words, rounds, stats};
+  }, env.options);
+  return {"broadcast_copying", env.transport, np, words, rounds, stats};
 }
 
-PatternResult broadcast_view(int np, std::size_t words, int rounds) {
+PatternResult broadcast_view(const PatternEnv& env) {
+  const int np = env.np;
+  const std::size_t words = env.words;
+  const int rounds = env.rounds;
   const RunStats stats = run(np, [&](Comm& comm) {
     for (int i = 0; i < rounds; ++i) {
       std::vector<std::uint64_t> data;
@@ -158,13 +178,16 @@ PatternResult broadcast_view(int np, std::size_t words, int rounds) {
           comm.broadcast_view(std::move(data), 0, i + 1);
       benchmark::DoNotOptimize(v.data());
     }
-  });
-  return {"broadcast_view", np, words, rounds, stats};
+  }, env.options);
+  return {"broadcast_view", env.transport, np, words, rounds, stats};
 }
 
-PatternResult scatter_copying(int np, std::size_t words, int rounds) {
+PatternResult scatter_copying(const PatternEnv& env) {
   // The pre-zero-copy streaming shape: the root splits each phase block
   // into np owned chunk vectors and scatters them.
+  const int np = env.np;
+  const std::size_t words = env.words;
+  const int rounds = env.rounds;
   const RunStats stats = run(np, [&](Comm& comm) {
     for (int i = 0; i < rounds; ++i) {
       std::vector<std::vector<std::uint64_t>> pieces;
@@ -184,12 +207,15 @@ PatternResult scatter_copying(int np, std::size_t words, int rounds) {
       const auto mine = comm.scatterv(pieces, 0, i + 1);  // lvalue: copies
       benchmark::DoNotOptimize(mine.data());
     }
-  });
-  return {"scatter_copying", np, words, rounds, stats};
+  }, env.options);
+  return {"scatter_copying", env.transport, np, words, rounds, stats};
 }
 
-PatternResult scatter_view(int np, std::size_t words, int rounds) {
+PatternResult scatter_view(const PatternEnv& env) {
   // The streaming driver's shape: one shared block, np slice views.
+  const int np = env.np;
+  const std::size_t words = env.words;
+  const int rounds = env.rounds;
   const RunStats stats = run(np, [&](Comm& comm) {
     for (int i = 0; i < rounds; ++i) {
       std::vector<std::uint64_t> block;
@@ -209,12 +235,15 @@ PatternResult scatter_view(int np, std::size_t words, int rounds) {
           0, i + 1);
       benchmark::DoNotOptimize(mine.data());
     }
-  });
-  return {"scatter_view", np, words, rounds, stats};
+  }, env.options);
+  return {"scatter_view", env.transport, np, words, rounds, stats};
 }
 
-PatternResult pipeline_copying(int np, std::size_t words, int rounds) {
+PatternResult pipeline_copying(const PatternEnv& env) {
   // Parda's local-infinity chain with span (copying) sends.
+  const int np = env.np;
+  const std::size_t words = env.words;
+  const int rounds = env.rounds;
   const RunStats stats = run(np, [&](Comm& comm) {
     const int r = comm.rank();
     const std::vector<std::uint64_t> payload(words, 3);
@@ -226,12 +255,15 @@ PatternResult pipeline_copying(int np, std::size_t words, int rounds) {
         benchmark::DoNotOptimize(comm.recv<std::uint64_t>(r + 1, 5));
       }
     }
-  });
-  return {"pipeline_copying", np, words, rounds, stats};
+  }, env.options);
+  return {"pipeline_copying", env.transport, np, words, rounds, stats};
 }
 
-PatternResult pipeline_move(int np, std::size_t words, int rounds) {
+PatternResult pipeline_move(const PatternEnv& env) {
   // The same chain with move-in / view-out transport.
+  const int np = env.np;
+  const std::size_t words = env.words;
+  const int rounds = env.rounds;
   const RunStats stats = run(np, [&](Comm& comm) {
     const int r = comm.rank();
     for (int i = 0; i < rounds; ++i) {
@@ -243,8 +275,8 @@ PatternResult pipeline_move(int np, std::size_t words, int rounds) {
         benchmark::DoNotOptimize(v.data());
       }
     }
-  });
-  return {"pipeline_move", np, words, rounds, stats};
+  }, env.options);
+  return {"pipeline_move", env.transport, np, words, rounds, stats};
 }
 
 void write_json(const std::string& path,
@@ -257,6 +289,7 @@ void write_json(const std::string& path,
     bp.params = {{"np", static_cast<std::uint64_t>(r.np)},
                  {"words", r.words},
                  {"rounds", static_cast<std::uint64_t>(r.rounds)}};
+    bp.labels = {{"transport", r.transport}};
     bp.metrics = {
         {"wall_seconds", r.stats.wall_seconds},
         {"max_busy_seconds", r.stats.max_busy()},
@@ -270,6 +303,30 @@ void write_json(const std::string& path,
   bench::write_bench_json(path, "comm", out);
 }
 
+/// Splits the PARDA_BENCH_TRANSPORTS list ("threads,shm,tcp") into
+/// validated in-process specs. Distributed clauses (rank=, peers=) are
+/// rejected: the suite runs every rank inside this one bench process.
+std::vector<TransportSpec> transport_sweep(int np) {
+  const std::string text =
+      bench::env_str("PARDA_BENCH_TRANSPORTS", "threads,shm,tcp");
+  std::vector<TransportSpec> specs;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    const std::string item =
+        text.substr(start, comma == std::string::npos ? std::string::npos
+                                                      : comma - start);
+    if (!item.empty()) {
+      TransportSpec spec = TransportSpec::parse(item);
+      spec.validate(np);
+      specs.push_back(std::move(spec));
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return specs;
+}
+
 void run_pattern_suite() {
   const int np = static_cast<int>(bench::env_u64("PARDA_BENCH_PROCS", 8));
   const auto words =
@@ -278,26 +335,34 @@ void run_pattern_suite() {
       static_cast<int>(bench::env_u64("PARDA_BENCH_ROUNDS", 20));
   const std::string json_path = bench::bench_json_path("BENCH_comm.json");
 
+  using PatternFn = PatternResult (*)(const PatternEnv&);
+  const PatternFn patterns[] = {broadcast_copying, broadcast_view,
+                                scatter_copying,   scatter_view,
+                                pipeline_copying,  pipeline_move};
+
   std::vector<PatternResult> results;
-  results.push_back(broadcast_copying(np, words, rounds));
-  results.push_back(broadcast_view(np, words, rounds));
-  results.push_back(scatter_copying(np, words, rounds));
-  results.push_back(scatter_view(np, words, rounds));
-  results.push_back(pipeline_copying(np, words, rounds));
-  results.push_back(pipeline_move(np, words, rounds));
+  for (const TransportSpec& spec : transport_sweep(np)) {
+    PatternEnv env;
+    env.options.transport = spec;
+    env.transport = transport_kind_name(spec.kind);
+    env.np = np;
+    env.words = words;
+    env.rounds = rounds;
+    for (const PatternFn fn : patterns) results.push_back(fn(env));
+  }
 
   std::printf(
       "\ndata-movement patterns (np=%d, words=%zu, rounds=%d)\n"
-      "%-20s %10s %14s %14s %14s %10s %10s\n",
-      np, words, rounds, "pattern", "msgs", "bytes_sent", "bytes_copied",
-      "bytes_shared", "wall_ms", "busy_ms");
+      "%-20s %-8s %10s %14s %14s %14s %10s %10s\n",
+      np, words, rounds, "pattern", "wire", "msgs", "bytes_sent",
+      "bytes_copied", "bytes_shared", "wall_ms", "busy_ms");
   for (const PatternResult& r : results) {
-    std::printf("%-20s %10" PRIu64 " %14" PRIu64 " %14" PRIu64 " %14" PRIu64
-                " %10.2f %10.2f\n",
-                r.name.c_str(), r.stats.total_messages(),
-                r.stats.total_bytes(), r.stats.total_bytes_copied(),
-                r.stats.total_bytes_shared(), r.stats.wall_seconds * 1e3,
-                r.stats.max_busy() * 1e3);
+    std::printf("%-20s %-8s %10" PRIu64 " %14" PRIu64 " %14" PRIu64
+                " %14" PRIu64 " %10.2f %10.2f\n",
+                r.name.c_str(), r.transport.c_str(),
+                r.stats.total_messages(), r.stats.total_bytes(),
+                r.stats.total_bytes_copied(), r.stats.total_bytes_shared(),
+                r.stats.wall_seconds * 1e3, r.stats.max_busy() * 1e3);
   }
   write_json(json_path, results);
 }

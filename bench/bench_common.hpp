@@ -45,6 +45,11 @@ inline std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
   return std::strtoull(value, nullptr, 0);
 }
 
+inline std::string env_str(const char* name, const char* fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr && *value != '\0' ? value : fallback;
+}
+
 inline std::uint64_t spec_scale() {
   return env_u64("PARDA_BENCH_SCALE", kDefaultSpecScale);
 }
@@ -66,17 +71,22 @@ inline std::uint64_t scaled_bound(std::uint64_t paper_words) {
 //
 //   {"schema": "parda.bench.v1", "bench": "<harness>", "points": [
 //     {"name": "<measurement>",
-//      "params":  {"np": 8, "words": 65536, ...},   // integers: identity
-//      "metrics": {"wall_seconds": 0.01, ...}}]}    // doubles: compared
+//      "params":  {"np": 8, "transport": "shm", ...}, // identity
+//      "metrics": {"wall_seconds": 0.01, ...}}]}      // doubles: compared
 //
 // A point's identity for regression diffing (scripts/bench_diff.py) is
 // (bench, name, params); metrics are what get compared against the
-// threshold. Harnesses build BenchPoints and call write_bench_json.
+// threshold. Params may be integers (counts, sizes) or strings
+// (categorical axes such as the comm transport); bench_diff defaults a
+// missing "transport" to "threads" so pre-transport baselines keep
+// matching. Harnesses build BenchPoints and call write_bench_json.
 // ---------------------------------------------------------------------------
 
 struct BenchPoint {
   std::string name;
   std::vector<std::pair<std::string, std::uint64_t>> params;
+  /// Categorical identity axes, emitted into "params" as strings.
+  std::vector<std::pair<std::string, std::string>> labels;
   std::vector<std::pair<std::string, double>> metrics;
 };
 
@@ -98,6 +108,7 @@ inline void write_bench_json(const std::string& path,
     w.key("name").value(p.name);
     w.key("params").begin_object();
     for (const auto& [k, v] : p.params) w.key(k).value(v);
+    for (const auto& [k, v] : p.labels) w.key(k).value(v);
     w.end_object();
     w.key("metrics").begin_object();
     for (const auto& [k, v] : p.metrics) w.key(k).value(v);

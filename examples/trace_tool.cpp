@@ -8,8 +8,14 @@
 //   ./trace_tool analyze lbm.trc --stream --metrics-out=m.json
 //                --trace-spans=s.json
 //   ./trace_tool analyze lbm.trc --stream --serve=0 --report
+//   ./trace_tool analyze lbm.trc --transport=shm          # real wire, 1 proc
+//   ./trace_tool analyze lbm.trc --transport=tcp --rank=0
+//                --peers=host0:7000,host1:7000            # distributed
 //   ./trace_tool checkmetrics scrape.prom
 //   ./trace_tool convert lbm.trc lbm.txt
+//
+// The transport (like the log level) resolves through the layered config
+// rule: --transport beats $PARDA_TRANSPORT beats the "threads" default.
 //
 // Exit codes: 0 success, 1 runtime failure (missing/corrupt trace, aborted
 // analysis, invalid exposition format), 2 usage error (bad flag or
@@ -23,6 +29,7 @@
 #include <string>
 
 #include "comm/fault.hpp"
+#include "comm/transport/spec.hpp"
 #include "core/file_analysis.hpp"
 #include "core/parda.hpp"
 #include "core/runtime.hpp"
@@ -39,7 +46,9 @@
 #include "obs/obs.hpp"
 #include "trace/trace_compress.hpp"
 #include "trace/trace_io.hpp"
+#include "util/check.hpp"
 #include "util/cli.hpp"
+#include "util/config.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 #include "workload/parse.hpp"
@@ -115,6 +124,72 @@ parda::Histogram run_seq_engine(const std::string& engine,
   return run_seq(NaiveStackAnalyzer(), trace);  // "naive"
 }
 
+/// Resolves the transport configuration: the --transport spec string
+/// through the layered config rule (CLI > $PARDA_TRANSPORT > "threads"),
+/// then the endpoint convenience flags (--rank/--peers/--segment) folded
+/// on top. Every misconfiguration here is a usage error (exit 2) raised
+/// before any runtime state exists.
+parda::comm::TransportSpec resolve_transport(const parda::CliParser& cli,
+                                             const std::string& transport_text,
+                                             std::uint64_t rank,
+                                             const std::string& peers,
+                                             const std::string& segment,
+                                             std::uint64_t procs) {
+  using parda::comm::TransportKind;
+  using parda::comm::TransportSpec;
+  const parda::config::Resolved resolved = parda::config::resolve_flag(
+      cli, "transport", transport_text, "PARDA_TRANSPORT", "threads");
+  TransportSpec spec;
+  try {
+    spec = TransportSpec::parse(resolved.value);
+  } catch (const parda::CheckError& e) {
+    parda::usage_error("bad transport spec '%s' (from %s): %s",
+                       resolved.value.c_str(),
+                       parda::config::source_name(resolved.source), e.what());
+  }
+  if (cli.was_set("segment")) {
+    if (spec.kind != TransportKind::kShm) {
+      parda::usage_error("--segment applies only to --transport=shm");
+    }
+    spec.segment = segment;
+  }
+  if (cli.was_set("peers")) {
+    if (spec.kind != TransportKind::kTcp) {
+      parda::usage_error("--peers applies only to --transport=tcp");
+    }
+    // Accept ',' between endpoints on the command line (the one-string
+    // spec grammar uses '+' because ',' separates its key=val pairs).
+    spec.peers.clear();
+    std::string cur;
+    for (const char c : peers) {
+      if (c == ',' || c == '+') {
+        if (!cur.empty()) spec.peers.push_back(cur);
+        cur.clear();
+      } else {
+        cur += c;
+      }
+    }
+    if (!cur.empty()) spec.peers.push_back(cur);
+    if (spec.peers.empty()) {
+      parda::usage_error("--peers needs at least one host:port endpoint");
+    }
+  }
+  if (cli.was_set("rank")) {
+    if (spec.kind == TransportKind::kThreads) {
+      parda::usage_error(
+          "--rank needs a cross-process transport (--transport=shm with "
+          "--segment, or --transport=tcp with --peers)");
+    }
+    spec.local_rank = static_cast<int>(rank);
+  }
+  try {
+    spec.validate(static_cast<int>(procs));
+  } catch (const parda::CheckError& e) {
+    parda::usage_error("bad transport configuration: %s", e.what());
+  }
+  return spec;
+}
+
 void print_result(const parda::PardaResult& result) {
   using namespace parda;
   std::printf("%s references, %s distinct, max distance %s\n",
@@ -162,6 +237,10 @@ int run_tool(int argc, char** argv) {
   bool report = false;
   std::string report_json;
   std::string log_level_name;
+  std::string transport_text;
+  std::uint64_t rank = 0;
+  std::string peers;
+  std::string segment;
 
   CliParser cli("Parda trace file tool");
   cli.add_flag("workload", &workload_name,
@@ -203,6 +282,17 @@ int run_tool(int argc, char** argv) {
   cli.add_flag("log-level", &log_level_name,
                "structured log threshold: trace|debug|info|warn|error|off "
                "(also $PARDA_LOG_LEVEL)");
+  cli.add_flag("transport", &transport_text,
+               "comm wire: threads (default) | shm | tcp, with optional "
+               "spec parameters 'kind:key=val,...' (also $PARDA_TRANSPORT)");
+  cli.add_flag("rank", &rank,
+               "distributed: the one rank THIS process hosts (peers run "
+               "elsewhere); needs --transport=shm or tcp");
+  cli.add_flag("peers", &peers,
+               "distributed tcp: host:port per rank, comma-separated");
+  cli.add_flag("segment", &segment,
+               "distributed shm: named segment (e.g. /parda-run1) the rank "
+               "processes rendezvous on");
   cli.parse(argc - 1, argv + 1);
 
   if (!is_known_engine(engine)) {
@@ -210,12 +300,29 @@ int run_tool(int argc, char** argv) {
                 kEngineNames);
   }
 
-  if (!log_level_name.empty()) {
-    const auto parsed = obs::parse_log_level(log_level_name);
-    if (!parsed.has_value()) {
-      usage_error("bad --log-level '%s'", log_level_name.c_str());
+  const config::Resolved log_level = config::resolve_flag(
+      cli, "log-level", log_level_name, "PARDA_LOG_LEVEL", "");
+  if (!log_level.value.empty()) {
+    const auto parsed = obs::parse_log_level(log_level.value);
+    if (parsed.has_value()) {
+      obs::set_log_level(*parsed);
+    } else if (log_level.from_cli()) {
+      usage_error("bad --log-level '%s'", log_level.value.c_str());
+    } else {
+      // A malformed environment value keeps the default threshold (the
+      // lazy init in obs/log.cpp does the same) — just say so once.
+      std::fprintf(stderr, "trace_tool: ignoring bad $PARDA_LOG_LEVEL '%s'\n",
+                   log_level.value.c_str());
     }
-    obs::set_log_level(*parsed);
+  }
+
+  const comm::TransportSpec transport =
+      resolve_transport(cli, transport_text, rank, peers, segment, procs);
+  if (engine != "parda" && cli.was_set("transport") &&
+      transport.kind != comm::TransportKind::kThreads) {
+    usage_error("--transport=%s requires --engine=parda (sequential engines "
+                "run in one thread, no wire involved)",
+                comm::transport_kind_name(transport.kind));
   }
 
   std::optional<std::uint16_t> serve_port;
@@ -287,10 +394,24 @@ int run_tool(int argc, char** argv) {
       comm::FaultPlan plan = fault_plan_spec.empty()
                                  ? comm::FaultPlan::from_env()
                                  : comm::FaultPlan::parse(fault_plan_spec);
+      if (transport.distributed()) {
+        // One process = one rank: the pool, the watchdog's shared rank
+        // board, and warm --repeat reuse are all single-process machinery.
+        if (watchdog_ms > 0) {
+          usage_error("analyze: --watchdog-ms needs an in-process world "
+                      "(the stall watchdog samples every rank's progress "
+                      "from shared memory)");
+        }
+        if (repeat != 1) {
+          usage_error("analyze: --repeat needs an in-process world "
+                      "(distributed worlds live for exactly one run)");
+        }
+      }
       PardaOptions options;
       options.num_procs = static_cast<int>(procs);
       options.bound = bound;
       options.chunk_words = chunk;
+      options.run_options.transport = transport;
       if (!plan.empty()) options.run_options.fault_plan = &plan;
       if (watchdog_ms > 0) {
         options.run_options.watchdog_interval =
@@ -332,7 +453,15 @@ int run_tool(int argc, char** argv) {
         }
       }
     }
-    print_result(result);
+    if (transport.distributed() && transport.local_rank != 0) {
+      // The reduction roots at rank 0, so only that process holds the
+      // merged histogram; siblings confirm completion and keep their
+      // per-process telemetry outputs below.
+      std::printf("rank %d done (results print on the rank 0 process)\n",
+                  transport.local_rank);
+    } else {
+      print_result(result);
+    }
     if (!metrics_out.empty()) {
       write_text_file(metrics_out, obs::registry().to_json() + "\n");
       std::printf("wrote metrics snapshot to %s\n", metrics_out.c_str());

@@ -15,6 +15,15 @@ int run(const std::string& args) {
   return WEXITSTATUS(status);
 }
 
+/// Like run() but with an environment assignment prefixed, for the
+/// CLI > env > default precedence tests.
+int run_env(const std::string& env, const std::string& args) {
+  const std::string cmd = env + " " + std::string(PARDA_TRACE_TOOL_PATH) +
+                          " " + args + " >/dev/null 2>&1";
+  const int status = std::system(cmd.c_str());
+  return WEXITSTATUS(status);
+}
+
 class TraceToolCliTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
@@ -55,6 +64,115 @@ TEST_F(TraceToolCliTest, MissingTraceIsRuntimeError) {
 
 TEST_F(TraceToolCliTest, DefaultEngineStillWorks) {
   EXPECT_EQ(run("analyze trace_cli_test.trc --procs=2"), 0);
+}
+
+// --- Transport flag matrix (ISSUE 8) ---------------------------------------
+
+TEST_F(TraceToolCliTest, InProcessTransportsAnalyze) {
+  EXPECT_EQ(run("analyze trace_cli_test.trc --procs=2 --transport=threads"),
+            0);
+  EXPECT_EQ(run("analyze trace_cli_test.trc --procs=2 --transport=shm"), 0);
+  EXPECT_EQ(run("analyze trace_cli_test.trc --procs=2 --transport=tcp"), 0);
+}
+
+TEST_F(TraceToolCliTest, BadTransportSpecIsUsageError) {
+  EXPECT_EQ(run("analyze trace_cli_test.trc --transport=carrier-pigeon"), 2);
+  EXPECT_EQ(run("analyze trace_cli_test.trc --transport=shm:bogus=1"), 2);
+  EXPECT_EQ(run("analyze trace_cli_test.trc --transport=shm:ring=0"), 2);
+}
+
+TEST_F(TraceToolCliTest, EndpointFlagsNeedTheMatchingTransport) {
+  // --rank without a cross-process wire.
+  EXPECT_EQ(run("analyze trace_cli_test.trc --rank=0"), 2);
+  EXPECT_EQ(run("analyze trace_cli_test.trc --transport=threads --rank=0"),
+            2);
+  // --peers is tcp-only, --segment is shm-only.
+  EXPECT_EQ(run("analyze trace_cli_test.trc --transport=shm "
+                "--peers=a:1,b:2"),
+            2);
+  EXPECT_EQ(run("analyze trace_cli_test.trc --transport=tcp --segment=/x"),
+            2);
+  // Distributed shm needs a named segment; distributed tcp needs one peer
+  // per rank; peers without --rank is meaningless.
+  EXPECT_EQ(run("analyze trace_cli_test.trc --procs=2 --transport=shm "
+                "--rank=0"),
+            2);
+  EXPECT_EQ(run("analyze trace_cli_test.trc --procs=2 --transport=tcp "
+                "--rank=0 --peers=127.0.0.1:1"),
+            2);
+  EXPECT_EQ(run("analyze trace_cli_test.trc --procs=2 --transport=tcp "
+                "--peers=127.0.0.1:1,127.0.0.1:2"),
+            2);
+  // Rank out of range.
+  EXPECT_EQ(run("analyze trace_cli_test.trc --procs=2 --transport=shm "
+                "--segment=/parda-cli --rank=2"),
+            2);
+}
+
+TEST_F(TraceToolCliTest, SequentialEngineRejectsExplicitWireTransport) {
+  EXPECT_EQ(run("analyze trace_cli_test.trc --engine=lru --transport=shm"),
+            2);
+  // ... but a process-wide $PARDA_TRANSPORT does not break sequential
+  // engines (they ignore the wire instead of failing).
+  EXPECT_EQ(run_env("PARDA_TRANSPORT=shm",
+                    "analyze trace_cli_test.trc --engine=lru"),
+            0);
+}
+
+TEST_F(TraceToolCliTest, DistributedModeRejectsPoolOnlyFeatures) {
+  const std::string dist =
+      "analyze trace_cli_test.trc --procs=2 --transport=tcp "
+      "--peers=127.0.0.1:1,127.0.0.1:2 --rank=0 ";
+  EXPECT_EQ(run(dist + "--watchdog-ms=100"), 2);
+  EXPECT_EQ(run(dist + "--repeat=3"), 2);
+}
+
+TEST_F(TraceToolCliTest, TransportResolvesCliOverEnvOverDefault) {
+  // A bogus environment value fails strict parsing...
+  EXPECT_EQ(run_env("PARDA_TRANSPORT=warp-drive",
+                    "analyze trace_cli_test.trc --procs=2"),
+            2);
+  // ...unless the command line overrides it (CLI wins)...
+  EXPECT_EQ(run_env("PARDA_TRANSPORT=warp-drive",
+                    "analyze trace_cli_test.trc --procs=2 "
+                    "--transport=threads"),
+            0);
+  // ...and a valid env value selects the wire with no flag at all.
+  EXPECT_EQ(run_env("PARDA_TRANSPORT=shm",
+                    "analyze trace_cli_test.trc --procs=2"),
+            0);
+}
+
+/// Launches one trace_tool rank process per entry in `ranks` (all but the
+/// last in the background), returning rank 0's exit code. The peers all
+/// analyze the same trace, so the run exercises the real cross-process
+/// rendezvous + wire + implicit final barrier.
+int run_distributed(const std::string& common, int np) {
+  std::string cmd = "( ";
+  for (int r = np - 1; r >= 1; --r) {
+    cmd += std::string(PARDA_TRACE_TOOL_PATH) + " " + common +
+           " --rank=" + std::to_string(r) + " >/dev/null 2>&1 & ";
+  }
+  cmd += std::string(PARDA_TRACE_TOOL_PATH) + " " + common +
+         " --rank=0 >/dev/null 2>&1 ; rc=$? ; wait ; exit $rc )";
+  const int status = std::system(cmd.c_str());
+  return WEXITSTATUS(status);
+}
+
+TEST_F(TraceToolCliTest, DistributedTcpAnalyzeAcrossProcesses) {
+  EXPECT_EQ(run_distributed(
+                "analyze trace_cli_test.trc --procs=2 --transport=tcp "
+                "--peers=127.0.0.1:46917,127.0.0.1:46918",
+                2),
+            0);
+}
+
+TEST_F(TraceToolCliTest, DistributedShmAnalyzeAcrossProcesses) {
+  EXPECT_EQ(run_distributed(
+                "analyze trace_cli_test.trc --procs=2 --transport=shm "
+                "--segment=/parda-cli-test",
+                2),
+            0);
 }
 
 }  // namespace

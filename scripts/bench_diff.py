@@ -5,8 +5,11 @@ Usage:
     bench_diff.py BASELINE.json CANDIDATE.json [--threshold-pct 20]
                   [--metric wall_seconds --metric per_analysis_ms ...]
 
-Points are matched on (bench, name, params). For each matched point, every
-metric present in both files is compared; a metric whose candidate value
+Points are matched on (bench, name, params). Params may be integers or
+strings; a missing "transport" param defaults to "threads" so baselines
+written before the comm layer grew a transport axis keep matching the
+threads points of newer runs. For each matched point, every metric
+present in both files is compared; a metric whose candidate value
 exceeds the baseline by more than --threshold-pct is a regression (all
 schema metrics are costs: time, bytes, messages — bigger is worse). Points
 present on only one side are reported but are not failures, so adding a
@@ -57,6 +60,9 @@ def load_points(path):
         if bad:
             die(f"bench_diff: {path}: points[{i}] ({p['name']}): "
                 f"non-numeric metric value(s): {', '.join(sorted(bad))}")
+        # The transport axis postdates early baselines; those measured the
+        # in-process threads wire, so pin that as the default identity.
+        params.setdefault("transport", "threads")
         key = (bench, p["name"], tuple(sorted(params.items())))
         points[key] = metrics
     return points

@@ -5,9 +5,15 @@
 # suite asserts the run ends with an error attributed to the originating
 # rank on every rank — zero hangs.
 #
+# The whole matrix runs once per transport (threads, shm, tcp): abort
+# attribution and teardown are contracts of the Comm layer, not of
+# whichever wire happens to move the bytes. PARDA_FAULT_TRANSPORT is
+# consumed by the suite's shared RunOptions helper.
+#
 # Usage: scripts/run_fault_injection.sh [seed...]
 #   With no arguments, sweeps seeds 1..24. PARDA_FAULT_SEED is consumed by
-#   FaultMatrixTest.SeededRandomPlanAlwaysTearsDownCleanly.
+#   FaultMatrixTest.SeededRandomPlanAlwaysTearsDownCleanly. Set
+#   PARDA_FAULT_TRANSPORTS (comma-separated) to restrict the wire loop.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -15,20 +21,38 @@ seeds=("$@")
 if [ ${#seeds[@]} -eq 0 ]; then
   seeds=($(seq 1 24))
 fi
+IFS=',' read -r -a wires <<< "${PARDA_FAULT_TRANSPORTS:-threads,shm,tcp}"
 
 cmake --preset default
-cmake --build --preset default -j"$(nproc)" --target comm_fault_test trace_fault_test
+cmake --build --preset default -j"$(nproc)" \
+  --target comm_fault_test comm_transport_test trace_fault_test \
+           obs_telemetry_test
 
-# One full pass of both suites first (fixed plans, deadlines, watchdog).
+# One full pass of the suites first (fixed plans, deadlines, watchdog),
+# plus the cross-transport equivalence suite, which asserts the fault
+# matrix produces identical attribution on every wire.
 ./build/tests/comm_fault_test
 ./build/tests/trace_fault_test
+./build/tests/comm_transport_test
 
-# Then the seed matrix: the same teardown guarantees for pseudo-random
-# injection points. Each run is bounded by the suite's internal deadlines,
-# so a propagation bug fails fast instead of wedging CI.
-for seed in "${seeds[@]}"; do
-  echo "=== fault-injection seed ${seed} ==="
-  PARDA_FAULT_SEED="${seed}" ./build/tests/comm_fault_test \
-    --gtest_filter='FaultMatrixTest.SeededRandomPlanAlwaysTearsDownCleanly'
+# Straggler attribution per wire: an injected delay must be blamed on
+# the same rank whichever transport carries the messages.
+for wire in "${wires[@]}"; do
+  echo "=== straggler attribution wire ${wire} ==="
+  PARDA_FAULT_TRANSPORT="${wire}" ./build/tests/obs_telemetry_test \
+    --gtest_filter='SpanReportIntegration.InjectedDelayNamesTheDelayedRank'
 done
-echo "fault-injection sweep passed for seeds: ${seeds[*]}"
+
+# Then the seed matrix per wire: the same teardown guarantees for
+# pseudo-random injection points on every transport. Each run is bounded
+# by the suite's internal deadlines, so a propagation bug fails fast
+# instead of wedging CI.
+for wire in "${wires[@]}"; do
+  for seed in "${seeds[@]}"; do
+    echo "=== fault-injection wire ${wire} seed ${seed} ==="
+    PARDA_FAULT_TRANSPORT="${wire}" PARDA_FAULT_SEED="${seed}" \
+      ./build/tests/comm_fault_test \
+      --gtest_filter='FaultMatrixTest.SeededRandomPlanAlwaysTearsDownCleanly'
+  done
+done
+echo "fault-injection sweep passed: wires ${wires[*]}, seeds ${seeds[*]}"

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <exception>
 
+#include "comm/transport/transport.hpp"
 #include "comm/worker_pool.hpp"
 #include "obs/log.hpp"
+#include "obs/runtime.hpp"
 #include "util/timer.hpp"
 
 namespace parda::comm {
@@ -127,7 +129,22 @@ std::uint64_t Mailbox::delivered() const {
   return next_seq_;
 }
 
-World::World(int np) : np_(np) {
+World::World(int np) : np_(np) { init(np); }
+
+World::World(int np, const TransportSpec& spec) : np_(np), spec_(spec) {
+  spec_.validate(np);
+  init(np);
+  // The transport is built after the mailboxes exist (its pumps deliver
+  // into them) and started last, when the World is fully formed.
+  transport_ = make_transport(spec_, *this, np);
+  if (transport_ != nullptr) transport_->start();
+}
+
+World::~World() {
+  if (transport_ != nullptr) transport_->stop();
+}
+
+void World::init(int np) {
   PARDA_CHECK(np >= 1);
   rounds_ = np > 1 ? std::bit_width(static_cast<unsigned>(np - 1)) : 0;
   mailboxes_.reserve(static_cast<std::size_t>(np));
@@ -142,7 +159,22 @@ World::World(int np) : np_(np) {
   }
 }
 
+void World::route(int src, int dst, Message&& msg) {
+  // Self-sends stay local on every transport: a rank's message to itself
+  // has no wire to cross, and pushing it through the serializer would only
+  // manufacture a copy (and an SPSC self-deadlock on a full ring).
+  if (transport_ == nullptr || src == dst) {
+    mailbox(dst).push(std::move(msg));
+    return;
+  }
+  transport_->post(src, dst, std::move(msg));
+}
+
 void World::barrier(int rank, const OpDeadline& deadline) {
+  if (transport_ != nullptr) {
+    message_barrier(rank, deadline);
+    return;
+  }
   BarrierPeer& me = *barrier_[static_cast<std::size_t>(rank)];
   // generation is only ever written by the owning rank's thread.
   const std::uint64_t gen = ++me.generation;
@@ -176,7 +208,44 @@ void World::barrier(int rank, const OpDeadline& deadline) {
   }
 }
 
+void World::message_barrier(int rank, const OpDeadline& deadline) {
+  // The same dissemination schedule as the cv barrier, but each round-k
+  // signal is a tagged (empty-payload) message on a reserved internal tag,
+  // so the synchronization crosses the same wire as data traffic. Tags are
+  // per-round and sources are explicit, so overlapping barrier epochs
+  // cannot confuse each other: a partner racing ahead just queues its next
+  // round-k signal behind the current one (FIFO pop consumes in order).
+  for (int k = 0; k < rounds_; ++k) {
+    const int step = 1 << k;
+    const int to = (rank + step) % np_;
+    const int from = (rank - step + np_) % np_;
+    Message signal;
+    signal.src = rank;
+    signal.origin = rank;
+    signal.tag = kReservedTagBase + k;
+    route(rank, to, std::move(signal));
+    Message in;
+    const Mailbox::Wait wait =
+        mailbox(rank).pop(from, kReservedTagBase + k, in, deadline);
+    if (wait == Mailbox::Wait::kPoisoned) throw_aborted();
+    if (wait == Mailbox::Wait::kTimeout) {
+      throw DeadlineExceededError(
+          "barrier deadline exceeded at rank " + std::to_string(rank) +
+          " (round " + std::to_string(k) + " of " + std::to_string(rounds_) +
+          ")");
+    }
+  }
+}
+
 void World::abort(int origin, const std::string& cause) {
+  abort_impl(origin, cause, /*broadcast=*/true);
+}
+
+void World::abort_remote(int origin, const std::string& cause) {
+  abort_impl(origin, cause, /*broadcast=*/false);
+}
+
+void World::abort_impl(int origin, const std::string& cause, bool broadcast) {
   {
     std::lock_guard lock(abort_mu_);
     if (aborted_.load(std::memory_order_relaxed)) return;  // first wins
@@ -195,6 +264,12 @@ void World::abort(int origin, const std::string& cause) {
     }
     peer->cv.notify_all();
   }
+  // Local teardown first, then tell the remote ranks (no-op for
+  // in-process transports). A frame that arrives back carrying this abort
+  // hits the first-wins check above and is ignored.
+  if (broadcast && transport_ != nullptr) {
+    transport_->broadcast_abort(origin, cause);
+  }
 }
 
 void World::reset() {
@@ -203,6 +278,11 @@ void World::reset() {
   // job's completion with acquire ordering), so plain stores suffice —
   // the next job's workers see them through the job-publication release/
   // acquire pair.
+  const bool was_aborted = aborted_.load(std::memory_order_relaxed);
+  // Pumps must quiesce before the mailboxes drain (they deliver into
+  // them), and the generation must bump before they restart so stale
+  // frames of the previous job are dropped, not delivered.
+  if (transport_ != nullptr) transport_->stop();
   ++generation_;
   for (auto& mailbox : mailboxes_) mailbox->reset();
   for (auto& peer : barrier_) {
@@ -225,6 +305,10 @@ void World::reset() {
     abort_origin_ = 0;
     abort_cause_.clear();
     aborted_.store(false, std::memory_order_release);
+  }
+  if (transport_ != nullptr) {
+    transport_->clear(was_aborted);
+    transport_->start();
   }
 }
 
@@ -331,8 +415,56 @@ std::vector<std::uint64_t> Comm::allreduce_sum_u64(
   return broadcast(std::move(total), 0, tag);
 }
 
+namespace detail {
+
+RunStats run_distributed(int np, const std::function<void(Comm&)>& fn,
+                         const RunOptions& options) {
+  const TransportSpec& spec = options.transport;
+  spec.validate(np);
+  PARDA_CHECK_MSG(options.watchdog_interval.count() == 0,
+                  "the stall watchdog samples every rank's board in one "
+                  "process; it cannot watch a distributed world (rank=%d)",
+                  spec.local_rank);
+  const int rank = spec.local_rank;
+  World world(np, spec);
+  RunStats stats;
+  stats.ranks.resize(static_cast<std::size_t>(np));
+  std::exception_ptr error;
+  WallTimer wall;
+  {
+    obs::ScopedThreadRank obs_rank(rank);
+    RankStats& rank_stats = stats.ranks[static_cast<std::size_t>(rank)];
+    Comm comm(world, rank, rank_stats, options.fault_plan,
+              options.op_timeout);
+    ThreadCpuTimer cpu;
+    try {
+      fn(comm);
+      // Implicit completion barrier: no process tears its transport down
+      // while a sibling may still need the wire. A peer that aborted
+      // instead of arriving poisons this wait, which is the error path
+      // below.
+      world.barrier(rank);
+    } catch (...) {
+      error = std::current_exception();
+      world.abort(rank, describe_exception(error));
+    }
+    world.board(rank).done.store(true, std::memory_order_release);
+    rank_stats.busy_seconds = cpu.seconds();
+  }
+  stats.wall_seconds = wall.seconds();
+  if (error) std::rethrow_exception(error);
+  return stats;
+}
+
+}  // namespace detail
+
 RunStats run(int np, const std::function<void(Comm&)>& fn,
              const RunOptions& options) {
+  if (options.transport.distributed()) {
+    // One rank per process: fn runs inline on the calling thread; the
+    // worker pool has nothing to schedule.
+    return detail::run_distributed(np, fn, options);
+  }
   // Transient runtime: spawn, run one job, join — the historical contract.
   // Long-lived callers hold a WorkerPool (or a core PardaRuntime) instead.
   WorkerPool pool(np);

@@ -1,5 +1,5 @@
-// A from-scratch message-passing runtime with MPI semantics, backed by
-// threads in one process.
+// A from-scratch message-passing runtime with MPI semantics and a
+// pluggable transport under it.
 //
 // The original Parda runs on MVAPICH over Infiniband; this repository
 // substitutes a runtime with the same programming model — ranks, two-sided
@@ -7,8 +7,21 @@
 // algorithm code reads like the paper's pseudocode (Send(x, p-1),
 // S <- Recv(p+1), reduce_sum(hist)) while running portably on a laptop.
 //
-// Data movement is zero-copy wherever the API permits (see DESIGN.md
-// section "Data movement in the comm runtime"):
+// The data plane is selected by RunOptions::transport (comm/transport/,
+// DESIGN.md "Transports"):
+//  - threads (default): ranks are threads of one process and messages move
+//    as refcounted payload handles — the zero-copy paths below;
+//  - shm: messages serialize through SPSC byte rings in a shared-memory
+//    segment, attachable by separate processes;
+//  - tcp: messages serialize through a socket mesh, one connection per
+//    rank pair, across processes or hosts.
+// Matching, ordering, deadlines, abort propagation, and the watchdog are
+// transport-invariant: every rank's blocking receive waits on its local
+// Mailbox regardless of the wire, so the failure model and the obs layer
+// behave identically on all three.
+//
+// Data movement is zero-copy wherever the API and the transport permit
+// (see DESIGN.md section "Data movement in the comm runtime"):
 //  - send(dest, tag, std::vector<T>&&) moves the buffer into the message;
 //    the matching recv<T> moves it back out, so a point-to-point transfer
 //    of an owned vector costs zero byte copies.
@@ -48,6 +61,7 @@
 #include <cstring>
 #include <deque>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -59,6 +73,7 @@
 #include <vector>
 
 #include "comm/fault.hpp"
+#include "comm/transport/spec.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span_tracer.hpp"
 #include "util/check.hpp"
@@ -67,6 +82,17 @@ namespace parda::comm {
 
 inline constexpr int kAnySource = -1;
 inline constexpr int kAnyTag = -1;
+
+class Transport;
+
+namespace detail {
+/// Tags below kReservedTagCeiling are the runtime's own (the message-based
+/// barrier of serializing transports). They are unreachable from user code
+/// in practice and excluded from kAnyTag wildcard matching, so internal
+/// traffic can share the mailboxes without ever surfacing in a user recv.
+inline constexpr int kReservedTagBase = std::numeric_limits<int>::min();
+inline constexpr int kReservedTagCeiling = kReservedTagBase + 64;
+}  // namespace detail
 
 /// Absolute wait limit for one blocking operation; nullopt = wait forever.
 using OpDeadline = std::optional<std::chrono::steady_clock::time_point>;
@@ -262,7 +288,11 @@ class Mailbox {
   };
 
   static bool tag_matches(const Message& m, int tag) noexcept {
-    return tag == kAnyTag || m.tag == tag;
+    // Wildcards never match the runtime's reserved internal tags: barrier
+    // traffic of serializing transports shares the mailboxes but must stay
+    // invisible to user-level recv(kAnySource, kAnyTag).
+    if (tag == kAnyTag) return m.tag >= kReservedTagCeiling;
+    return m.tag == tag;
   }
   bool take_locked(int src, int tag, Message& out);
 
@@ -275,23 +305,50 @@ class Mailbox {
 
 class World {
  public:
+  /// Threads-transport world (the historical constructor).
   explicit World(int np);
+  /// Transport-selected world. `spec` is validated against np; a
+  /// distributed spec (spec.local_rank >= 0) builds a world where exactly
+  /// one rank is hosted here and the rest are reached over the wire.
+  World(int np, const TransportSpec& spec);
+  ~World();
 
   int size() const noexcept { return np_; }
   Mailbox& mailbox(int rank) { return *mailboxes_[static_cast<std::size_t>(rank)]; }
 
-  /// Dissemination barrier: ceil(log2(np)) pairwise signalling rounds with
-  /// targeted notify_one wakeups (each rank only ever waits on its own
-  /// condition variable), replacing the central sense-reversing barrier
-  /// whose broadcast notify_all woke every rank through one hot mutex.
-  /// Throws RankAbortedError when the world is poisoned mid-wait and
-  /// DeadlineExceededError when `deadline` passes first.
+  const TransportSpec& transport_spec() const noexcept { return spec_; }
+  /// True when payload handles cross rank boundaries by refcount (the
+  /// threads transport); serializing transports copy on the wire.
+  bool zero_copy() const noexcept { return transport_ == nullptr; }
+
+  /// Delivers one stamped message toward dst's mailbox: directly on the
+  /// threads transport (and for self-sends on any transport — a rank's
+  /// message to itself never touches the wire), through the transport's
+  /// serializing path otherwise. May block on wire backpressure; throws
+  /// RankAbortedError once the run is aborted mid-wait.
+  void route(int src, int dst, Message&& msg);
+
+  /// Barrier with the same contract on every transport: throws
+  /// RankAbortedError when the world is poisoned mid-wait and
+  /// DeadlineExceededError when `deadline` passes first. The threads
+  /// transport uses a dissemination barrier — ceil(log2(np)) pairwise
+  /// signalling rounds with targeted notify_one wakeups (each rank only
+  /// ever waits on its own condition variable). Serializing transports run
+  /// the same dissemination schedule as tagged messages on reserved
+  /// internal tags, so the barrier exercises (and is ordered by) the same
+  /// wire as data traffic.
   void barrier(int rank, const OpDeadline& deadline = std::nullopt);
 
   /// First failure wins: records (origin, cause), then poisons every
   /// mailbox and barrier peer so all blocked ranks wake and throw
-  /// RankAbortedError. Idempotent; later calls are ignored.
+  /// RankAbortedError, and (distributed worlds) broadcasts an abort
+  /// control frame so remote ranks do the same. Idempotent; later calls
+  /// are ignored.
   void abort(int origin, const std::string& cause);
+  /// Abort on behalf of a remote rank, recorded by a transport pump when
+  /// an abort control frame arrives: poisons locally, never re-broadcasts
+  /// (the frame's origin already told everyone).
+  void abort_remote(int origin, const std::string& cause);
   bool aborted() const noexcept {
     return aborted_.load(std::memory_order_acquire);
   }
@@ -325,10 +382,17 @@ class World {
   /// reallocation. The caller (the WorkerPool's admitted submitter) must
   /// guarantee every rank thread of the previous job has unwound.
   void reset();
-  /// Jobs this World has been reset for; diagnostic only.
+  /// Jobs this World has been reset for. Serializing transports stamp it
+  /// into every frame so leftovers of a previous pooled job are dropped on
+  /// receipt, never delivered into the next job.
   std::uint64_t generation() const noexcept { return generation_; }
 
  private:
+  void init(int np);
+  void abort_impl(int origin, const std::string& cause, bool broadcast);
+  /// The serializing-transport barrier: the dissemination schedule as
+  /// tagged messages on reserved internal tags.
+  void message_barrier(int rank, const OpDeadline& deadline);
   /// Per-rank barrier mailbox: signals[k] counts round-k notifications
   /// received over the rank's lifetime (cumulative counts make sense
   /// reversal unnecessary: in barrier generation g a rank waits for
@@ -344,6 +408,8 @@ class World {
   int np_;
   int rounds_;
   std::uint64_t generation_ = 0;
+  TransportSpec spec_;
+  std::unique_ptr<Transport> transport_;  // null = threads (direct) path
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::vector<std::unique_ptr<BarrierPeer>> barrier_;
   std::vector<std::unique_ptr<RankBoard>> boards_;
@@ -414,8 +480,30 @@ class Comm {
   int rank() const noexcept { return rank_; }
   int size() const noexcept { return world_.size(); }
 
-  /// Sends a contiguous buffer of trivially copyable elements by copy (the
-  /// caller keeps the storage). One counted copy.
+  // --- Point-to-point contract (identical on every transport) -----------
+  //
+  // send(dest, tag, buffer) delivers a tagged buffer of trivially
+  // copyable elements to rank dest. recv/recv_view at dest match on
+  // (src, tag) — kAnySource / kAnyTag act as wildcards — FIFO by arrival
+  // among eligible messages, with per-pair ordering guaranteed. Blocking
+  // waits honor the per-op timeout (or the run-wide default), throwing
+  // DeadlineExceededError on expiry; an abort of the run by any rank
+  // throws RankAbortedError. None of that depends on the transport.
+  //
+  // Only the COST MODEL is transport-dependent, and RankStats records it
+  // honestly either way:
+  //  - the span / const& overloads always pay one counted copy into the
+  //    message;
+  //  - the rvalue overload moves the buffer into the message: zero-copy
+  //    end to end on the threads transport (bytes_shared), one counted
+  //    serialization copy per wire crossing on shm/tcp (bytes_copied);
+  //  - recv<T> moves a same-element-type owned payload back out
+  //    (zero-copy) and otherwise reinterprets via one counted copy;
+  //  - recv_view<T> aliases the payload storage in place when size and
+  //    alignment permit, falling back to one counted copy. On serializing
+  //    transports the aliased storage is the rank's own deserialized
+  //    buffer, so the view is always private to the receiving rank.
+
   template <Trivial T>
   void send(int dest, int tag, std::span<const T> data) {
     Payload p = Payload::copy_of(data);
@@ -428,22 +516,13 @@ class Comm {
     send(dest, tag, std::span<const T>(data));
   }
 
-  /// Zero-copy send: moves the buffer into the message. The matching
-  /// recv<T> moves it back out, so the transfer performs no byte copies.
   template <Trivial T>
   void send(int dest, int tag, std::vector<T>&& data) {
     Payload p = Payload::own(std::move(data));
-    note_shared(p.size_bytes());
+    note_transfer(p.size_bytes());
     post(dest, tag, std::move(p), rank_);
   }
 
-  /// Blocking receive; returns the payload as a vector<T>. Moved-in
-  /// payloads of the same element type are moved out (zero-copy); anything
-  /// else is reinterpreted via one counted copy. If actual_src /
-  /// actual_tag are non-null they receive the matched envelope fields
-  /// (useful with wildcards). `timeout` bounds this wait (overriding the
-  /// run-wide default); expiry throws DeadlineExceededError, and an abort
-  /// of the run by any rank throws RankAbortedError.
   template <Trivial T>
   std::vector<T> recv(int src, int tag, int* actual_src = nullptr,
                       int* actual_tag = nullptr,
@@ -454,9 +533,6 @@ class Comm {
     return materialize<T>(std::move(msg.payload));
   }
 
-  /// Blocking receive that reinterprets the payload in place: returns a
-  /// refcount-backed View<T> aliasing the message storage when size and
-  /// alignment permit (zero-copy), falling back to one counted copy.
   template <Trivial T>
   View<T> recv_view(int src, int tag, int* actual_src = nullptr,
                     int* actual_tag = nullptr,
@@ -529,7 +605,10 @@ class Comm {
 
   /// Zero-copy broadcast: root publishes its buffer as a shared block and
   /// every rank (root included) receives an immutable View of that single
-  /// block. No byte is copied anywhere.
+  /// block — no byte is copied anywhere on the threads transport. On
+  /// serializing transports this degrades gracefully: the block crosses
+  /// the wire once per tree edge and each rank's View aliases its own
+  /// private deserialized copy; same values, counted copies.
   template <Trivial T>
   View<T> broadcast_view(std::vector<T>&& data, int root, int tag) {
     note_collective();
@@ -577,9 +656,12 @@ class Comm {
   }
 
   /// The zero-copy scatter: root publishes ONE shared block and each rank
-  /// receives an (offset, count) View of it — the block is copied zero
-  /// times regardless of np. slices[r] = (first element, element count) of
-  /// rank r's slice; only root reads block/slices. Slices may overlap.
+  /// receives an (offset, count) View of it — on the threads transport the
+  /// block is copied zero times regardless of np. slices[r] = (first
+  /// element, element count) of rank r's slice; only root reads
+  /// block/slices. Slices may overlap. On serializing transports each
+  /// rank's slice crosses the wire as one counted copy and the returned
+  /// View aliases the rank's private buffer — same contract, copy cost.
   template <Trivial T>
   View<T> scatterv_view(
       std::vector<T>&& block,
@@ -603,7 +685,7 @@ class Comm {
       Payload p = Payload::view(
           holder, reinterpret_cast<const std::byte*>(base + off),
           static_cast<std::size_t>(cnt) * sizeof(T));
-      note_shared(p.size_bytes());
+      note_transfer(p.size_bytes());
       post(r, tag, std::move(p), rank_);
     }
     const auto [off, cnt] = slices[static_cast<std::size_t>(rank_)];
@@ -659,6 +741,13 @@ class Comm {
   void note_shared(std::size_t n) noexcept {
     stats_.bytes_shared += n;
     if (obs::enabled()) detail::comm_counters().bytes_shared.add(n);
+  }
+  /// Accounting for handing over a payload handle (moved buffer, refcount
+  /// bump). On the zero-copy transport that is a genuine share; on
+  /// serializing transports the bytes will be counted as the wire copy in
+  /// post() instead, so nothing is recorded here.
+  void note_transfer(std::size_t n) noexcept {
+    if (world_.zero_copy()) note_shared(n);
   }
   /// One count per public collective entry (the binomial hops inside are
   /// already visible as sends/recvs).
@@ -719,7 +808,9 @@ class Comm {
     }
   }
 
-  /// Stamps the envelope and delivers to dest's mailbox.
+  /// Stamps the envelope and routes it toward dest's mailbox through the
+  /// world's transport. On serializing transports a cross-rank post is the
+  /// one place the wire copy is counted.
   void post(int dest, int tag, Payload p, int origin) {
     PARDA_CHECK_MSG(dest >= 0 && dest < size(),
                     "send from rank %d to invalid rank %d (np=%d)", rank_,
@@ -734,18 +825,19 @@ class Comm {
       c.sends.add(1);
       c.bytes_sent.add(p.size_bytes());
     }
+    if (!world_.zero_copy() && dest != rank_) note_copied(p.size_bytes());
     Message msg;
     msg.src = rank_;
     msg.origin = origin;
     msg.tag = tag;
     msg.payload = std::move(p);
-    world_.mailbox(dest).push(std::move(msg));
+    world_.route(rank_, dest, std::move(msg));
   }
 
-  /// Relays an in-flight payload handle (collective hop): refcount bump,
-  /// no byte copy.
+  /// Relays an in-flight payload handle (collective hop): a refcount bump
+  /// on the zero-copy transport, a wire copy otherwise.
   void forward(int dest, int tag, Payload p, int origin) {
-    note_shared(p.size_bytes());
+    note_transfer(p.size_bytes());
     post(dest, tag, std::move(p), origin);
   }
 
@@ -851,30 +943,52 @@ class Comm {
   std::uint64_t op_counts_[3] = {0, 0, 0};  // send, recv, barrier
 };
 
-/// Fault-tolerance knobs for run(); the default reproduces the historical
-/// wait-forever behavior with no injection and no watchdog.
+/// Runtime knobs for run(); the default reproduces the historical
+/// behavior: threads transport, wait-forever, no injection, no watchdog.
 struct RunOptions {
+  /// Data plane selection (comm/transport/spec.hpp). The default threads
+  /// spec is the historical zero-copy in-process wire; shm/tcp serialize
+  /// messages through a shared-memory segment or a socket mesh, and a
+  /// distributed spec (local_rank >= 0) hosts exactly one rank in this
+  /// process — see run() below.
+  TransportSpec transport;
   /// Default per-op deadline applied to every blocking recv/barrier (each
   /// call may override). Expiry throws DeadlineExceededError in that rank,
   /// which aborts the run for everyone.
   OpTimeout op_timeout;
   /// Stall watchdog sampling interval; zero disables. When every rank sits
   /// blocked with no progress across two consecutive samples, the watchdog
-  /// dumps a per-rank diagnostic to stderr and aborts the run.
+  /// dumps a per-rank diagnostic to stderr and aborts the run. The
+  /// watchdog needs every rank's board in this process, so it is
+  /// incompatible with a distributed transport spec (run() rejects the
+  /// combination).
   std::chrono::milliseconds watchdog_interval{0};
   /// Deterministic fault injection; not owned, may be null. Must outlive
   /// the run() call.
   const FaultPlan* fault_plan = nullptr;
 };
 
+namespace detail {
+/// One-process-per-rank execution: runs options.transport.local_rank's
+/// body inline on the calling thread against a distributed World. Called
+/// by run()/WorkerPool::run_job when the spec is distributed; the returned
+/// RunStats carries real numbers only for the local rank.
+RunStats run_distributed(int np, const std::function<void(Comm&)>& fn,
+                         const RunOptions& options);
+}  // namespace detail
+
 /// Runs fn(comm) on np ranks and returns run statistics. If any rank
 /// throws, the world is poisoned: every other rank blocked in recv/barrier
 /// wakes with RankAbortedError attributing the failure to the originating
 /// rank, and run() rethrows the origin's exception after all ranks have
-/// unwound.
+/// unwound. The contract holds on every transport; with a distributed spec
+/// (options.transport.local_rank >= 0) this process hosts exactly ONE
+/// rank — fn runs inline on the calling thread, the other ranks are
+/// sibling processes reached over the wire, and aborts cross as control
+/// frames.
 ///
-/// Back-compat wrapper: each call builds a transient WorkerPool (see
-/// comm/worker_pool.hpp), so one-shot call sites keep the historical
+/// Back-compat wrapper: each in-process call builds a transient WorkerPool
+/// (see comm/worker_pool.hpp), so one-shot call sites keep the historical
 /// spawn/join semantics. Code that runs many jobs should hold a WorkerPool
 /// (or a core PardaRuntime) and reuse it.
 RunStats run(int np, const std::function<void(Comm&)>& fn);

@@ -1,0 +1,155 @@
+// Shared-memory byte rings for the shm transport.
+//
+// The segment holds one SPSC byte ring per (src, dst) rank pair plus a
+// doorbell word per consumer. A ring is a byte STREAM, not a slot queue:
+// frames larger than the ring capacity simply stream through it in pieces
+// (the producer publishes as space frees, the consumer's FrameReader
+// reassembles), so ring_bytes bounds memory, never message size.
+//
+// Synchronization is monotonic head/tail counters with release/acquire
+// ordering, plus raw futex(2) words for blocking — deliberately NOT
+// std::atomic::wait, which glibc implements with process-PRIVATE futexes
+// that cannot wake a waiter in another process sharing the mapping:
+//   - a producer out of space waits on the ring's space_seq word, which
+//     the consumer bumps after every consume;
+//   - a consumer out of frames waits on its doorbell word, which every
+//     producer bumps after every publish (plus the "any" doorbell that an
+//     in-process pump serving all ranks waits on).
+// All waits are timed so waiters can re-check abort/stop conditions.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "comm/transport/frame.hpp"
+
+namespace parda::comm::transport {
+
+/// Timed wait on a 32-bit futex word shared between processes. Returns
+/// when *addr != expected, on wakeup, on timeout, or spuriously.
+void futex_wait(const std::atomic<std::uint32_t>* addr,
+                std::uint32_t expected, std::chrono::milliseconds timeout);
+/// Wakes every waiter on the word.
+void futex_wake_all(const std::atomic<std::uint32_t>* addr);
+
+/// Ring bookkeeping living inside the shared segment. head/tail are
+/// monotonic byte counters (position = counter % capacity).
+struct RingHeader {
+  std::atomic<std::uint64_t> head{0};       // bytes produced
+  std::atomic<std::uint64_t> tail{0};       // bytes consumed
+  std::atomic<std::uint32_t> space_seq{0};  // consumer bumps after consume
+  std::uint32_t pad = 0;
+};
+static_assert(sizeof(RingHeader) <= 64);
+
+/// Non-owning SPSC view over one ring's header + data region.
+class ByteRing {
+ public:
+  ByteRing() = default;
+  ByteRing(RingHeader* header, std::byte* data, std::size_t capacity)
+      : header_(header), data_(data), capacity_(capacity) {}
+
+  /// Producer side: copies n bytes into the stream, blocking for space as
+  /// needed. `keep_waiting` is consulted before every blocking wait;
+  /// returning false abandons the write (stream poisoned — the caller must
+  /// be tearing the world down). `notify` runs after every chunk publish
+  /// (doorbell bump + wake).
+  bool write(const std::byte* src, std::size_t n,
+             const std::function<bool()>& keep_waiting,
+             const std::function<void()>& notify);
+
+  /// Consumer side: copies up to max readable bytes out; never blocks.
+  std::size_t read_some(std::byte* dst, std::size_t max);
+
+  std::size_t readable() const noexcept {
+    return static_cast<std::size_t>(
+        header_->head.load(std::memory_order_acquire) -
+        header_->tail.load(std::memory_order_relaxed));
+  }
+
+  /// Quiesced-only: rewinds the stream and drops buffered bytes.
+  void clear();
+
+ private:
+  RingHeader* header_ = nullptr;
+  std::byte* data_ = nullptr;
+  std::size_t capacity_ = 0;
+};
+
+/// Incremental frame reassembly over a byte stream (ring or socket): feed
+/// bytes in any fragmentation, get whole frames out. Never blocks, so a
+/// pump can round-robin many streams without a slow producer starving the
+/// rest.
+class FrameReader {
+ public:
+  /// Consumes available bytes from `pull` (a read_some-shaped callable)
+  /// and invokes `sink(header, payload)` for every completed frame.
+  /// Returns the number of bytes consumed.
+  std::size_t drain(
+      const std::function<std::size_t(std::byte*, std::size_t)>& pull,
+      const std::function<void(const FrameHeader&,
+                               std::vector<std::byte>&&)>& sink);
+
+  void reset();
+
+ private:
+  FrameHeader header_;
+  std::size_t have_ = 0;        // bytes of the current section received
+  bool in_payload_ = false;     // false: filling header_, true: payload_
+  std::vector<std::byte> payload_;
+};
+
+/// The mapped segment: header, doorbells, np*np rings. Created anonymous
+/// (MAP_SHARED|MAP_ANONYMOUS: shared with forked children only) or named
+/// via shm_open so unrelated processes can attach by name.
+class ShmSegment {
+ public:
+  /// In-process / pre-fork creation; name may be empty (anonymous).
+  static ShmSegment create(int np, std::size_t ring_bytes,
+                           const std::string& name);
+  /// Attaches to a named segment created by rank 0's process, retrying
+  /// until it exists and is marked ready (bounded; throws CheckError on
+  /// timeout or geometry mismatch).
+  static ShmSegment attach(const std::string& name, int np,
+                           std::size_t ring_bytes);
+
+  ShmSegment() = default;
+  ShmSegment(ShmSegment&& other) noexcept;
+  ShmSegment& operator=(ShmSegment&& other) noexcept;
+  ShmSegment(const ShmSegment&) = delete;
+  ShmSegment& operator=(const ShmSegment&) = delete;
+  ~ShmSegment();
+
+  bool valid() const noexcept { return base_ != nullptr; }
+  int np() const noexcept { return np_; }
+
+  ByteRing ring(int src, int dst);
+  /// Consumer doorbell for rank dst; doorbell(np) is the "any consumer"
+  /// word an in-process pump waits on.
+  std::atomic<std::uint32_t>* doorbell(int index);
+
+  /// Bumps + wakes dst's doorbell and the "any" doorbell.
+  void ring_doorbell(int dst);
+
+  static std::size_t segment_size(int np, std::size_t ring_bytes);
+
+ private:
+  void map_layout();
+
+  void* base_ = nullptr;
+  std::size_t size_ = 0;
+  int np_ = 0;
+  std::size_t ring_bytes_ = 0;
+  std::string name_;     // non-empty only for named segments
+  bool creator_ = false; // shm_unlink responsibility
+  std::vector<RingHeader*> ring_headers_;
+  std::vector<std::byte*> ring_data_;
+  std::atomic<std::uint32_t>* doorbells_ = nullptr;
+};
+
+}  // namespace parda::comm::transport

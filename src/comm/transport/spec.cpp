@@ -1,0 +1,180 @@
+#include "comm/transport/spec.hpp"
+
+#include <cstdlib>
+
+#include "util/check.hpp"
+
+namespace parda::comm {
+
+namespace {
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t end = s.find(sep, start);
+    if (end == std::string::npos) {
+      out.push_back(s.substr(start));
+      break;
+    }
+    out.push_back(s.substr(start, end - start));
+    start = end + 1;
+  }
+  return out;
+}
+
+std::size_t parse_bytes(const std::string& key, const std::string& value) {
+  PARDA_CHECK_MSG(!value.empty(), "transport spec: %s needs a value",
+                  key.c_str());
+  char* end = nullptr;
+  const unsigned long long n = std::strtoull(value.c_str(), &end, 10);
+  std::size_t scale = 1;
+  if (end != nullptr && *end != '\0') {
+    const std::string suffix(end);
+    if (suffix == "k" || suffix == "K") {
+      scale = 1024;
+    } else if (suffix == "m" || suffix == "M") {
+      scale = 1024 * 1024;
+    } else {
+      PARDA_CHECK_MSG(false, "transport spec: bad %s value '%s'", key.c_str(),
+                      value.c_str());
+    }
+  }
+  PARDA_CHECK_MSG(n > 0, "transport spec: %s must be positive", key.c_str());
+  return static_cast<std::size_t>(n) * scale;
+}
+
+}  // namespace
+
+const char* transport_kind_name(TransportKind kind) noexcept {
+  switch (kind) {
+    case TransportKind::kThreads: return "threads";
+    case TransportKind::kShm: return "shm";
+    case TransportKind::kTcp: return "tcp";
+  }
+  return "?";
+}
+
+TransportSpec TransportSpec::parse(const std::string& text) {
+  TransportSpec spec;
+  const std::size_t colon = text.find(':');
+  const std::string kind = text.substr(0, colon);
+  if (kind == "threads") {
+    spec.kind = TransportKind::kThreads;
+  } else if (kind == "shm") {
+    spec.kind = TransportKind::kShm;
+  } else if (kind == "tcp") {
+    spec.kind = TransportKind::kTcp;
+  } else {
+    PARDA_CHECK_MSG(false,
+                    "bad transport '%s' (expected threads|shm|tcp)",
+                    kind.c_str());
+  }
+  if (colon == std::string::npos) return spec;
+  for (const std::string& clause : split(text.substr(colon + 1), ',')) {
+    if (clause.empty()) continue;
+    const std::size_t eq = clause.find('=');
+    PARDA_CHECK_MSG(eq != std::string::npos,
+                    "transport spec: clause '%s' is not key=value",
+                    clause.c_str());
+    const std::string key = clause.substr(0, eq);
+    const std::string value = clause.substr(eq + 1);
+    if (key == "ring" && spec.kind == TransportKind::kShm) {
+      spec.ring_bytes = parse_bytes(key, value);
+    } else if (key == "segment" && spec.kind == TransportKind::kShm) {
+      spec.segment = value;
+    } else if (key == "peers" && spec.kind == TransportKind::kTcp) {
+      spec.peers = split(value, '+');
+    } else if (key == "sendq" && spec.kind == TransportKind::kTcp) {
+      spec.sendq_bytes = parse_bytes(key, value);
+    } else if (key == "rank") {
+      char* end = nullptr;
+      const long r = std::strtol(value.c_str(), &end, 10);
+      PARDA_CHECK_MSG(end != nullptr && *end == '\0' && r >= 0,
+                      "transport spec: bad rank '%s'", value.c_str());
+      spec.local_rank = static_cast<int>(r);
+    } else {
+      PARDA_CHECK_MSG(false, "transport spec: unknown key '%s' for %s",
+                      key.c_str(), transport_kind_name(spec.kind));
+    }
+  }
+  return spec;
+}
+
+std::string TransportSpec::describe() const {
+  std::string out = transport_kind_name(kind);
+  std::string params;
+  const auto add = [&params](const std::string& clause) {
+    if (!params.empty()) params += ',';
+    params += clause;
+  };
+  const TransportSpec defaults;
+  if (kind == TransportKind::kShm) {
+    if (ring_bytes != defaults.ring_bytes) {
+      add("ring=" + std::to_string(ring_bytes));
+    }
+    if (!segment.empty()) add("segment=" + segment);
+  }
+  if (kind == TransportKind::kTcp) {
+    if (!peers.empty()) {
+      std::string list;
+      for (const std::string& p : peers) {
+        if (!list.empty()) list += '+';
+        list += p;
+      }
+      add("peers=" + list);
+    }
+    if (sendq_bytes != defaults.sendq_bytes) {
+      add("sendq=" + std::to_string(sendq_bytes));
+    }
+  }
+  if (local_rank != kAllRanksLocal) {
+    add("rank=" + std::to_string(local_rank));
+  }
+  if (params.empty()) return out;
+  return out + ":" + params;
+}
+
+std::string TransportSpec::signature() const {
+  // Endpoint noise (ephemeral ports, segment names) is deliberately
+  // excluded: two specs that produce equivalent wires share an identity.
+  std::string out = transport_kind_name(kind);
+  if (kind == TransportKind::kShm) {
+    out += ":ring=" + std::to_string(ring_bytes);
+  }
+  if (kind == TransportKind::kTcp) {
+    out += ":sendq=" + std::to_string(sendq_bytes);
+  }
+  return out;
+}
+
+void TransportSpec::validate(int np) const {
+  PARDA_CHECK_MSG(np >= 1, "transport spec: np must be >= 1, got %d", np);
+  if (distributed()) {
+    PARDA_CHECK_MSG(kind != TransportKind::kThreads,
+                    "transport 'threads' cannot span processes; use shm or "
+                    "tcp for rank=%d",
+                    local_rank);
+    PARDA_CHECK_MSG(local_rank < np,
+                    "transport rank %d out of range for np=%d", local_rank,
+                    np);
+    if (kind == TransportKind::kShm) {
+      PARDA_CHECK_MSG(!segment.empty(),
+                      "distributed shm transport needs segment=NAME so "
+                      "peer processes can attach");
+    }
+    if (kind == TransportKind::kTcp) {
+      PARDA_CHECK_MSG(static_cast<int>(peers.size()) == np,
+                      "distributed tcp transport needs one host:port peer "
+                      "per rank (got %zu for np=%d)",
+                      peers.size(), np);
+    }
+  } else {
+    PARDA_CHECK_MSG(peers.empty(),
+                    "tcp peers are only meaningful with rank=N (one process "
+                    "per rank); in-process worlds build their own loopback "
+                    "mesh");
+  }
+}
+
+}  // namespace parda::comm

@@ -1,0 +1,30 @@
+#include "comm/transport/transport.hpp"
+
+#include "comm/comm.hpp"
+#include "util/check.hpp"
+
+namespace parda::comm {
+
+void Transport::broadcast_abort(int origin, const std::string& cause) {
+  (void)origin;
+  (void)cause;
+}
+
+void Transport::clear(bool aborted) { (void)aborted; }
+
+std::unique_ptr<Transport> make_transport(const TransportSpec& spec,
+                                          detail::World& world, int np) {
+  switch (spec.kind) {
+    case TransportKind::kThreads:
+      return nullptr;  // the World's direct mailbox path
+    case TransportKind::kShm:
+      return transport::make_shm_transport(spec, world, np);
+    case TransportKind::kTcp:
+      return transport::make_tcp_transport(spec, world, np);
+  }
+  PARDA_CHECK_MSG(false, "unknown transport kind %d",
+                  static_cast<int>(spec.kind));
+  return nullptr;
+}
+
+}  // namespace parda::comm

@@ -1,0 +1,87 @@
+// comm::Transport — the pluggable data plane under Comm's send/recv/
+// collective surface (DESIGN.md "Transports").
+//
+// The split of responsibilities that keeps the fault-tolerance and obs
+// layers transport-agnostic:
+//   - MATCHING stays local: every rank's blocking receive waits on its own
+//     in-process Mailbox, whatever the wire. Poisoning, per-op deadlines,
+//     the stall watchdog's rank boards, and FIFO/wildcard matching are
+//     therefore identical across transports.
+//   - MOVEMENT is the transport's job: post() carries one enveloped
+//     payload from src to dst, delivering into dst's Mailbox — directly
+//     (threads: the payload handle moves by refcount, zero-copy) or by
+//     serializing frames through a ring/socket and having a pump thread
+//     rematerialize them on the consumer side.
+//   - ABORT propagation crosses processes as a control frame
+//     (broadcast_abort); within a process it stays the existing mailbox
+//     poisoning.
+//
+// Lifecycle: a World owns one Transport for its lifetime. start()/stop()
+// bracket the pump threads; clear() runs between pooled jobs with the
+// pumps stopped, dropping any undelivered bytes (an aborted job may leave
+// partial frames; clear(aborted=true) must restore stream sync).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "comm/transport/spec.hpp"
+
+namespace parda::comm {
+
+struct Message;
+
+namespace detail {
+class World;
+}
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  virtual TransportKind kind() const noexcept = 0;
+
+  /// True when payload handles cross rank boundaries by refcount — the
+  /// zero-copy moved-vector sends and shared-block collective views of the
+  /// threads transport. Serializing transports return false, and Comm
+  /// degrades those paths to counted copies.
+  virtual bool zero_copy() const noexcept { return false; }
+
+  /// Moves one message toward dst's mailbox. Called from rank src's
+  /// thread; may block on backpressure (full ring / full send queue), and
+  /// must bail by throwing the world's abort once the run is aborted.
+  virtual void post(int src, int dst, Message&& msg) = 0;
+
+  /// Distributed worlds: push an abort control frame to every remote rank
+  /// so their pumps poison their local mailboxes. In-process worlds have
+  /// no remotes; the default no-op is correct.
+  virtual void broadcast_abort(int origin, const std::string& cause);
+
+  /// Starts/stops the transport's pump threads. stop() joins; after it
+  /// returns the transport touches no World state.
+  virtual void start() {}
+  virtual void stop() {}
+
+  /// Pooled reuse, called between jobs with pumps stopped: drop every
+  /// undelivered byte and restore stream sync. `aborted` marks that the
+  /// previous job may have abandoned writes mid-frame.
+  virtual void clear(bool aborted);
+};
+
+/// Builds the transport for `spec` (already validated against np). Returns
+/// nullptr for the threads kind: the World's direct mailbox path IS that
+/// transport, and keeping it null keeps the default wire free of virtual
+/// dispatch.
+std::unique_ptr<Transport> make_transport(const TransportSpec& spec,
+                                          detail::World& world, int np);
+
+namespace transport {
+// Concrete factories (implementation detail of make_transport; exposed
+// for the transport unit tests).
+std::unique_ptr<Transport> make_shm_transport(const TransportSpec& spec,
+                                              detail::World& world, int np);
+std::unique_ptr<Transport> make_tcp_transport(const TransportSpec& spec,
+                                              detail::World& world, int np);
+}  // namespace transport
+
+}  // namespace parda::comm

@@ -171,6 +171,11 @@ RunStats WorkerPool::run_job(int np, const std::function<void(Comm&)>& fn) {
 RunStats WorkerPool::run_job(int np, const std::function<void(Comm&)>& fn,
                              const RunOptions& options) {
   PARDA_CHECK_MSG(np >= 1, "run_job needs np >= 1, got %d", np);
+  if (options.transport.distributed()) {
+    // One rank per process: the body runs inline on the calling thread
+    // against a per-call World; there is nothing for the pool to schedule.
+    return detail::run_distributed(np, fn, options);
+  }
 
   // --- FIFO admission: one job owns the pool at a time. -------------------
   const bool timed = obs::enabled();
@@ -183,7 +188,7 @@ RunStats WorkerPool::run_job(int np, const std::function<void(Comm&)>& fn,
     // Workers and the world cache are touched only by the serving ticket,
     // so this mutation needs no further locking.
     ensure_workers(np);
-    world = &acquire_world(np);
+    world = &acquire_world(np, options.transport);
   }
   if (timed) {
     auto& c = pool_counters();
@@ -300,17 +305,20 @@ void WorkerPool::ensure_workers(int np) {
   }
 }
 
-detail::World& WorkerPool::acquire_world(int np) {
-  auto it = worlds_.find(np);
+detail::World& WorkerPool::acquire_world(int np, const TransportSpec& spec) {
+  const std::pair<int, std::string> key(np, spec.signature());
+  auto it = worlds_.find(key);
   if (it != worlds_.end()) {
     // Generation bump instead of reallocation: mailbox buckets, barrier
-    // peers, and rank boards keep their memory across jobs.
+    // peers, rank boards, and the transport's rings/sockets keep their
+    // state across jobs.
     it->second->reset();
     world_reuses_.fetch_add(1, std::memory_order_relaxed);
     if (obs::enabled()) pool_counters().world_reuses.add(1);
     return *it->second;
   }
-  auto inserted = worlds_.emplace(np, std::make_unique<detail::World>(np));
+  auto inserted =
+      worlds_.emplace(key, std::make_unique<detail::World>(np, spec));
   worlds_created_.fetch_add(1, std::memory_order_relaxed);
   if (obs::enabled()) pool_counters().worlds_created.add(1);
   return *inserted.first->second;

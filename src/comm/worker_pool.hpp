@@ -12,10 +12,13 @@
 //    std::atomic::wait of their own per-slot sequence counter — no mutex,
 //    no spin. Posting a job is one release increment + targeted notify per
 //    participating slot, so workers outside the job's np never wake.
-//  - Worlds are cached per np and RESET between jobs (generation bump:
-//    mailboxes drained, barrier signals rewound, rank boards and abort
-//    state cleared) instead of reallocated, so the mailbox buckets and
-//    barrier structures keep their memory across jobs.
+//  - Worlds are cached per (np, transport signature) and RESET between
+//    jobs (generation bump: mailboxes drained, barrier signals rewound,
+//    rank boards and abort state cleared, transport quiesced and
+//    restarted) instead of reallocated, so mailbox buckets, barrier
+//    structures, shm rings, and socket meshes keep their state across
+//    jobs. Distributed transport specs bypass the pool entirely: run_job
+//    delegates them to the inline one-rank-per-process runner.
 //  - Jobs are admitted through a FIFO ticket queue: any number of threads
 //    may call run_job concurrently and the pool time-multiplexes them,
 //    one job at a time, in arrival order. Each job re-tags the worker
@@ -114,8 +117,9 @@ class WorkerPool {
   /// Spawns workers so capacity() >= np. Caller must hold the admission
   /// slot (be the serving ticket).
   void ensure_workers(int np);
-  /// Fetches the cached World for np (reset for reuse) or creates one.
-  detail::World& acquire_world(int np);
+  /// Fetches the cached World for (np, transport signature) — reset for
+  /// reuse, its transport quiesced/cleared/restarted — or creates one.
+  detail::World& acquire_world(int np, const TransportSpec& spec);
   /// Hands the active job's World to the service thread for stall
   /// sampling / retires it after the job. Spawns the thread lazily.
   void watchdog_arm(detail::World& world, std::chrono::milliseconds interval);
@@ -134,7 +138,11 @@ class WorkerPool {
   Job job_;  // reused across jobs; valid only for the admitted submitter
 
   // --- world cache --------------------------------------------------------
-  std::map<int, std::unique_ptr<detail::World>> worlds_;  // keyed by np
+  // Keyed by (np, transport signature): jobs with different wires never
+  // share a World, but repeated jobs on the same wire reuse one (rings,
+  // sockets, and pump threads warm up once).
+  std::map<std::pair<int, std::string>, std::unique_ptr<detail::World>>
+      worlds_;
   std::atomic<std::uint64_t> jobs_{0};
   std::atomic<std::uint64_t> worlds_created_{0};
   std::atomic<std::uint64_t> world_reuses_{0};

@@ -1,5 +1,6 @@
 #include "obs/server.hpp"
 
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
@@ -93,7 +94,8 @@ std::optional<std::string> find_header(std::string_view head,
 
 }  // namespace
 
-TelemetryServer::TelemetryServer(std::uint16_t port, HealthFn health)
+TelemetryServer::TelemetryServer(std::uint16_t port, HealthFn health,
+                                 int accept_threads)
     : health_(std::move(health)) {
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) {
@@ -128,17 +130,35 @@ TelemetryServer::TelemetryServer(std::uint16_t port, HealthFn health)
     port_ = port;
   }
 
-  thread_ = std::thread([this] { serve_loop(); });
+  // Non-blocking accept: pool threads race for each connection after a
+  // poll wakeup; the losers get EAGAIN and go back to polling instead of
+  // parking inside accept() where stop() could not reach them.
+  const int flags = ::fcntl(listen_fd_, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(listen_fd_, F_SETFL, flags | O_NONBLOCK);
+
+  // The accept pool: every thread polls and accepts on the shared listen
+  // socket, so a request that is slow to serve (a blocking ingest POST, a
+  // dribbling client) occupies one thread while scrapes keep flowing
+  // through the others.
+  if (accept_threads < 1) accept_threads = 1;
+  threads_.reserve(static_cast<std::size_t>(accept_threads));
+  for (int i = 0; i < accept_threads; ++i) {
+    threads_.emplace_back([this] { serve_loop(); });
+  }
 }
 
 TelemetryServer::~TelemetryServer() { stop(); }
 
 void TelemetryServer::stop() {
   if (stop_.exchange(true)) {
-    if (thread_.joinable()) thread_.join();
+    for (std::thread& t : threads_) {
+      if (t.joinable()) t.join();
+    }
     return;
   }
-  if (thread_.joinable()) thread_.join();
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;

@@ -18,12 +18,14 @@
 //
 // Every built-in endpoint renders from the same relaxed per-rank shard
 // slots the hot path writes, so a scrape never takes a lock a worker can
-// hold and cannot stall an in-flight analysis. Requests are served one at
-// a time on the server's own thread — scrape and control traffic, not a
-// high-fanout RPC plane (a route handler that blocks, e.g. an ingest that
-// waits on the analysis pool, delays later requests but nothing else).
-// The listener binds 127.0.0.1 only; port 0 picks an ephemeral port (see
-// port()).
+// hold and cannot stall an in-flight analysis. Requests are served by a
+// small ACCEPT POOL (kDefaultAcceptThreads threads sharing the listen
+// socket, each poll+accept+serve): a route handler that blocks — an
+// ingest POST waiting on the analysis pool, a slow client dribbling its
+// body — occupies one pool thread, and /metrics scrapes keep flowing
+// through the others instead of queuing behind it. This is still scrape
+// and control traffic, not a high-fanout RPC plane. The listener binds
+// 127.0.0.1 only; port 0 picks an ephemeral port (see port()).
 #pragma once
 
 #include <atomic>
@@ -34,6 +36,7 @@
 #include <stdexcept>
 #include <string>
 #include <thread>
+#include <vector>
 
 namespace parda::obs {
 
@@ -69,19 +72,28 @@ class TelemetryServer {
   /// before the handler runs (hostile "oversized frame" clients cannot
   /// make the server buffer unbounded input).
   static constexpr std::size_t kMaxBodyBytes = 8u << 20;
+  /// Accept-pool width: how many requests can be in service concurrently
+  /// before one more queues in the listen backlog.
+  static constexpr int kDefaultAcceptThreads = 4;
 
   /// Binds and starts serving immediately; throws ServerBindError if the
   /// port cannot be bound. port 0 = ephemeral (query port()).
   /// health may be empty: /healthz then reports {"ok":true} only.
-  explicit TelemetryServer(std::uint16_t port, HealthFn health = {});
+  /// accept_threads sizes the pool (clamped to >= 1).
+  explicit TelemetryServer(std::uint16_t port, HealthFn health = {},
+                           int accept_threads = kDefaultAcceptThreads);
   TelemetryServer(const TelemetryServer&) = delete;
   TelemetryServer& operator=(const TelemetryServer&) = delete;
   ~TelemetryServer();
 
   /// The actually bound port (resolves port 0).
   std::uint16_t port() const noexcept { return port_; }
+  /// Accept-pool threads serving requests.
+  int accept_threads() const noexcept {
+    return static_cast<int>(threads_.size());
+  }
 
-  /// Stops the poll loop and joins the serving thread. Idempotent.
+  /// Stops the poll loops and joins the accept pool. Idempotent.
   void stop();
 
   /// One parsed request, as handed to the route handler.
@@ -123,7 +135,7 @@ class TelemetryServer {
   mutable std::mutex handler_mu_;
   RouteFn handler_;
   std::atomic<bool> stop_{false};
-  std::thread thread_;
+  std::vector<std::thread> threads_;  // the accept pool
 };
 
 }  // namespace parda::obs

@@ -48,6 +48,13 @@ void CliParser::usage_and_exit(int code) const {
   std::exit(code);
 }
 
+bool CliParser::was_set(const std::string& name) const {
+  for (const std::string& n : set_names_) {
+    if (n == name) return true;
+  }
+  return false;
+}
+
 const CliParser::Flag* CliParser::find(const std::string& name) const {
   for (const Flag& f : flags_) {
     if (f.name == name) return &f;
@@ -130,6 +137,7 @@ void CliParser::parse(int argc, char** argv) {
       value = argv[++i];
     }
     assign(*flag, value);
+    set_names_.push_back(name);
   }
 }
 

@@ -50,6 +50,12 @@ class CliParser {
 
   const std::vector<std::string>& positionals() const { return positionals_; }
 
+  /// True when the named flag appeared on the command line (regardless of
+  /// the value it carried). This is what lets a layered config tell "the
+  /// user typed --transport=threads" apart from "the default is threads":
+  /// only explicitly set flags override environment variables.
+  bool was_set(const std::string& name) const;
+
  private:
   enum class Kind { kString, kUint, kDouble, kBool };
   struct Flag {
@@ -67,6 +73,7 @@ class CliParser {
   std::string program_;
   std::vector<Flag> flags_;
   std::vector<std::string> positionals_;
+  std::vector<std::string> set_names_;  // flags seen during parse()
 };
 
 }  // namespace parda

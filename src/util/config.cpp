@@ -1,0 +1,36 @@
+#include "util/config.hpp"
+
+#include <cstdlib>
+
+namespace parda::config {
+
+const char* source_name(Source source) noexcept {
+  switch (source) {
+    case Source::kCli: return "command line";
+    case Source::kEnv: return "environment";
+    case Source::kDefault: return "default";
+  }
+  return "?";
+}
+
+Resolved resolve(const std::optional<std::string>& cli_value,
+                 const char* env_var, std::string default_value) {
+  if (cli_value.has_value()) return {*cli_value, Source::kCli};
+  if (env_var != nullptr) {
+    const char* env = std::getenv(env_var);
+    if (env != nullptr && env[0] != '\0') {
+      return {std::string(env), Source::kEnv};
+    }
+  }
+  return {std::move(default_value), Source::kDefault};
+}
+
+Resolved resolve_flag(const CliParser& cli, const std::string& flag_name,
+                      const std::string& flag_value, const char* env_var,
+                      std::string default_value) {
+  std::optional<std::string> cli_value;
+  if (cli.was_set(flag_name)) cli_value = flag_value;
+  return resolve(cli_value, env_var, std::move(default_value));
+}
+
+}  // namespace parda::config

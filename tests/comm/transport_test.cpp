@@ -1,0 +1,559 @@
+// Tests for the pluggable transport layer (ISSUE 8).
+//
+// The acceptance bar: the SAME rank bodies, fault-tolerance machinery, and
+// histogram math must behave identically whether messages move by mailbox
+// handoff (threads), through shared-memory byte rings (shm), or over
+// length-prefixed TCP frames (tcp). The equality suite here runs one
+// trace/seed over all three wires and demands bit-identical
+// parda.histogram.v1 output; the fault matrix demands equivalent abort
+// attribution and deadline behavior.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "comm/comm.hpp"
+#include "comm/fault.hpp"
+#include "comm/transport/frame.hpp"
+#include "comm/transport/ring.hpp"
+#include "comm/transport/spec.hpp"
+#include "comm/worker_pool.hpp"
+#include "core/parda.hpp"
+#include "trace/trace_pipe.hpp"
+#include "util/check.hpp"
+#include "workload/generators.hpp"
+
+namespace parda::comm {
+namespace {
+
+using std::chrono::milliseconds;
+
+/// Every wire the equality/fault matrices sweep. "threads" is the control:
+/// the seed's zero-copy path, against which shm and tcp must be
+/// indistinguishable from above the Comm surface.
+const char* const kWires[] = {"threads", "shm", "tcp"};
+
+/// RunOptions for a wire, with a generous safety-net deadline so a
+/// transport bug fails the test instead of hanging the suite.
+RunOptions on_wire(const std::string& spec_text) {
+  RunOptions opts;
+  opts.transport = TransportSpec::parse(spec_text);
+  opts.op_timeout = milliseconds(20000);
+  return opts;
+}
+
+// --- TransportSpec: the redesigned configuration surface --------------------
+
+TEST(TransportSpecTest, ParsesBareKindsWithDefaults) {
+  const TransportSpec threads = TransportSpec::parse("threads");
+  EXPECT_EQ(threads.kind, TransportKind::kThreads);
+  EXPECT_EQ(threads.local_rank, kAllRanksLocal);
+  EXPECT_TRUE(threads.zero_copy());
+  EXPECT_FALSE(threads.distributed());
+
+  const TransportSpec shm = TransportSpec::parse("shm");
+  EXPECT_EQ(shm.kind, TransportKind::kShm);
+  EXPECT_FALSE(shm.zero_copy());
+
+  const TransportSpec tcp = TransportSpec::parse("tcp");
+  EXPECT_EQ(tcp.kind, TransportKind::kTcp);
+  EXPECT_TRUE(tcp.peers.empty());
+}
+
+TEST(TransportSpecTest, ParsesParameterClauses) {
+  const TransportSpec shm =
+      TransportSpec::parse("shm:ring=64k,segment=/parda-t,rank=2");
+  EXPECT_EQ(shm.ring_bytes, 64u * 1024u);
+  EXPECT_EQ(shm.segment, "/parda-t");
+  EXPECT_EQ(shm.local_rank, 2);
+  EXPECT_TRUE(shm.distributed());
+
+  const TransportSpec tcp =
+      TransportSpec::parse("tcp:peers=a:7000+b:7001,sendq=2M,rank=0");
+  ASSERT_EQ(tcp.peers.size(), 2u);
+  EXPECT_EQ(tcp.peers[0], "a:7000");
+  EXPECT_EQ(tcp.peers[1], "b:7001");
+  EXPECT_EQ(tcp.sendq_bytes, 2u * 1024u * 1024u);
+  EXPECT_EQ(tcp.local_rank, 0);
+}
+
+TEST(TransportSpecTest, DescribeRoundTrips) {
+  for (const char* text :
+       {"threads", "shm", "tcp", "shm:ring=65536,segment=/parda-x,rank=1",
+        "tcp:peers=h0:9+h1:10,sendq=1024,rank=0"}) {
+    const TransportSpec spec = TransportSpec::parse(text);
+    EXPECT_EQ(TransportSpec::parse(spec.describe()), spec) << text;
+  }
+}
+
+TEST(TransportSpecTest, RejectsMalformedSpecs) {
+  EXPECT_THROW(TransportSpec::parse("carrier-pigeon"), CheckError);
+  EXPECT_THROW(TransportSpec::parse("shm:bogus=1"), CheckError);
+  EXPECT_THROW(TransportSpec::parse("threads:ring=4k"), CheckError);
+  EXPECT_THROW(TransportSpec::parse("tcp:ring=4k"), CheckError);  // shm key
+  EXPECT_THROW(TransportSpec::parse("shm:ring=0"), CheckError);
+  EXPECT_THROW(TransportSpec::parse("shm:ring=4q"), CheckError);
+  EXPECT_THROW(TransportSpec::parse("shm:rank=-1"), CheckError);
+  EXPECT_THROW(TransportSpec::parse("shm:segment"), CheckError);  // no '='
+}
+
+TEST(TransportSpecTest, SignatureExcludesEndpointNoise) {
+  // Two worlds that differ only in rendezvous endpoints share wire
+  // identity (and may share a pooled World); different kinds never do.
+  EXPECT_EQ(TransportSpec::parse("shm:segment=/a").signature(),
+            TransportSpec::parse("shm:segment=/b").signature());
+  EXPECT_EQ(TransportSpec::parse("tcp:peers=a:1+b:2,rank=0").signature(),
+            TransportSpec::parse("tcp:peers=c:3+d:4,rank=0").signature());
+  EXPECT_NE(TransportSpec::parse("threads").signature(),
+            TransportSpec::parse("shm").signature());
+  EXPECT_NE(TransportSpec::parse("shm").signature(),
+            TransportSpec::parse("shm:ring=4k").signature());
+}
+
+TEST(TransportSpecTest, ValidateEnforcesTheDistributedMatrix) {
+  EXPECT_NO_THROW(TransportSpec::parse("threads").validate(4));
+  EXPECT_NO_THROW(TransportSpec::parse("shm").validate(4));
+  EXPECT_NO_THROW(TransportSpec::parse("tcp").validate(4));
+  EXPECT_NO_THROW(
+      TransportSpec::parse("shm:segment=/s,rank=3").validate(4));
+  EXPECT_NO_THROW(
+      TransportSpec::parse("tcp:peers=a:1+b:2,rank=1").validate(2));
+
+  // threads cannot span processes.
+  EXPECT_THROW(TransportSpec::parse("threads:rank=0").validate(2),
+               CheckError);
+  // rank out of range.
+  EXPECT_THROW(TransportSpec::parse("shm:segment=/s,rank=4").validate(4),
+               CheckError);
+  // distributed shm needs a named segment to rendezvous on.
+  EXPECT_THROW(TransportSpec::parse("shm:rank=0").validate(2), CheckError);
+  // distributed tcp needs one endpoint per rank.
+  EXPECT_THROW(TransportSpec::parse("tcp:peers=a:1,rank=0").validate(2),
+               CheckError);
+  // peers without rank: in-process worlds build their own loopback mesh.
+  EXPECT_THROW(TransportSpec::parse("tcp:peers=a:1+b:2").validate(2),
+               CheckError);
+}
+
+// --- Ring and frame plumbing ------------------------------------------------
+
+TEST(ByteRingTest, StreamsWritesLargerThanCapacity) {
+  // A 64-byte ring must pass a 4KiB write through in pieces: the ring
+  // bounds memory, never message size.
+  transport::RingHeader header;
+  std::vector<std::byte> storage(64);
+  transport::ByteRing ring(&header, storage.data(), storage.size());
+
+  std::vector<std::byte> sent(4096);
+  for (std::size_t i = 0; i < sent.size(); ++i) {
+    sent[i] = static_cast<std::byte>(i * 131 + 7);
+  }
+  std::thread producer([&] {
+    const bool ok = ring.write(
+        sent.data(), sent.size(), [] { return true; }, [] {});
+    EXPECT_TRUE(ok);
+  });
+  std::vector<std::byte> got;
+  std::byte buf[48];
+  while (got.size() < sent.size()) {
+    const std::size_t n = ring.read_some(buf, sizeof(buf));
+    got.insert(got.end(), buf, buf + n);
+  }
+  producer.join();
+  EXPECT_EQ(got, sent);
+}
+
+TEST(ByteRingTest, AbandonedWriteReportsFailure) {
+  // keep_waiting returning false must abandon a blocked write instead of
+  // spinning forever — this is how an abort unsticks a full ring.
+  transport::RingHeader header;
+  std::vector<std::byte> storage(16);
+  transport::ByteRing ring(&header, storage.data(), storage.size());
+  std::vector<std::byte> data(64);
+  EXPECT_FALSE(ring.write(
+      data.data(), data.size(), [] { return false; }, [] {}));
+}
+
+TEST(FrameReaderTest, ReassemblesFramesAcrossArbitraryFragmentation) {
+  // Two frames, fed one to three bytes at a time: the reader must emit
+  // exactly two complete (header, payload) pairs regardless of how the
+  // stream fragments.
+  std::vector<std::byte> stream;
+  transport::FrameHeader h1;
+  h1.src = 1;
+  h1.origin = 1;
+  h1.tag = 42;
+  const std::string p1 = "hello, wire";
+  h1.payload_bytes = p1.size();
+  const auto f1 = transport::encode_frame(
+      h1, {reinterpret_cast<const std::byte*>(p1.data()), p1.size()});
+  transport::FrameHeader h2;
+  h2.src = 2;
+  h2.tag = 7;
+  h2.payload_bytes = 0;
+  const auto f2 = transport::encode_frame(h2, {});
+  stream.insert(stream.end(), f1.begin(), f1.end());
+  stream.insert(stream.end(), f2.begin(), f2.end());
+
+  std::size_t at = 0;
+  std::size_t dribble = 0;
+  const auto pull = [&](std::byte* dst, std::size_t max) {
+    const std::size_t n =
+        std::min({max, stream.size() - at, dribble % 3 + 1});
+    ++dribble;
+    std::memcpy(dst, stream.data() + at, n);
+    at += n;
+    return n;
+  };
+
+  std::vector<std::pair<transport::FrameHeader, std::string>> frames;
+  transport::FrameReader reader;
+  while (at < stream.size()) {
+    reader.drain(pull, [&](const transport::FrameHeader& h,
+                           std::vector<std::byte>&& payload) {
+      frames.emplace_back(
+          h, std::string(reinterpret_cast<const char*>(payload.data()),
+                         payload.size()));
+    });
+  }
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0].first.tag, 42);
+  EXPECT_EQ(frames[0].second, "hello, wire");
+  EXPECT_EQ(frames[1].first.src, 2);
+  EXPECT_EQ(frames[1].second, "");
+}
+
+// --- Comm semantics over every wire ----------------------------------------
+
+TEST(CrossTransportTest, PointToPointSemanticsHoldOnEveryWire) {
+  for (const char* wire : kWires) {
+    SCOPED_TRACE(wire);
+    run(
+        3,
+        [](Comm& comm) {
+          // Ping-pong + out-of-order tags + wildcard source, the core of
+          // the transport-neutral point-to-point contract.
+          if (comm.rank() == 0) {
+            comm.send(1, 1, std::vector<std::uint64_t>{1, 2, 3});
+            comm.send(1, 2, std::vector<std::uint64_t>{9});
+            bool seen1 = false;
+            bool seen2 = false;
+            for (int i = 0; i < 2; ++i) {
+              int src = -2;
+              const auto v = comm.recv<std::uint64_t>(kAnySource, 5, &src);
+              EXPECT_EQ(v.at(0), static_cast<std::uint64_t>(src) * 10);
+              seen1 |= src == 1;
+              seen2 |= src == 2;
+            }
+            EXPECT_TRUE(seen1);
+            EXPECT_TRUE(seen2);
+          } else if (comm.rank() == 1) {
+            EXPECT_EQ(comm.recv<std::uint64_t>(0, 2).at(0), 9u);  // tag 2 first
+            EXPECT_EQ(comm.recv<std::uint64_t>(0, 1).size(), 3u);
+            comm.send(0, 5, std::vector<std::uint64_t>{10});
+          } else {
+            comm.send(0, 5, std::vector<std::uint64_t>{20});
+          }
+          comm.barrier();
+        },
+        on_wire(wire));
+  }
+}
+
+TEST(CrossTransportTest, BarriersSynchronizeOnEveryWire) {
+  for (const char* wire : kWires) {
+    SCOPED_TRACE(wire);
+    std::atomic<int> phase{0};
+    run(
+        4,
+        [&](Comm& comm) {
+          for (int round = 0; round < 5; ++round) {
+            EXPECT_EQ(phase.load(), round);
+            comm.barrier();
+            // Every rank observed phase == round before any rank moves on;
+            // one designated rank advances it between barriers.
+            if (comm.rank() == 0) ++phase;
+            comm.barrier();
+          }
+        },
+        on_wire(wire));
+    EXPECT_EQ(phase.load(), 5);
+  }
+}
+
+TEST(CrossTransportTest, ByteAccountingIsHonestPerWire) {
+  const std::vector<std::uint64_t> block(1024, 7);
+  for (const char* wire : kWires) {
+    SCOPED_TRACE(wire);
+    const RunStats stats = run(
+        2,
+        [&](Comm& comm) {
+          if (comm.rank() == 0) {
+            auto copy = block;
+            comm.send(1, 3, std::move(copy));  // ownership handoff
+          } else {
+            comm.recv<std::uint64_t>(0, 3);
+          }
+          comm.barrier();
+        },
+        on_wire(wire));
+    const std::uint64_t payload = block.size() * sizeof(std::uint64_t);
+    EXPECT_GE(stats.total_bytes(), payload);
+    if (std::string(wire) == "threads") {
+      // Moved-ownership send travels zero-copy in process.
+      EXPECT_GE(stats.total_bytes_shared(), payload);
+    } else {
+      // One counted serialization copy per wire crossing.
+      EXPECT_GE(stats.total_bytes_copied(), payload);
+      EXPECT_EQ(stats.total_bytes_shared(), 0u);
+    }
+  }
+}
+
+TEST(CrossTransportTest, SharedViewsDegradeToCopiesOffThreads) {
+  // broadcast_view hands out refcounted views on the threads wire and
+  // falls back to per-receiver copies on serializing wires — same values
+  // either way (the graceful-degradation half of the view contract).
+  for (const char* wire : kWires) {
+    SCOPED_TRACE(wire);
+    run(
+        3,
+        [](Comm& comm) {
+          std::vector<std::uint64_t> root_data;
+          if (comm.rank() == 0) {
+            root_data.assign(512, 0);
+            for (std::size_t i = 0; i < root_data.size(); ++i) {
+              root_data[i] = i * 3 + 1;
+            }
+          }
+          const View<std::uint64_t> view =
+              comm.broadcast_view(std::move(root_data), 0, 9);
+          ASSERT_EQ(view.span().size(), 512u);
+          EXPECT_EQ(view.span()[0], 1u);
+          EXPECT_EQ(view.span()[511], 511u * 3 + 1);
+          comm.barrier();
+        },
+        on_wire(wire));
+  }
+}
+
+// --- The equality suite: bit-identical histograms ---------------------------
+
+std::vector<Addr> equality_trace(std::size_t n, std::uint64_t seed) {
+  std::vector<std::unique_ptr<Workload>> kids;
+  kids.push_back(std::make_unique<ZipfWorkload>(400, 0.8, seed, 0));
+  kids.push_back(std::make_unique<SequentialWorkload>(128, 1));
+  MixWorkload mix(std::move(kids), {0.7, 0.3}, seed);
+  return generate_trace(mix, n);
+}
+
+TEST(CrossTransportEqualityTest, OfflineHistogramsAreBitIdentical) {
+  const auto trace = equality_trace(6000, 17);
+  for (const std::uint64_t bound : {std::uint64_t{0}, std::uint64_t{128}}) {
+    for (const int np : {1, 2, 4}) {
+      PardaOptions options;
+      options.num_procs = np;
+      if (bound != 0) options.bound = bound;
+      options.run_options = on_wire("threads");
+      const PardaResult expected = parda_analyze(trace, options);
+      const std::string expected_json = expected.hist.to_json();
+      for (const char* wire : {"shm", "tcp"}) {
+        SCOPED_TRACE(std::string(wire) + " np=" + std::to_string(np) +
+                     " bound=" + std::to_string(bound));
+        options.run_options = on_wire(wire);
+        const PardaResult got = parda_analyze(trace, options);
+        EXPECT_TRUE(got.hist == expected.hist);
+        // Bit-identical parda.histogram.v1, not just equal totals.
+        EXPECT_EQ(got.hist.to_json(), expected_json);
+      }
+    }
+  }
+}
+
+TEST(CrossTransportEqualityTest, StreamedHistogramsAreBitIdentical) {
+  const auto trace = equality_trace(5000, 23);
+  const auto streamed = [&](const char* wire, int np) {
+    TracePipe pipe(1024);
+    std::thread producer([&] {
+      constexpr std::size_t kBlock = 257;
+      for (std::size_t at = 0; at < trace.size(); at += kBlock) {
+        const std::size_t hi = std::min(at + kBlock, trace.size());
+        pipe.write(std::span<const Addr>(trace.data() + at, hi - at));
+      }
+      pipe.close();
+    });
+    PardaOptions options;
+    options.num_procs = np;
+    options.chunk_words = 320;
+    options.run_options = on_wire(wire);
+    const PardaResult result = parda_analyze_stream(pipe, options);
+    producer.join();
+    return result;
+  };
+  for (const int np : {2, 4}) {
+    const PardaResult expected = streamed("threads", np);
+    for (const char* wire : {"shm", "tcp"}) {
+      SCOPED_TRACE(std::string(wire) + " np=" + std::to_string(np));
+      const PardaResult got = streamed(wire, np);
+      EXPECT_TRUE(got.hist == expected.hist);
+      EXPECT_EQ(got.hist.to_json(), expected.hist.to_json());
+    }
+  }
+}
+
+// --- Fault equivalence: aborts and deadlines per wire -----------------------
+
+/// Mirror of fault_test's harness: run `body` under `opts` with rank
+/// `faulty` set up to throw, assert run() rethrows the injected error and
+/// every surviving rank sees a RankAbortedError attributed to `faulty`.
+template <typename Body>
+void expect_attributed_abort(int np, int faulty, const RunOptions& opts,
+                             Body&& body) {
+  std::vector<int> observed_origin(static_cast<std::size_t>(np), -100);
+  EXPECT_THROW(
+      run(np,
+          [&](Comm& comm) {
+            try {
+              body(comm);
+              comm.barrier();
+            } catch (const RankAbortedError& e) {
+              observed_origin[static_cast<std::size_t>(comm.rank())] =
+                  e.origin_rank();
+              throw;
+            }
+          },
+          opts),
+      FaultInjectedError);
+  for (int r = 0; r < np; ++r) {
+    if (r == faulty) continue;
+    EXPECT_EQ(observed_origin[static_cast<std::size_t>(r)], faulty)
+        << "rank " << r << " did not see an abort attributed to rank "
+        << faulty;
+  }
+}
+
+TEST(CrossTransportFaultTest, AbortAttributionIsIdenticalOnEveryWire) {
+  // The FaultPlan seed matrix: every (wire, plan) cell must end with the
+  // injected error rethrown and the origin correctly attributed on every
+  // surviving rank — the transport must neither eat nor re-attribute an
+  // abort.
+  struct Cell {
+    const char* plan;
+    int faulty;
+  };
+  const Cell kMatrix[] = {
+      {"rank=1,op=recv,n=0", 1},
+      {"rank=0,op=send,n=0", 0},
+      {"rank=2,op=recv,n=1", 2},  // n counts ops zero-based: second recv
+  };
+  for (const char* wire : kWires) {
+    for (const Cell& cell : kMatrix) {
+      SCOPED_TRACE(std::string(wire) + " plan=" + cell.plan);
+      FaultPlan plan = FaultPlan::parse(cell.plan);
+      RunOptions opts = on_wire(wire);
+      opts.fault_plan = &plan;
+      expect_attributed_abort(3, cell.faulty, opts, [](Comm& comm) {
+        // Every rank sends to and receives from its neighbors, so every
+        // rank crosses both a send and enough recv points for the matrix.
+        const int next = (comm.rank() + 1) % comm.size();
+        const int prev = (comm.rank() + comm.size() - 1) % comm.size();
+        comm.send(next, 1, std::vector<int>{comm.rank()});
+        EXPECT_EQ(comm.recv<int>(prev, 1).at(0), prev);
+        comm.send(prev, 2, std::vector<int>{comm.rank()});
+        EXPECT_EQ(comm.recv<int>(next, 2).at(0), next);
+      });
+    }
+  }
+}
+
+TEST(CrossTransportFaultTest, RecvDeadlineFiresOnEveryWire) {
+  for (const char* wire : kWires) {
+    SCOPED_TRACE(wire);
+    RunOptions opts = on_wire(wire);
+    opts.op_timeout = milliseconds(200);
+    EXPECT_THROW(
+        run(
+            2,
+            [](Comm& comm) {
+              if (comm.rank() == 0) {
+                comm.recv<int>(1, 77);  // rank 1 never sends: must time out
+              }
+            },
+            opts),
+        DeadlineExceededError);
+  }
+}
+
+TEST(CrossTransportFaultTest, WatchdogFiresOnRecvCycleOnEveryWire) {
+  // The classic two-rank recv deadlock: only the stall watchdog can end
+  // it, and it must attribute the abort to kWatchdogOrigin on every wire.
+  for (const char* wire : kWires) {
+    SCOPED_TRACE(wire);
+    RunOptions opts = on_wire(wire);
+    opts.op_timeout = {};  // no per-op deadline: only the watchdog can fire
+    opts.watchdog_interval = milliseconds(50);
+    try {
+      run(
+          2, [](Comm& comm) { comm.recv<int>(1 - comm.rank(), 0); }, opts);
+      FAIL() << "expected the watchdog to abort the deadlocked run";
+    } catch (const RankAbortedError& e) {
+      EXPECT_EQ(e.origin_rank(), kWatchdogOrigin);
+      EXPECT_NE(std::string(e.what()).find("stall detected"),
+                std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+// --- Pooled reuse per wire --------------------------------------------------
+
+TEST(CrossTransportPoolTest, WorldsAreReusedAndRecoverAfterAborts) {
+  WorkerPool pool;
+  const auto clean_job = [](Comm& comm) {
+    const int next = (comm.rank() + 1) % comm.size();
+    const int prev = (comm.rank() + comm.size() - 1) % comm.size();
+    comm.send(next, 4, std::vector<int>{comm.rank() * 11});
+    EXPECT_EQ(comm.recv<int>(prev, 4).at(0), prev * 11);
+    comm.barrier();
+  };
+  for (const char* wire : kWires) {
+    SCOPED_TRACE(wire);
+    const std::uint64_t reuses_before = pool.world_reuses();
+    pool.run_job(3, clean_job, on_wire(wire));
+    pool.run_job(3, clean_job, on_wire(wire));  // same world, rings warm
+    EXPECT_THROW(pool.run_job(
+                     3,
+                     [](Comm& comm) {
+                       if (comm.rank() == 1) {
+                         throw std::runtime_error("induced failure");
+                       }
+                       comm.barrier();
+                     },
+                     on_wire(wire)),
+                 std::runtime_error);
+    // The poisoned world is cleared (generation bump, rings/mesh rewound)
+    // and the next job on the same wire runs clean.
+    pool.run_job(3, clean_job, on_wire(wire));
+    EXPECT_GE(pool.world_reuses(), reuses_before + 2);
+  }
+  // Different wires never share a world even at the same np.
+  EXPECT_GE(pool.worlds_created(), 3u);
+}
+
+TEST(CrossTransportPoolTest, DistributedSpecsBypassThePool) {
+  // A distributed spec must be rejected fast when misconfigured, not
+  // cached: validate() runs before any world exists.
+  WorkerPool pool;
+  RunOptions opts;
+  opts.transport = TransportSpec::parse("tcp:peers=a:1,rank=0");
+  EXPECT_THROW(pool.run_job(2, [](Comm&) {}, opts), CheckError);
+  EXPECT_EQ(pool.jobs_run(), 0u);
+}
+
+}  // namespace
+}  // namespace parda::comm

@@ -13,13 +13,17 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <future>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "comm/fault.hpp"
+#include "comm/transport/spec.hpp"
 #include "core/parda.hpp"
 #include "core/runtime.hpp"
 #include "obs/obs.hpp"
@@ -383,6 +387,45 @@ TEST(TelemetryServer, RoutesAllEndpoints) {
   server.stop();  // idempotent
 }
 
+TEST(TelemetryServer, AcceptPoolKeepsScrapesFlowingPastSlowRequests) {
+  // Head-of-line blocking regression test: with a serial accept loop, a
+  // request parked inside its handler would starve every later
+  // connection. The accept pool must keep /metrics scrapes flowing while
+  // /slow is still in service.
+  ScopedEnable on;
+  TelemetryServer server(0);
+  ASSERT_GE(server.accept_threads(), 2);
+
+  std::promise<void> release;
+  std::shared_future<void> released(release.get_future());
+  std::atomic<bool> slow_entered{false};
+  server.set_handler([&](const TelemetryServer::Request& request)
+                         -> std::optional<TelemetryServer::Response> {
+    if (request.path == "/slow") {
+      slow_entered.store(true, std::memory_order_release);
+      released.wait();
+      return TelemetryServer::Response{200, "text/plain", "done\n"};
+    }
+    return std::nullopt;
+  });
+
+  std::thread slow_client(
+      [&] { http_get(server.port(), "/slow"); });
+  while (!slow_entered.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // /slow is parked in its handler on one pool thread. These scrapes must
+  // be served by the others — if they queue behind /slow, the test hangs
+  // (and the 2s client recv timeout turns that into a visible failure).
+  for (int i = 0; i < 3; ++i) {
+    const std::string metrics = http_get(server.port(), "/metrics");
+    EXPECT_NE(metrics.find("HTTP/1.1 200"), std::string::npos);
+  }
+  release.set_value();
+  slow_client.join();
+  server.stop();
+}
+
 TEST(TelemetryServer, ServesRealHttpGets) {
   ScopedEnable on;
   TelemetryServer server(0);
@@ -463,6 +506,14 @@ TEST(SpanReportIntegration, InjectedDelayNamesTheDelayedRank) {
   options.num_procs = 4;
   options.chunk_words = 1024;
   options.run_options.fault_plan = &plan;
+  // The fault-injection sweep (scripts/run_fault_injection.sh) reruns
+  // attribution per wire: straggler naming is span math above the comm
+  // layer and must not depend on the transport moving the bytes.
+  if (const char* wire = std::getenv("PARDA_FAULT_TRANSPORT")) {
+    if (*wire != '\0') {
+      options.run_options.transport = comm::TransportSpec::parse(wire);
+    }
+  }
 
   core::PardaRuntime runtime;
   auto session = runtime.session(options);
