@@ -1,0 +1,118 @@
+// Ingest-path comparison: the same trace analyzed through the three
+// TraceSource paths (DESIGN.md "Ingest") —
+//   pipe  producer thread + bounded TracePipe + multi-phase streaming
+//         algorithm (the historical file path, one copy per reference),
+//   mmap  zero-copy mapping, offline algorithm on disjoint views,
+//   trz   chunked v2 archive, per-rank parallel decode, offline algorithm
+// — at np = 1..8. This is the artifact behind the "ingest at line rate"
+// roadmap item: mmap and trz must beat pipe on refs/s (the pipe pays a
+// copy, a thread handoff, and the phase machinery per reference).
+//
+// Writes a parda.bench.v1 artifact (default BENCH_ingest.json, override
+// with PARDA_BENCH_JSON); a point's identity is (name="analyze_file",
+// np, ingest) — trace length deliberately stays out of the params so a
+// small CI run diffs against the committed full-size baseline with
+// scripts/bench_diff.py (gate on --metric ns_per_ref; the diff tool
+// treats every metric as a cost, so refs/s is reported but not gated).
+//
+// Environment: PARDA_BENCH_INGEST_REFS (default 1M references),
+// PARDA_BENCH_INGEST_REPS (default 3, best rep wins), PARDA_BENCH_JSON.
+#include <algorithm>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "comm/worker_pool.hpp"
+#include "core/file_analysis.hpp"
+#include "trace/source.hpp"
+#include "trace/trace_compress.hpp"
+#include "trace/trace_io.hpp"
+#include "util/timer.hpp"
+#include "workload/generators.hpp"
+
+namespace parda {
+namespace {
+
+struct IngestFixture {
+  std::string trc_path;
+  std::string trz_path;
+  std::size_t refs = 0;
+};
+
+IngestFixture make_fixture() {
+  const auto refs = bench::env_u64("PARDA_BENCH_INGEST_REFS", 1 << 20);
+  ZipfWorkload w(refs, 0.8, 5);
+  const std::vector<Addr> trace = generate_trace(w, refs);
+  IngestFixture fx;
+  fx.refs = trace.size();
+  fx.trc_path = "bench_ingest_tmp.trc";
+  fx.trz_path = "bench_ingest_tmp.trz";
+  write_trace_binary(fx.trc_path, trace);
+  write_trace_chunked(fx.trz_path, trace);
+  return fx;
+}
+
+double measure(comm::WorkerPool& pool, const IngestFixture& fx,
+               IngestMode mode, int np, int reps) {
+  const std::string& path =
+      mode == IngestMode::kTrz ? fx.trz_path : fx.trc_path;
+  PardaOptions options;
+  options.num_procs = np;
+  double best = 1e30;
+  for (int i = 0; i < reps; ++i) {
+    WallTimer timer;
+    const PardaResult r =
+        parda_analyze_file_on(pool, path, options, 1 << 20, mode);
+    const double secs = timer.seconds();
+    if (r.hist.total() != fx.refs) {
+      std::fprintf(stderr, "bench_ingest: %s returned %" PRIu64
+                           " references, expected %zu\n",
+                   ingest_mode_name(mode), r.hist.total(), fx.refs);
+      std::exit(1);
+    }
+    best = std::min(best, secs);
+  }
+  return best;
+}
+
+void run_ingest_suite() {
+  const int reps =
+      static_cast<int>(bench::env_u64("PARDA_BENCH_INGEST_REPS", 3));
+  const std::string json_path = bench::bench_json_path("BENCH_ingest.json");
+  const IngestFixture fx = make_fixture();
+
+  std::vector<bench::BenchPoint> points;
+  std::printf("ingest (refs=%zu, reps=%d)\n%-6s %3s %12s %10s\n", fx.refs,
+              reps, "ingest", "np", "ns_per_ref", "Mrefs/s");
+  for (const int np : {1, 2, 4, 8}) {
+    comm::WorkerPool pool(np);  // warm pool shared by the modes at this np
+    for (const IngestMode mode :
+         {IngestMode::kPipe, IngestMode::kMmap, IngestMode::kTrz}) {
+      const double secs = measure(pool, fx, mode, np, reps);
+      bench::BenchPoint p;
+      p.name = "analyze_file";
+      p.params = {{"np", static_cast<std::uint64_t>(np)}};
+      p.labels = {{"ingest", ingest_mode_name(mode)}};
+      p.metrics = {
+          {"ns_per_ref", secs * 1e9 / static_cast<double>(fx.refs)},
+          {"mrefs_per_s", static_cast<double>(fx.refs) / secs / 1e6}};
+      std::printf("%-6s %3d %12.2f %10.2f\n", ingest_mode_name(mode), np,
+                  p.metrics[0].second, p.metrics[1].second);
+      points.push_back(std::move(p));
+    }
+  }
+  bench::write_bench_json(json_path, "ingest", points);
+  std::remove(fx.trc_path.c_str());
+  std::remove(fx.trz_path.c_str());
+}
+
+}  // namespace
+}  // namespace parda
+
+int main() {
+  parda::run_ingest_suite();
+  return 0;
+}

@@ -11,11 +11,16 @@
 //   ./trace_tool analyze lbm.trc --transport=shm          # real wire, 1 proc
 //   ./trace_tool analyze lbm.trc --transport=tcp --rank=0
 //                --peers=host0:7000,host1:7000            # distributed
+//   ./trace_tool analyze lbm.trc --ingest=mmap       # zero-copy offline
+//   ./trace_tool analyze lbm.trz --ingest=trz --procs=8
 //   ./trace_tool checkmetrics scrape.prom
 //   ./trace_tool convert lbm.trc lbm.txt
+//   ./trace_tool convert lbm.trc lbm.trz --chunk-refs=65536
+//   ./trace_tool convert old.trz new.trz --trz-version=2  # v1 -> chunked v2
 //
-// The transport (like the log level) resolves through the layered config
-// rule: --transport beats $PARDA_TRANSPORT beats the "threads" default.
+// The transport, ingest path, and log level all resolve through the
+// layered config rule: the CLI flag beats the environment variable
+// ($PARDA_TRANSPORT / $PARDA_INGEST / $PARDA_LOG_LEVEL) beats the default.
 //
 // Exit codes: 0 success, 1 runtime failure (missing/corrupt trace, aborted
 // analysis, invalid exposition format), 2 usage error (bad flag or
@@ -44,6 +49,7 @@
 #include "hist/mrc.hpp"
 #include "hist/report.hpp"
 #include "obs/obs.hpp"
+#include "trace/source.hpp"
 #include "trace/trace_compress.hpp"
 #include "trace/trace_io.hpp"
 #include "util/check.hpp"
@@ -67,13 +73,48 @@ std::vector<parda::Addr> load(const std::string& path) {
   return parda::read_trace_binary(path);
 }
 
-void store(const std::string& path, const std::vector<parda::Addr>& trace) {
+void store(const std::string& path, const std::vector<parda::Addr>& trace,
+           std::uint64_t trz_version = 2,
+           std::uint64_t chunk_refs = parda::kDefaultTrzChunkRefs) {
   if (ends_with(path, ".txt")) {
     parda::write_trace_text(path, trace);
   } else if (ends_with(path, ".trz")) {
-    parda::write_trace_compressed(path, trace);
+    if (trz_version == 1) {
+      parda::write_trace_compressed(path, trace);
+    } else {
+      parda::write_trace_chunked(path, trace, chunk_refs);
+    }
   } else {
     parda::write_trace_binary(path, trace);
+  }
+}
+
+/// Validates the .trz output knobs for the writing commands (gen and
+/// convert). The flags only mean something for a .trz output, and
+/// --chunk-refs only for the chunked v2 layout.
+void check_trz_flags(const parda::CliParser& cli, const char* command,
+                     const std::string& out_path, std::uint64_t trz_version,
+                     std::uint64_t chunk_refs) {
+  using parda::usage_error;
+  if (trz_version != 1 && trz_version != 2) {
+    usage_error("%s: bad --trz-version %llu (expected 1 or 2)", command,
+                static_cast<unsigned long long>(trz_version));
+  }
+  if (chunk_refs == 0) {
+    usage_error("%s: --chunk-refs must be positive", command);
+  }
+  if (!ends_with(out_path, ".trz")) {
+    if (cli.was_set("trz-version")) {
+      usage_error("%s: --trz-version applies only to .trz outputs", command);
+    }
+    if (cli.was_set("chunk-refs")) {
+      usage_error("%s: --chunk-refs applies only to .trz outputs", command);
+    }
+  }
+  if (trz_version == 1 && cli.was_set("chunk-refs")) {
+    usage_error("%s: --chunk-refs needs --trz-version=2 (a v1 archive is one "
+                "whole-file stream)",
+                command);
   }
 }
 
@@ -225,8 +266,11 @@ int run_tool(int argc, char** argv) {
   std::uint64_t bound = 0;
   std::string engine = "parda";
   bool stream = false;
+  std::string ingest_text;
   std::uint64_t chunk = 1 << 16;
   std::uint64_t pipe_words = 1 << 20;
+  std::uint64_t trz_version = 2;
+  std::uint64_t chunk_refs = kDefaultTrzChunkRefs;
   std::string fault_plan_spec;
   std::uint64_t watchdog_ms = 0;
   std::uint64_t timeout_ms = 0;
@@ -256,8 +300,17 @@ int run_tool(int argc, char** argv) {
                "lru|olken|splay|avl|treap|fenwick|interval|naive");
   cli.add_flag("stream", &stream,
                "analyze: stream the file through a bounded pipe");
+  cli.add_flag("ingest", &ingest_text,
+               "analyze: file ingest path: pipe (stream through a bounded "
+               "pipe) | mmap (zero-copy map of a .trc) | trz (parallel "
+               "chunked decode of a v2 .trz); also $PARDA_INGEST");
   cli.add_flag("chunk", &chunk, "analyze --stream: per-rank chunk size C");
   cli.add_flag("pipe", &pipe_words, "analyze --stream: pipe capacity in words");
+  cli.add_flag("trz-version", &trz_version,
+               "gen/convert: .trz archive version: 2 (chunked, default) | 1 "
+               "(whole-file stream)");
+  cli.add_flag("chunk-refs", &chunk_refs,
+               "gen/convert: references per chunk for v2 .trz outputs");
   cli.add_flag("fault-plan", &fault_plan_spec,
                "fault injection plan (see DESIGN.md; also $PARDA_FAULT_PLAN)");
   cli.add_flag("watchdog-ms", &watchdog_ms,
@@ -325,6 +378,41 @@ int run_tool(int argc, char** argv) {
                 comm::transport_kind_name(transport.kind));
   }
 
+  // The file-ingest path, through the same layered rule as the transport:
+  // --ingest beats $PARDA_INGEST beats the legacy default (load the whole
+  // trace in memory; with --stream, the pipe). nullopt = legacy default.
+  std::optional<IngestMode> ingest;
+  const config::Resolved ingest_resolved =
+      config::resolve_flag(cli, "ingest", ingest_text, "PARDA_INGEST", "");
+  if (!ingest_resolved.value.empty()) {
+    const std::optional<IngestMode> parsed =
+        parse_ingest_mode(ingest_resolved.value);
+    if (parsed.has_value()) {
+      ingest = *parsed;
+    } else if (ingest_resolved.from_cli()) {
+      usage_error("bad --ingest '%s' (expected pipe|mmap|trz)",
+                  ingest_resolved.value.c_str());
+    } else {
+      std::fprintf(stderr, "trace_tool: ignoring bad $PARDA_INGEST '%s'\n",
+                   ingest_resolved.value.c_str());
+    }
+  }
+  if (stream) {
+    // --stream IS pipe ingest. A contradictory CLI --ingest is a usage
+    // error; a contradictory environment is tolerated, like --transport.
+    if (ingest.has_value() && *ingest != IngestMode::kPipe &&
+        ingest_resolved.from_cli()) {
+      usage_error("analyze: --stream streams through the pipe; drop it or "
+                  "use --ingest=%s without --stream",
+                  ingest_mode_name(*ingest));
+    }
+    ingest = IngestMode::kPipe;
+  }
+  if (engine != "parda" && cli.was_set("ingest")) {
+    usage_error("--ingest requires --engine=parda (sequential engines load "
+                "the whole trace in memory)");
+  }
+
   std::optional<std::uint16_t> serve_port;
   if (!serve.empty()) {
     char* end = nullptr;
@@ -344,6 +432,7 @@ int run_tool(int argc, char** argv) {
 
   if (command == "gen") {
     if (refs == 0) usage_error("gen: --refs must be positive");
+    check_trz_flags(cli, "gen", out, trz_version, chunk_refs);
     // Accept either a bare Table IV profile name ("mcf") or a full
     // workload spec string ("zipf:m=100000,a=0.9", "mix:...", "spec:mcf").
     std::unique_ptr<Workload> w;
@@ -353,7 +442,7 @@ int run_tool(int argc, char** argv) {
       w = parse_workload(workload_name, seed);
     }
     const auto trace = generate_trace(*w, refs);
-    store(out, trace);
+    store(out, trace, trz_version, chunk_refs);
     std::printf("wrote %s references of %s to %s\n",
                 with_commas(refs).c_str(), w->name().c_str(), out.c_str());
     return 0;
@@ -441,10 +530,11 @@ int run_tool(int argc, char** argv) {
       }
       auto session = runtime.session(options);
       std::vector<Addr> trace;
-      if (!stream) trace = load(cli.positionals()[0]);
+      if (!ingest.has_value()) trace = load(cli.positionals()[0]);
       for (std::uint64_t i = 0; i < repeat; ++i) {
-        result = stream
-                     ? session.analyze_file(cli.positionals()[0], pipe_words)
+        result = ingest.has_value()
+                     ? session.analyze_file(cli.positionals()[0], pipe_words,
+                                            *ingest)
                      : session.analyze(trace);
         if (repeat > 1) {
           std::printf("iteration %llu: %.3f ms wall\n",
@@ -505,8 +595,10 @@ int run_tool(int argc, char** argv) {
     if (cli.positionals().size() < 2) {
       usage_error("convert: need input and output paths");
     }
+    check_trz_flags(cli, "convert", cli.positionals()[1], trz_version,
+                    chunk_refs);
     const auto trace = load(cli.positionals()[0]);
-    store(cli.positionals()[1], trace);
+    store(cli.positionals()[1], trace, trz_version, chunk_refs);
     std::printf("converted %zu references\n", trace.size());
     return 0;
   }

@@ -175,4 +175,104 @@ TEST_F(TraceToolCliTest, DistributedShmAnalyzeAcrossProcesses) {
             0);
 }
 
+// --- Ingest flag matrix (DESIGN.md "Ingest") --------------------------------
+
+TEST_F(TraceToolCliTest, EveryIngestModeAnalyzes) {
+  ASSERT_EQ(run("convert trace_cli_test.trc trace_cli_test.trz"), 0);
+  EXPECT_EQ(run("analyze trace_cli_test.trc --procs=2 --ingest=pipe"), 0);
+  EXPECT_EQ(run("analyze trace_cli_test.trc --procs=2 --ingest=mmap"), 0);
+  EXPECT_EQ(run("analyze trace_cli_test.trz --procs=2 --ingest=trz"), 0);
+}
+
+TEST_F(TraceToolCliTest, BadIngestModeIsUsageError) {
+  EXPECT_EQ(run("analyze trace_cli_test.trc --ingest=carrier-pigeon"), 2);
+}
+
+TEST_F(TraceToolCliTest, StreamContradictsOfflineIngest) {
+  // --stream IS pipe ingest: saying both is fine, an offline mode is not.
+  EXPECT_EQ(run("analyze trace_cli_test.trc --stream --ingest=pipe"), 0);
+  EXPECT_EQ(run("analyze trace_cli_test.trc --stream --ingest=mmap"), 2);
+  EXPECT_EQ(run("analyze trace_cli_test.trc --stream --ingest=trz"), 2);
+  // A process-wide $PARDA_INGEST yields to an explicit --stream.
+  EXPECT_EQ(run_env("PARDA_INGEST=mmap",
+                    "analyze trace_cli_test.trc --stream"),
+            0);
+}
+
+TEST_F(TraceToolCliTest, SequentialEngineRejectsExplicitIngest) {
+  EXPECT_EQ(run("analyze trace_cli_test.trc --engine=lru --ingest=mmap"), 2);
+  // ... but tolerates the environment, like --transport.
+  EXPECT_EQ(run_env("PARDA_INGEST=mmap",
+                    "analyze trace_cli_test.trc --engine=lru"),
+            0);
+}
+
+TEST_F(TraceToolCliTest, IngestResolvesCliOverEnvOverDefault) {
+  // A valid env value selects the path with no flag at all...
+  EXPECT_EQ(run_env("PARDA_INGEST=mmap",
+                    "analyze trace_cli_test.trc --procs=2"),
+            0);
+  // ...the command line beats it...
+  EXPECT_EQ(run_env("PARDA_INGEST=trz",
+                    "analyze trace_cli_test.trc --procs=2 --ingest=mmap"),
+            0);
+  // ...and a malformed env value falls back to the default with a warning
+  // (the legacy in-memory path still works, unlike a bad --ingest).
+  EXPECT_EQ(run_env("PARDA_INGEST=carrier-pigeon",
+                    "analyze trace_cli_test.trc --procs=2"),
+            0);
+}
+
+TEST_F(TraceToolCliTest, WrongContainerForIngestIsRuntimeError) {
+  ASSERT_EQ(run("convert trace_cli_test.trc trace_cli_test.trz"), 0);
+  EXPECT_EQ(run("analyze trace_cli_test.trc --ingest=trz"), 1);
+  EXPECT_EQ(run("analyze trace_cli_test.trz --ingest=mmap"), 1);
+}
+
+// --- convert: .trz versions and chunking ------------------------------------
+
+TEST_F(TraceToolCliTest, ConvertWritesChunkedV2ByDefault) {
+  ASSERT_EQ(run("convert trace_cli_test.trc trace_cli_conv.trz"), 0);
+  EXPECT_EQ(run("analyze trace_cli_conv.trz --procs=2 --ingest=trz"), 0);
+  ASSERT_EQ(run("convert trace_cli_test.trc trace_cli_conv.trz "
+                "--chunk-refs=1024"),
+            0);
+  EXPECT_EQ(run("analyze trace_cli_conv.trz --procs=2 --ingest=trz"), 0);
+}
+
+TEST_F(TraceToolCliTest, V1ArchivesStillReadableButNotChunkIngestable) {
+  ASSERT_EQ(run("convert trace_cli_test.trc trace_cli_v1.trz "
+                "--trz-version=1"),
+            0);
+  // Legacy in-memory load decodes v1 fine; chunked ingest demands v2.
+  EXPECT_EQ(run("analyze trace_cli_v1.trz --procs=2"), 0);
+  EXPECT_EQ(run("analyze trace_cli_v1.trz --procs=2 --ingest=trz"), 1);
+  // The upgrade path named in that error actually works.
+  ASSERT_EQ(run("convert trace_cli_v1.trz trace_cli_v2.trz "
+                "--trz-version=2"),
+            0);
+  EXPECT_EQ(run("analyze trace_cli_v2.trz --procs=2 --ingest=trz"), 0);
+}
+
+TEST_F(TraceToolCliTest, TrzFlagValidation) {
+  // .trz knobs on a non-.trz output.
+  EXPECT_EQ(run("convert trace_cli_test.trc plain.trc --chunk-refs=64"), 2);
+  EXPECT_EQ(run("convert trace_cli_test.trc plain.trc --trz-version=2"), 2);
+  // Version out of range; chunking a v1 stream; degenerate chunk size.
+  EXPECT_EQ(run("convert trace_cli_test.trc x.trz --trz-version=3"), 2);
+  EXPECT_EQ(run("convert trace_cli_test.trc x.trz --trz-version=1 "
+                "--chunk-refs=64"),
+            2);
+  EXPECT_EQ(run("convert trace_cli_test.trc x.trz --chunk-refs=0"), 2);
+  // gen validates the same knobs.
+  EXPECT_EQ(run("gen --refs=100 --out=x.trc --chunk-refs=64"), 2);
+}
+
+TEST_F(TraceToolCliTest, GenWritesChunkedTrzDirectly) {
+  ASSERT_EQ(run("gen --workload=zipf:m=200,a=0.8 --refs=5000 "
+                "--out=trace_cli_gen.trz --chunk-refs=512"),
+            0);
+  EXPECT_EQ(run("analyze trace_cli_gen.trz --procs=2 --ingest=trz"), 0);
+}
+
 }  // namespace

@@ -3,6 +3,7 @@
 #include <thread>
 
 #include "comm/fault.hpp"
+#include "obs/metrics.hpp"
 #include "trace/trace_io.hpp"
 #include "trace/trace_pipe.hpp"
 
@@ -45,6 +46,12 @@ PardaResult run_with_file_producer(
         written += chunk.size();
         pipe.write(std::move(chunk));
       }
+      if (obs::enabled()) {
+        // Every reference crossed the pipe as a copy; the offline sources
+        // keep this counter at 0, which is their zero-copy proof.
+        obs::registry().counter("ingest.bytes_copied")
+            .add(written * sizeof(Addr));
+      }
       pipe.close();
     } catch (...) {
       // Poison the pipe so the consumer stops mid-phase instead of
@@ -78,7 +85,12 @@ PardaResult run_with_file_producer(
 PardaResult parda_analyze_file_on(comm::WorkerPool& pool,
                                   const std::string& path,
                                   const PardaOptions& options,
-                                  std::size_t pipe_words) {
+                                  std::size_t pipe_words,
+                                  IngestMode ingest) {
+  if (ingest != IngestMode::kPipe) {
+    std::unique_ptr<TraceSource> source = open_offline_source(path, ingest);
+    return parda_analyze_source_on(pool, *source, options);
+  }
   return detail::run_with_file_producer(
       path, options, pipe_words, [&](TracePipe& pipe) {
         return parda_analyze_stream_on(pool, pipe, options);
@@ -87,9 +99,9 @@ PardaResult parda_analyze_file_on(comm::WorkerPool& pool,
 
 PardaResult parda_analyze_file(const std::string& path,
                                const PardaOptions& options,
-                               std::size_t pipe_words) {
+                               std::size_t pipe_words, IngestMode ingest) {
   comm::WorkerPool pool(options.num_procs);
-  return parda_analyze_file_on(pool, path, options, pipe_words);
+  return parda_analyze_file_on(pool, path, options, pipe_words, ingest);
 }
 
 }  // namespace parda

@@ -1,13 +1,20 @@
-// Streaming analysis of on-disk traces: bridges a trace file into the
-// multi-phase online algorithm through a TracePipe, so traces larger than
-// memory are analyzed at O(pipe + rank state) footprint — the offline
-// counterpart of the Figure 3 framework.
+// Analysis of on-disk traces, by ingest mode (DESIGN.md "Ingest"):
+//
+//   kPipe — the historical path: a producer thread streams the file
+//           through a bounded TracePipe into the multi-phase online
+//           algorithm, so traces larger than memory are analyzed at
+//           O(pipe + rank state) footprint (the Figure 3 shape).
+//   kMmap — zero-copy offline: the file is mmap'd and ranks analyze
+//           disjoint views of the mapping with Algorithm 3.
+//   kTrz  — chunked-compressed offline: a v2 .trz archive's chunks are
+//           decoded per rank, in parallel, then analyzed offline.
 #pragma once
 
 #include <functional>
 #include <string>
 
 #include "core/parda.hpp"
+#include "trace/source.hpp"
 
 namespace parda {
 
@@ -26,19 +33,22 @@ PardaResult run_with_file_producer(
 
 }  // namespace detail
 
-/// Analyzes a binary (.trc) trace file by streaming it through a bounded
-/// pipe into the streaming algorithm on a caller-owned WorkerPool.
-/// pipe_words controls the producer/consumer buffering (the paper's
-/// pipe-size knob).
+/// Analyzes a trace file on a caller-owned WorkerPool through the chosen
+/// ingest path. kPipe streams the file through a bounded pipe into the
+/// streaming algorithm (pipe_words is the paper's pipe-size knob; it is
+/// ignored by the offline modes). kMmap expects a binary .trc/.bin file;
+/// kTrz expects a chunked v2 .trz archive.
 PardaResult parda_analyze_file_on(comm::WorkerPool& pool,
                                   const std::string& path,
                                   const PardaOptions& options,
-                                  std::size_t pipe_words = 1 << 20);
+                                  std::size_t pipe_words = 1 << 20,
+                                  IngestMode ingest = IngestMode::kPipe);
 
 /// One-shot file analysis on a transient runtime (the historical entry
 /// point); see parda_analyze_file_on.
 PardaResult parda_analyze_file(const std::string& path,
                                const PardaOptions& options,
-                               std::size_t pipe_words = 1 << 20);
+                               std::size_t pipe_words = 1 << 20,
+                               IngestMode ingest = IngestMode::kPipe);
 
 }  // namespace parda

@@ -24,6 +24,7 @@
 #include "hist/histogram.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span_tracer.hpp"
+#include "trace/source.hpp"
 #include "trace/trace_pipe.hpp"
 #include "tree/splay_tree.hpp"
 #include "util/check.hpp"
@@ -145,36 +146,47 @@ inline std::vector<RankProfile> gather_profiles(comm::Comm& comm,
   return out;
 }
 
-/// The per-rank body of the offline algorithm (one call per rank inside a
-/// comm job). Shared by parda_analyze and the session layer so the
-/// chunk/merge/reduce scaffolding exists exactly once.
-template <OrderStatTree Tree>
-void offline_rank_body(comm::Comm& comm, std::span<const Addr> trace,
-                       const PardaOptions& options, Histogram& result,
-                       std::vector<RankProfile>& profiles) {
-  const int np = comm.size();
+/// The equal ceil-division split of Algorithm 3 over an in-memory trace:
+/// rank p owns global positions [p*ceil(N/np), ...).
+inline RankView equal_rank_view(std::span<const Addr> trace, int rank,
+                                int np) {
   const std::size_t n = trace.size();
   const std::size_t chunk = (n + static_cast<std::size_t>(np) - 1) /
                             static_cast<std::size_t>(np);
-  const auto p = static_cast<std::size_t>(comm.rank());
+  const std::size_t begin =
+      std::min(static_cast<std::size_t>(rank) * chunk, n);
+  const std::size_t end = std::min(begin + chunk, n);
+  return RankView{trace.subspan(begin, end - begin),
+                  static_cast<Timestamp>(begin)};
+}
+
+/// The per-rank body of the offline algorithm (one call per rank inside a
+/// comm job), over the rank's own disjoint view of the trace. The views
+/// must tile the trace contiguously in rank order with cumulative bases
+/// (equal_rank_view for in-memory traces; a TraceSource's rank_view for
+/// zero-copy ingest, where boundaries may be chunk-aligned rather than
+/// equal). Shared by parda_analyze, parda_analyze_source_on, and the
+/// session layer so the chunk/merge/reduce scaffolding exists exactly
+/// once.
+template <OrderStatTree Tree>
+void offline_rank_body(comm::Comm& comm, const RankView& view,
+                       const PardaOptions& options, Histogram& result,
+                       std::vector<RankProfile>& profiles) {
   RankState<Tree> state(options.bound, options.space_optimized);
   RankProfile profile;
 
-  const std::size_t begin = std::min(p * chunk, n);
-  const std::size_t end = std::min(begin + chunk, n);
   {
     obs::SpanScope span("analyze");
     state.begin_merge_stage();
     if (options.block_dispatch) {
-      state.process_own_block(trace.subspan(begin, end - begin),
-                              static_cast<Timestamp>(begin));
+      state.process_own_block(view.refs, view.base);
     } else {
-      for (std::size_t t = begin; t < end; ++t) {
-        state.process_own(trace[t], static_cast<Timestamp>(t));
+      for (std::size_t i = 0; i < view.refs.size(); ++i) {
+        state.process_own(view.refs[i], view.base + i);
       }
     }
   }
-  profile.chunk_refs = end - begin;
+  profile.chunk_refs = view.refs.size();
 
   {
     obs::SpanScope span("infinity-pipeline");
@@ -219,8 +231,9 @@ PardaResult parda_analyze_on(comm::WorkerPool& pool,
   comm::RunStats stats = pool.run_job(
       np,
       [&](comm::Comm& comm) {
-        detail::offline_rank_body<Tree>(comm, trace, options, result,
-                                        profiles);
+        detail::offline_rank_body<Tree>(
+            comm, detail::equal_rank_view(trace, comm.rank(), np), options,
+            result, profiles);
       },
       options.run_options);
   return PardaResult{std::move(result), std::move(stats),
@@ -404,6 +417,43 @@ template <OrderStatTree Tree = SplayTree>
 PardaResult parda_analyze_stream(TracePipe& pipe, const PardaOptions& options) {
   comm::WorkerPool pool(options.num_procs);
   return parda_analyze_stream_on<Tree>(pool, pipe, options);
+}
+
+/// Analysis through a TraceSource (DESIGN.md "Ingest"): offline sources
+/// (mmap, chunked trz) are partitioned once and each rank pulls its own
+/// disjoint RankView from its own thread — for ChunkedTrzSource that call
+/// IS the per-rank parallel decode, recorded under an "ingest" span;
+/// for MmapTraceSource it is a zero-copy window into the mapping.
+/// Streaming sources run the multi-phase pipe algorithm unchanged. The
+/// source must stay alive for the duration of the call (rank views alias
+/// its storage) and may be reused across calls — ChunkedTrzSource keeps
+/// its per-rank decode arenas warm.
+template <OrderStatTree Tree = SplayTree>
+PardaResult parda_analyze_source_on(comm::WorkerPool& pool,
+                                    TraceSource& source,
+                                    const PardaOptions& options) {
+  if (!source.offline()) {
+    return parda_analyze_stream_on<Tree>(pool, source.pipe(), options);
+  }
+  const int np = options.num_procs;
+  PARDA_CHECK(np >= 1);
+  source.partition(np);
+  Histogram result;
+  std::vector<RankProfile> profiles;
+  comm::RunStats stats = pool.run_job(
+      np,
+      [&](comm::Comm& comm) {
+        RankView view;
+        {
+          obs::SpanScope span("ingest");
+          view = source.rank_view(comm.rank());
+        }
+        detail::offline_rank_body<Tree>(comm, view, options, result,
+                                        profiles);
+      },
+      options.run_options);
+  return PardaResult{std::move(result), std::move(stats),
+                     std::move(profiles)};
 }
 
 /// Convenience: sequential Olken analysis through the same result type,

@@ -66,10 +66,17 @@ PardaResult AnalysisSession::analyze_stream(TracePipe& pipe) {
   return parda_analyze_stream_on(runtime_->pool(), pipe, options_);
 }
 
-PardaResult AnalysisSession::analyze_file(const std::string& path,
-                                          std::size_t pipe_words) {
+PardaResult AnalysisSession::analyze_source(TraceSource& source) {
   PendingJobGuard pending(runtime_->pending_jobs_, runtime_->pending_gauge_);
-  return parda_analyze_file_on(runtime_->pool(), path, options_, pipe_words);
+  return parda_analyze_source_on(runtime_->pool(), source, options_);
+}
+
+PardaResult AnalysisSession::analyze_file(const std::string& path,
+                                          std::size_t pipe_words,
+                                          IngestMode ingest) {
+  PendingJobGuard pending(runtime_->pending_jobs_, runtime_->pending_gauge_);
+  return parda_analyze_file_on(runtime_->pool(), path, options_, pipe_words,
+                               ingest);
 }
 
 }  // namespace parda::core

@@ -39,9 +39,16 @@ class AnalysisSession {
   PardaResult analyze(std::span<const Addr> trace);
   /// Online multi-phase analysis of a TracePipe (Algorithms 5-6).
   PardaResult analyze_stream(TracePipe& pipe);
-  /// Streaming analysis of an on-disk .trc file (producer thread + pipe).
+  /// Analysis through a caller-owned TraceSource (trace/source.hpp):
+  /// offline sources run Algorithm 3 over their rank views; streaming
+  /// sources run the multi-phase pipe algorithm.
+  PardaResult analyze_source(TraceSource& source);
+  /// Analysis of an on-disk trace through the chosen ingest path
+  /// (pipe producer, mmap view, or chunked .trz decode — see
+  /// core/file_analysis.hpp). pipe_words only applies to kPipe.
   PardaResult analyze_file(const std::string& path,
-                           std::size_t pipe_words = 1 << 20);
+                           std::size_t pipe_words = 1 << 20,
+                           IngestMode ingest = IngestMode::kPipe);
 
   PardaOptions& options() noexcept { return options_; }
   const PardaOptions& options() const noexcept { return options_; }

@@ -1,0 +1,38 @@
+// MappedFile: a read-only memory mapping of a whole file, the shared
+// substrate of the zero-copy ingest paths (MmapTraceSource maps .bin
+// traces, ChunkedTrzFile maps .trz archives so per-chunk decoding reads
+// straight from the page cache with no read() syscalls or intermediate
+// buffers).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace parda {
+
+class MappedFile {
+ public:
+  /// Maps `path` read-only. Throws std::runtime_error when the file cannot
+  /// be opened, sized, or mapped. An empty file maps to {nullptr, 0}.
+  explicit MappedFile(const std::string& path);
+  ~MappedFile();
+
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  const std::uint8_t* data() const noexcept { return data_; }
+  std::size_t size() const noexcept { return size_; }
+
+  /// madvise(MADV_SEQUENTIAL): the traces are consumed front to back, keep
+  /// kernel readahead aggressive. No-op on platforms without madvise.
+  void advise_sequential() const noexcept;
+
+ private:
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace parda

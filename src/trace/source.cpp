@@ -1,0 +1,206 @@
+#include "trace/source.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+#include "obs/metrics.hpp"
+#include "obs/span_tracer.hpp"
+#include "util/check.hpp"
+
+namespace parda {
+
+namespace {
+
+[[noreturn]] void format_fail(const std::string& path, std::uint64_t offset,
+                              const std::string& what) {
+  throw TraceFormatError(what + " at byte offset " + std::to_string(offset) +
+                         ": " + path);
+}
+
+}  // namespace
+
+const char* ingest_mode_name(IngestMode mode) noexcept {
+  switch (mode) {
+    case IngestMode::kPipe: return "pipe";
+    case IngestMode::kMmap: return "mmap";
+    case IngestMode::kTrz: return "trz";
+  }
+  return "?";
+}
+
+std::optional<IngestMode> parse_ingest_mode(std::string_view text) noexcept {
+  if (text == "pipe") return IngestMode::kPipe;
+  if (text == "mmap") return IngestMode::kMmap;
+  if (text == "trz") return IngestMode::kTrz;
+  return std::nullopt;
+}
+
+// --- TraceSource defaults ---------------------------------------------------
+// Each capability is optional; asking a source for the other family's
+// interface is a programming error, reported as a CheckError naming the
+// source.
+
+std::uint64_t TraceSource::total_references() const {
+  PARDA_CHECK_MSG(false, "TraceSource: not an offline source");
+}
+
+void TraceSource::partition(int) {
+  PARDA_CHECK_MSG(false, "TraceSource: not an offline source");
+}
+
+RankView TraceSource::rank_view(int) {
+  PARDA_CHECK_MSG(false, "TraceSource: not an offline source");
+}
+
+TracePipe& TraceSource::pipe() {
+  PARDA_CHECK_MSG(false, "TraceSource: not a streaming source");
+}
+
+// --- MmapTraceSource --------------------------------------------------------
+
+MmapTraceSource::MmapTraceSource(const std::string& path)
+    : path_(path), map_(path) {
+  // Same validation ladder (and byte-offset diagnostics) as
+  // BinaryTraceReader, against the mapping instead of a FILE.
+  if (map_.size() < sizeof(kTraceMagic)) {
+    format_fail(path_, 0, "trace shorter than the 8-byte magic");
+  }
+  if (std::memcmp(map_.data(), kTraceMagic, sizeof(kTraceMagic)) != 0) {
+    format_fail(path_, 0, "bad trace magic");
+  }
+  if (map_.size() < kTraceHeaderBytes) {
+    format_fail(path_, map_.size(), "trace shorter than the 24-byte header");
+  }
+  std::uint64_t version = 0;
+  std::memcpy(&version, map_.data() + 8, sizeof(version));
+  if (version != kTraceVersion) {
+    format_fail(path_, 8,
+                "unsupported trace version " + std::to_string(version) +
+                    " (expected " + std::to_string(kTraceVersion) + ")");
+  }
+  std::memcpy(&total_, map_.data() + 16, sizeof(total_));
+  const std::uint64_t body_bytes = map_.size() - kTraceHeaderBytes;
+  const std::uint64_t actual_words = body_bytes / sizeof(Addr);
+  if (body_bytes % sizeof(Addr) != 0 || actual_words != total_) {
+    format_fail(path_, kTraceHeaderBytes,
+                "trace body size mismatch: header declares " +
+                    std::to_string(total_) + " references but the file "
+                    "holds " +
+                    std::to_string(body_bytes) + " body bytes (" +
+                    std::to_string(actual_words) + " whole references)");
+  }
+  // The 24-byte header keeps the body 8-aligned, so the view is a plain
+  // reinterpretation of the mapping — this is the zero-copy property.
+  static_assert(kTraceHeaderBytes % sizeof(Addr) == 0);
+  refs_ = reinterpret_cast<const Addr*>(map_.data() + kTraceHeaderBytes);
+  map_.advise_sequential();
+  if (obs::enabled()) {
+    obs::registry().counter("ingest.bytes_mapped").add(map_.size());
+  }
+}
+
+void MmapTraceSource::partition(int np) {
+  PARDA_CHECK(np >= 1);
+  np_ = np;
+}
+
+RankView MmapTraceSource::rank_view(int rank) {
+  PARDA_CHECK_MSG(np_ >= 1, "MmapTraceSource: partition() before rank_view()");
+  PARDA_CHECK(rank >= 0 && rank < np_);
+  // The classic ceil-division split of Algorithm 3: rank p owns global
+  // positions [p*ceil(N/np), ...).
+  const std::uint64_t n = total_;
+  const std::uint64_t np = static_cast<std::uint64_t>(np_);
+  const std::uint64_t chunk = (n + np - 1) / np;
+  const std::uint64_t begin =
+      std::min(static_cast<std::uint64_t>(rank) * chunk, n);
+  const std::uint64_t end = std::min(begin + chunk, n);
+  return RankView{
+      std::span<const Addr>(refs_ + begin,
+                            static_cast<std::size_t>(end - begin)),
+      static_cast<Timestamp>(begin)};
+}
+
+// --- ChunkedTrzSource -------------------------------------------------------
+
+ChunkedTrzSource::ChunkedTrzSource(const std::string& path) : file_(path) {
+  if (obs::enabled()) {
+    obs::registry().counter("ingest.bytes_mapped").add(file_.file_bytes());
+  }
+}
+
+void ChunkedTrzSource::partition(int np) {
+  PARDA_CHECK(np >= 1);
+  // Contiguous chunk runs, balanced by chunk count (chunks are fixed-size
+  // except the last, so this is balanced by references too): rank r gets
+  // chunks [r*M/np, (r+1)*M/np). Ranks beyond the chunk count get empty
+  // runs — their views are empty and the merge pipeline is unaffected.
+  const std::uint64_t m = file_.num_chunks();
+  const auto unp = static_cast<std::uint64_t>(np);
+  plan_.assign(static_cast<std::size_t>(np), {});
+  if (arenas_.size() < static_cast<std::size_t>(np)) {
+    arenas_.resize(static_cast<std::size_t>(np));  // capacity is retained
+  }
+  for (std::uint64_t r = 0; r < unp; ++r) {
+    Assignment& a = plan_[static_cast<std::size_t>(r)];
+    a.first_chunk = r * m / unp;
+    a.num_chunks = (r + 1) * m / unp - a.first_chunk;
+    a.first_ref = a.first_chunk * file_.chunk_refs();
+    a.refs = 0;
+    for (std::uint64_t c = 0; c < a.num_chunks; ++c) {
+      a.refs += file_.chunk(static_cast<std::size_t>(a.first_chunk + c)).refs;
+    }
+  }
+  if (obs::enabled()) {
+    obs::registry().counter("ingest.chunks_assigned").add(m);
+  }
+}
+
+RankView ChunkedTrzSource::rank_view(int rank) {
+  PARDA_CHECK_MSG(!plan_.empty(),
+                  "ChunkedTrzSource: partition() before rank_view()");
+  PARDA_CHECK(rank >= 0 && static_cast<std::size_t>(rank) < plan_.size());
+  const Assignment& a = plan_[static_cast<std::size_t>(rank)];
+  std::vector<Addr>& arena = arenas_[static_cast<std::size_t>(rank)];
+  arena.clear();
+  arena.reserve(static_cast<std::size_t>(a.refs));
+  const std::int64_t t0 = obs::enabled() ? obs::tracer().now_ns() : -1;
+  std::uint64_t payload_bytes = 0;
+  for (std::uint64_t c = 0; c < a.num_chunks; ++c) {
+    const auto idx = static_cast<std::size_t>(a.first_chunk + c);
+    file_.decode_chunk(idx, arena);
+    payload_bytes += file_.chunk(idx).payload_bytes;
+  }
+  if (t0 >= 0) {
+    auto& reg = obs::registry();
+    reg.counter("ingest.bytes_decoded").add(payload_bytes);
+    reg.timer("ingest.decode").record_ns(
+        static_cast<std::uint64_t>(obs::tracer().now_ns() - t0));
+  }
+  return RankView{std::span<const Addr>(arena),
+                  static_cast<Timestamp>(a.first_ref)};
+}
+
+std::pair<std::uint64_t, std::uint64_t> ChunkedTrzSource::assigned_chunks(
+    int rank) const {
+  PARDA_CHECK(rank >= 0 && static_cast<std::size_t>(rank) < plan_.size());
+  const Assignment& a = plan_[static_cast<std::size_t>(rank)];
+  return {a.first_chunk, a.num_chunks};
+}
+
+std::unique_ptr<TraceSource> open_offline_source(const std::string& path,
+                                                 IngestMode mode) {
+  switch (mode) {
+    case IngestMode::kMmap:
+      return std::make_unique<MmapTraceSource>(path);
+    case IngestMode::kTrz:
+      return std::make_unique<ChunkedTrzSource>(path);
+    case IngestMode::kPipe: break;
+  }
+  PARDA_CHECK_MSG(false,
+                  "open_offline_source: pipe ingest has no offline source");
+}
+
+}  // namespace parda

@@ -1,5 +1,7 @@
 #include "trace/trace_compress.hpp"
 
+#include <array>
+#include <cinttypes>
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -31,8 +33,64 @@ void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
   out.push_back(static_cast<std::uint8_t>(v));
 }
 
-[[noreturn]] void fail(const std::string& what, const std::string& path) {
+/// A varint never needs more than ceil(64/7) = 10 bytes; the index
+/// validation uses this to reject payload lengths no delta stream of the
+/// declared count could occupy.
+constexpr std::uint64_t kMaxVarintBytes = 10;
+
+[[noreturn]] void io_fail(const std::string& what, const std::string& path) {
   throw std::runtime_error(what + ": " + path);
+}
+
+/// Malformed input: the typed error every reader throws, formatted like
+/// BinaryTraceReader's ("<what> at byte offset <off>: <path>").
+[[noreturn]] void format_fail(const std::string& path, std::uint64_t offset,
+                              const std::string& what) {
+  throw TraceFormatError(what + " at byte offset " + std::to_string(offset) +
+                         ": " + path);
+}
+
+inline std::uint64_t load_u64(const std::uint8_t* p) noexcept {
+  std::uint64_t v = 0;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+/// Decodes exactly `count` zigzag-varint deltas from `bytes`, appending
+/// the reconstructed addresses to `out`. `prev` seeds the delta chain
+/// (0 for a v1 stream, the chunk base for a v2 chunk — the base itself is
+/// appended by the caller). `abs_base` is the file offset of bytes[0],
+/// so every failure names the exact spot. Returns the bytes consumed.
+std::size_t decode_deltas(std::span<const std::uint8_t> bytes,
+                          std::size_t count, Addr prev,
+                          std::vector<Addr>& out, std::uint64_t abs_base,
+                          const std::string& path) {
+  std::size_t at = 0;
+  for (std::size_t k = 0; k < count; ++k) {
+    std::uint64_t v = 0;
+    int shift = 0;
+    while (true) {
+      if (at >= bytes.size()) {
+        format_fail(path, abs_base + at,
+                    "count/payload mismatch: payload exhausted after " +
+                        std::to_string(k) + " of " + std::to_string(count) +
+                        " delta references (truncated payload)");
+      }
+      const std::uint8_t byte = bytes[at++];
+      v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+      if ((byte & 0x80) == 0) break;
+      shift += 7;
+      if (shift > 63) {
+        format_fail(path, abs_base + at,
+                    "varint overrun: delta reference " + std::to_string(k) +
+                        " continues past bit 63");
+      }
+    }
+    prev = static_cast<Addr>(static_cast<std::int64_t>(prev) +
+                             zigzag_decode(v));
+    out.push_back(prev);
+  }
+  return at;
 }
 
 struct FileCloser {
@@ -42,7 +100,88 @@ struct FileCloser {
 };
 using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
 
+/// Encodes trace[1..] as deltas seeded by trace[0] (the chunk base, which
+/// the index stores verbatim), appending to `out`.
+void compress_chunk_tail(std::span<const Addr> chunk,
+                         std::vector<std::uint8_t>& out) {
+  Addr prev = chunk.front();
+  for (std::size_t i = 1; i < chunk.size(); ++i) {
+    const auto delta = static_cast<std::int64_t>(chunk[i]) -
+                       static_cast<std::int64_t>(prev);
+    put_varint(out, zigzag_encode(delta));
+    prev = chunk[i];
+  }
+}
+
+std::uint32_t crc_of_chunk(Addr base, std::span<const std::uint8_t> payload) {
+  std::array<std::uint8_t, 8> base_le{};
+  std::memcpy(base_le.data(), &base, sizeof(base));
+  return trz_crc32(payload, trz_crc32(base_le));
+}
+
+/// Decodes a whole mapped v1 archive (header already validated up to the
+/// version field).
+std::vector<Addr> read_whole_v1(const MappedFile& map,
+                                const std::string& path) {
+  if (map.size() < kTrzV1HeaderBytes) {
+    format_fail(path, map.size(), "trz shorter than the 32-byte v1 header");
+  }
+  const std::uint64_t count = load_u64(map.data() + 16);
+  const std::uint64_t payload_bytes = load_u64(map.data() + 24);
+  const std::uint64_t body = map.size() - kTrzV1HeaderBytes;
+  if (payload_bytes > body) {
+    format_fail(path, kTrzV1HeaderBytes,
+                "trz payload truncated: header declares " +
+                    std::to_string(payload_bytes) +
+                    " payload bytes but the file holds " +
+                    std::to_string(body));
+  }
+  if (payload_bytes < body) {
+    format_fail(path, kTrzV1HeaderBytes + payload_bytes,
+                "trailing bytes after the declared trz payload");
+  }
+  std::vector<Addr> trace;
+  trace.reserve(count);
+  const std::span<const std::uint8_t> payload(map.data() + kTrzV1HeaderBytes,
+                                              payload_bytes);
+  const std::size_t used =
+      decode_deltas(payload, count, 0, trace, kTrzV1HeaderBytes, path);
+  if (used != payload.size()) {
+    format_fail(path, kTrzV1HeaderBytes + used,
+                "count/payload mismatch: " + std::to_string(count) +
+                    " references decoded with " +
+                    std::to_string(payload.size() - used) +
+                    " payload bytes left over");
+  }
+  if (obs::enabled()) {
+    obs::registry().counter("trace.bytes_decompressed").add(payload_bytes);
+  }
+  return trace;
+}
+
 }  // namespace
+
+std::uint32_t trz_crc32(std::span<const std::uint8_t> bytes,
+                        std::uint32_t seed) noexcept {
+  // CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), table built on
+  // first use.
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = seed ^ 0xFFFFFFFFu;
+  for (const std::uint8_t b : bytes) {
+    crc = table[(crc ^ b) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
 
 std::vector<std::uint8_t> compress_trace(std::span<const Addr> trace) {
   std::vector<std::uint8_t> out;
@@ -60,29 +199,17 @@ std::vector<std::uint8_t> compress_trace(std::span<const Addr> trace) {
 std::vector<Addr> decompress_trace(std::span<const std::uint8_t> bytes,
                                    std::size_t expected_count) {
   const std::int64_t t0 = obs::enabled() ? obs::tracer().now_ns() : -1;
+  static const std::string kMemory = "<memory>";
   std::vector<Addr> trace;
   trace.reserve(expected_count);
-  Addr prev = 0;
-  std::size_t at = 0;
-  while (trace.size() < expected_count) {
-    std::uint64_t v = 0;
-    int shift = 0;
-    while (true) {
-      if (at >= bytes.size()) {
-        throw std::runtime_error("truncated compressed trace");
-      }
-      const std::uint8_t byte = bytes[at++];
-      v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
-      if ((byte & 0x80) == 0) break;
-      shift += 7;
-      if (shift > 63) throw std::runtime_error("varint overflow");
-    }
-    prev = static_cast<Addr>(static_cast<std::int64_t>(prev) +
-                             zigzag_decode(v));
-    trace.push_back(prev);
-  }
-  if (at != bytes.size()) {
-    throw std::runtime_error("trailing bytes in compressed trace");
+  const std::size_t used =
+      decode_deltas(bytes, expected_count, 0, trace, 0, kMemory);
+  if (used != bytes.size()) {
+    format_fail(kMemory, used,
+                "count/payload mismatch: " + std::to_string(expected_count) +
+                    " references decoded with " +
+                    std::to_string(bytes.size() - used) +
+                    " payload bytes left over");
   }
   if (t0 >= 0) {
     auto& reg = obs::registry();
@@ -97,7 +224,7 @@ void write_trace_compressed(const std::string& path,
                             std::span<const Addr> trace) {
   const std::vector<std::uint8_t> payload = compress_trace(trace);
   FilePtr f(std::fopen(path.c_str(), "wb"));
-  if (!f) fail("cannot open trace for writing", path);
+  if (!f) io_fail("cannot open trace for writing", path);
   const std::uint64_t version = 1;
   const std::uint64_t count = trace.size();
   const std::uint64_t bytes = payload.size();
@@ -106,36 +233,222 @@ void write_trace_compressed(const std::string& path,
       std::fwrite(&version, sizeof(version), 1, f.get()) != 1 ||
       std::fwrite(&count, sizeof(count), 1, f.get()) != 1 ||
       std::fwrite(&bytes, sizeof(bytes), 1, f.get()) != 1) {
-    fail("short write on compressed trace header", path);
+    io_fail("short write on compressed trace header", path);
   }
   if (!payload.empty() &&
       std::fwrite(payload.data(), 1, payload.size(), f.get()) !=
           payload.size()) {
-    fail("short write on compressed trace payload", path);
+    io_fail("short write on compressed trace payload", path);
+  }
+}
+
+void write_trace_chunked(const std::string& path, std::span<const Addr> trace,
+                         std::uint64_t chunk_refs) {
+  PARDA_CHECK_MSG(chunk_refs >= 1,
+                  "write_trace_chunked: chunk_refs must be positive");
+  const std::uint64_t count = trace.size();
+  const std::uint64_t num_chunks =
+      count == 0 ? 0 : (count + chunk_refs - 1) / chunk_refs;
+
+  // One pass builds the payload stream and the index side by side.
+  std::vector<std::uint8_t> payloads;
+  payloads.reserve(trace.size() * 2);
+  std::vector<std::uint8_t> index;
+  index.reserve(static_cast<std::size_t>(num_chunks) * kTrzIndexEntryBytes);
+  const auto put_u64 = [](std::vector<std::uint8_t>& out, std::uint64_t v) {
+    std::uint8_t le[8];
+    std::memcpy(le, &v, sizeof(v));
+    out.insert(out.end(), le, le + sizeof(le));
+  };
+  for (std::uint64_t c = 0; c < num_chunks; ++c) {
+    const std::size_t lo = static_cast<std::size_t>(c * chunk_refs);
+    const std::size_t hi = static_cast<std::size_t>(
+        std::min<std::uint64_t>(count, (c + 1) * chunk_refs));
+    const std::span<const Addr> chunk = trace.subspan(lo, hi - lo);
+    const std::size_t payload_start = payloads.size();
+    compress_chunk_tail(chunk, payloads);
+    const std::span<const std::uint8_t> payload(
+        payloads.data() + payload_start, payloads.size() - payload_start);
+    put_u64(index, chunk.front());
+    put_u64(index, payload.size());
+    put_u64(index, crc_of_chunk(chunk.front(), payload));
+  }
+
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) io_fail("cannot open trace for writing", path);
+  const std::uint64_t version = 2;
+  if (std::fwrite(kCompressedTraceMagic, 1, sizeof(kCompressedTraceMagic),
+                  f.get()) != sizeof(kCompressedTraceMagic) ||
+      std::fwrite(&version, sizeof(version), 1, f.get()) != 1 ||
+      std::fwrite(&count, sizeof(count), 1, f.get()) != 1 ||
+      std::fwrite(&chunk_refs, sizeof(chunk_refs), 1, f.get()) != 1 ||
+      std::fwrite(&num_chunks, sizeof(num_chunks), 1, f.get()) != 1) {
+    io_fail("short write on chunked trace header", path);
+  }
+  if (!index.empty() &&
+      std::fwrite(index.data(), 1, index.size(), f.get()) != index.size()) {
+    io_fail("short write on chunked trace index", path);
+  }
+  if (!payloads.empty() &&
+      std::fwrite(payloads.data(), 1, payloads.size(), f.get()) !=
+          payloads.size()) {
+    io_fail("short write on chunked trace payload", path);
   }
 }
 
 std::vector<Addr> read_trace_compressed(const std::string& path) {
-  FilePtr f(std::fopen(path.c_str(), "rb"));
-  if (!f) fail("cannot open trace for reading", path);
-  char magic[8];
-  std::uint64_t version = 0;
-  std::uint64_t count = 0;
-  std::uint64_t bytes = 0;
-  if (std::fread(magic, 1, sizeof(magic), f.get()) != sizeof(magic) ||
-      std::memcmp(magic, kCompressedTraceMagic, sizeof(magic)) != 0 ||
-      std::fread(&version, sizeof(version), 1, f.get()) != 1 ||
-      version != 1 ||
-      std::fread(&count, sizeof(count), 1, f.get()) != 1 ||
-      std::fread(&bytes, sizeof(bytes), 1, f.get()) != 1) {
-    fail("bad compressed trace header", path);
+  MappedFile map(path);
+  if (map.size() < sizeof(kCompressedTraceMagic)) {
+    format_fail(path, 0, "trz shorter than the 8-byte magic");
   }
-  std::vector<std::uint8_t> payload(bytes);
-  if (bytes != 0 &&
-      std::fread(payload.data(), 1, bytes, f.get()) != bytes) {
-    fail("short read on compressed trace payload", path);
+  if (std::memcmp(map.data(), kCompressedTraceMagic,
+                  sizeof(kCompressedTraceMagic)) != 0) {
+    format_fail(path, 0, "bad trz magic");
   }
-  return decompress_trace(payload, static_cast<std::size_t>(count));
+  if (map.size() < 16) {
+    format_fail(path, 8, "trz shorter than its version field");
+  }
+  const std::uint64_t version = load_u64(map.data() + 8);
+  if (version == 1) return read_whole_v1(map, path);
+  if (version != 2) {
+    format_fail(path, 8,
+                "unsupported trz version " + std::to_string(version) +
+                    " (expected 1 or 2)");
+  }
+  // v2: decode every chunk in order through the validated index.
+  ChunkedTrzFile file(path);
+  std::vector<Addr> trace;
+  trace.reserve(file.total_references());
+  for (std::size_t c = 0; c < file.num_chunks(); ++c) {
+    file.decode_chunk(c, trace);
+  }
+  return trace;
+}
+
+ChunkedTrzFile::ChunkedTrzFile(const std::string& path)
+    : path_(path), map_(path) {
+  if (map_.size() < sizeof(kCompressedTraceMagic)) {
+    format_fail(path_, 0, "trz shorter than the 8-byte magic");
+  }
+  if (std::memcmp(map_.data(), kCompressedTraceMagic,
+                  sizeof(kCompressedTraceMagic)) != 0) {
+    format_fail(path_, 0, "bad trz magic");
+  }
+  if (map_.size() < 16) {
+    format_fail(path_, 8, "trz shorter than its version field");
+  }
+  const std::uint64_t version = load_u64(map_.data() + 8);
+  if (version == 1) {
+    format_fail(path_, 8,
+                "chunked ingest needs a v2 .trz archive (this file is the "
+                "whole-file v1 layout; upgrade it with `trace_tool convert "
+                "in.trz out.trz --trz-version=2`)");
+  }
+  if (version != 2) {
+    format_fail(path_, 8,
+                "unsupported trz version " + std::to_string(version) +
+                    " (expected 1 or 2)");
+  }
+  if (map_.size() < kTrzV2HeaderBytes) {
+    format_fail(path_, map_.size(),
+                "trz shorter than the 40-byte v2 header");
+  }
+  total_ = load_u64(map_.data() + 16);
+  chunk_refs_ = load_u64(map_.data() + 24);
+  const std::uint64_t num_chunks = load_u64(map_.data() + 32);
+  if (chunk_refs_ == 0 && total_ != 0) {
+    format_fail(path_, 24, "zero refs-per-chunk with a nonzero trace");
+  }
+  const std::uint64_t expected_chunks =
+      total_ == 0 ? 0 : (total_ + chunk_refs_ - 1) / chunk_refs_;
+  if (num_chunks != expected_chunks) {
+    format_fail(path_, 32,
+                "chunk count mismatch: header declares " +
+                    std::to_string(num_chunks) + " chunks but " +
+                    std::to_string(total_) + " references at " +
+                    std::to_string(chunk_refs_) + " refs/chunk need " +
+                    std::to_string(expected_chunks));
+  }
+  if (num_chunks > (map_.size() - kTrzV2HeaderBytes) / kTrzIndexEntryBytes) {
+    format_fail(path_, kTrzV2HeaderBytes,
+                "chunk index extends past the end of the file");
+  }
+  chunks_.reserve(static_cast<std::size_t>(num_chunks));
+  std::uint64_t payload_at =
+      kTrzV2HeaderBytes + num_chunks * kTrzIndexEntryBytes;
+  for (std::uint64_t c = 0; c < num_chunks; ++c) {
+    const std::uint64_t entry_off =
+        kTrzV2HeaderBytes + c * kTrzIndexEntryBytes;
+    const std::uint8_t* entry = map_.data() + entry_off;
+    TrzChunk chunk;
+    chunk.base = load_u64(entry);
+    chunk.payload_bytes = load_u64(entry + 8);
+    const std::uint64_t crc_word = load_u64(entry + 16);
+    if (crc_word > 0xFFFFFFFFull) {
+      format_fail(path_, entry_off + 16,
+                  "corrupt crc field in chunk " + std::to_string(c) +
+                      " (high bits set)");
+    }
+    chunk.crc = static_cast<std::uint32_t>(crc_word);
+    chunk.refs = c + 1 < num_chunks ? chunk_refs_
+                                    : total_ - (num_chunks - 1) * chunk_refs_;
+    // A chunk of k references carries exactly k-1 varints of 1..10 bytes:
+    // any payload length outside that envelope is structurally corrupt,
+    // caught here before decode_chunk ever trusts the offset.
+    const std::uint64_t min_bytes = chunk.refs - 1;
+    const std::uint64_t max_bytes = (chunk.refs - 1) * kMaxVarintBytes;
+    if (chunk.payload_bytes < min_bytes || chunk.payload_bytes > max_bytes) {
+      format_fail(path_, entry_off + 8,
+                  "chunk " + std::to_string(c) + " declares " +
+                      std::to_string(chunk.payload_bytes) +
+                      " payload bytes for " + std::to_string(chunk.refs) +
+                      " references (expected " + std::to_string(min_bytes) +
+                      ".." + std::to_string(max_bytes) + ")");
+    }
+    if (chunk.payload_bytes > map_.size() - payload_at) {
+      format_fail(path_, payload_at,
+                  "chunk " + std::to_string(c) +
+                      " payload extends past the end of the file");
+    }
+    chunk.payload_offset = payload_at;
+    payload_at += chunk.payload_bytes;
+    chunks_.push_back(chunk);
+  }
+  if (payload_at != map_.size()) {
+    format_fail(path_, payload_at,
+                "trailing bytes after the last chunk payload (index "
+                "accounts for " +
+                    std::to_string(payload_at) + " of " +
+                    std::to_string(map_.size()) + " file bytes)");
+  }
+}
+
+void ChunkedTrzFile::decode_chunk(std::size_t i,
+                                  std::vector<Addr>& out) const {
+  const TrzChunk& c = chunk(i);
+  const std::span<const std::uint8_t> payload(
+      map_.data() + c.payload_offset,
+      static_cast<std::size_t>(c.payload_bytes));
+  const std::uint32_t computed = crc_of_chunk(c.base, payload);
+  if (computed != c.crc) {
+    char msg[96];
+    std::snprintf(msg, sizeof(msg),
+                  "chunk %zu crc mismatch (stored 0x%08x, computed 0x%08x)",
+                  i, c.crc, computed);
+    format_fail(path_, c.payload_offset, msg);
+  }
+  out.push_back(c.base);
+  const std::size_t used =
+      decode_deltas(payload, static_cast<std::size_t>(c.refs - 1), c.base,
+                    out, c.payload_offset, path_);
+  if (used != payload.size()) {
+    format_fail(path_, c.payload_offset + used,
+                "count/payload mismatch in chunk " + std::to_string(i) +
+                    ": " + std::to_string(c.refs) +
+                    " references decoded with " +
+                    std::to_string(payload.size() - used) +
+                    " payload bytes left over");
+  }
 }
 
 }  // namespace parda

@@ -1,0 +1,281 @@
+// The ingest contract (DESIGN.md "Ingest"): every ingest path — pipe
+// producer, zero-copy mmap views, chunked parallel .trz decode — must
+// produce the bit-identical parda.histogram.v1 for the same trace, at
+// every rank count and cache bound. Plus the structural guarantees the
+// paths advertise: mmap rank views alias the mapping (zero copies, proven
+// by ingest.bytes_copied staying 0), trz chunk runs tile the archive, and
+// views stay in-bounds for their source's lifetime (ASan patrols the
+// mmap edges when this suite runs under the asan preset).
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "core/file_analysis.hpp"
+#include "core/parda.hpp"
+#include "core/runtime.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "seq/bounded.hpp"
+#include "seq/olken.hpp"
+#include "trace/source.hpp"
+#include "trace/trace_compress.hpp"
+#include "trace/trace_io.hpp"
+#include "workload/generators.hpp"
+
+namespace parda {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+std::vector<Addr> ingest_trace(std::size_t n, std::uint64_t seed) {
+  std::vector<std::unique_ptr<Workload>> kids;
+  kids.push_back(std::make_unique<ZipfWorkload>(400, 0.9, seed, 0));
+  kids.push_back(std::make_unique<SequentialWorkload>(128, 1));
+  MixWorkload mix(std::move(kids), {0.7, 0.3}, seed);
+  return generate_trace(mix, n);
+}
+
+/// One trace written in both on-disk shapes, shared across the suite.
+class IngestTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    trace_ = new std::vector<Addr>(ingest_trace(6000, 23));
+    trc_path_ = new std::string(temp_path("ingest_test.trc"));
+    trz_path_ = new std::string(temp_path("ingest_test.trz"));
+    write_trace_binary(*trc_path_, *trace_);
+    // 512 refs/chunk -> 12 chunks: enough for interesting rank runs.
+    write_trace_chunked(*trz_path_, *trace_, 512);
+  }
+  static void TearDownTestSuite() {
+    std::remove(trc_path_->c_str());
+    std::remove(trz_path_->c_str());
+    delete trace_;
+    delete trc_path_;
+    delete trz_path_;
+  }
+
+  static PardaResult analyze(IngestMode mode, int np, std::uint64_t bound) {
+    PardaOptions options;
+    options.num_procs = np;
+    options.bound = bound;
+    const std::string& path =
+        mode == IngestMode::kTrz ? *trz_path_ : *trc_path_;
+    return parda_analyze_file(path, options, 1 << 12, mode);
+  }
+
+  static std::vector<Addr>* trace_;
+  static std::string* trc_path_;
+  static std::string* trz_path_;
+};
+
+std::vector<Addr>* IngestTest::trace_ = nullptr;
+std::string* IngestTest::trc_path_ = nullptr;
+std::string* IngestTest::trz_path_ = nullptr;
+
+class IngestEquivalenceTest
+    : public IngestTest,
+      public ::testing::WithParamInterface<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(IngestEquivalenceTest, AllSourcesBitIdentical) {
+  const auto [np, bound] = GetParam();
+  const PardaResult pipe = analyze(IngestMode::kPipe, np, bound);
+  const PardaResult mmap = analyze(IngestMode::kMmap, np, bound);
+  const PardaResult trz = analyze(IngestMode::kTrz, np, bound);
+
+  const Histogram expected = bound == 0 ? olken_analysis(*trace_)
+                                        : bounded_analysis(*trace_, bound);
+  EXPECT_TRUE(pipe.hist == expected) << "pipe np=" << np << " B=" << bound;
+  EXPECT_TRUE(mmap.hist == expected) << "mmap np=" << np << " B=" << bound;
+  EXPECT_TRUE(trz.hist == expected) << "trz np=" << np << " B=" << bound;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RanksAndBounds, IngestEquivalenceTest,
+    ::testing::Combine(::testing::Values(1, 2, 4),
+                       ::testing::Values(std::uint64_t{0},
+                                         std::uint64_t{256})));
+
+TEST_F(IngestTest, MmapViewsAliasTheMappingAndTileTheTrace) {
+  MmapTraceSource source(*trc_path_);
+  EXPECT_EQ(source.total_references(), trace_->size());
+  const auto* base = static_cast<const std::uint8_t*>(source.map_base());
+  const auto* end = base + source.map_bytes();
+  for (const int np : {1, 2, 3, 4, 7}) {
+    source.partition(np);
+    std::uint64_t covered = 0;
+    for (int r = 0; r < np; ++r) {
+      const RankView view = source.rank_view(r);
+      // Cumulative clock: the view starts at its global position.
+      EXPECT_EQ(view.base, covered) << "np=" << np << " rank=" << r;
+      covered += view.refs.size();
+      if (view.refs.empty()) continue;
+      // Zero-copy: the span points into the file mapping, not a buffer.
+      const auto* lo = reinterpret_cast<const std::uint8_t*>(
+          view.refs.data());
+      const auto* hi = reinterpret_cast<const std::uint8_t*>(
+          view.refs.data() + view.refs.size());
+      EXPECT_GE(lo, base);
+      EXPECT_LE(hi, end);
+      // Contiguous tiling: rank r's refs are exactly trace[base..).
+      EXPECT_EQ(view.refs.front(),
+                (*trace_)[static_cast<std::size_t>(view.base)]);
+      EXPECT_EQ(view.refs.back(),
+                (*trace_)[static_cast<std::size_t>(covered) - 1]);
+    }
+    EXPECT_EQ(covered, trace_->size()) << "np=" << np;
+  }
+}
+
+TEST_F(IngestTest, MmapViewReadableForSourceLifetime) {
+  // Touch every element of every view and checksum it against the trace:
+  // under ASan/valgrind this patrols both mapping edges for out-of-bounds
+  // reads; logically it proves the views carry the exact file content.
+  MmapTraceSource source(*trc_path_);
+  source.partition(3);
+  Addr expect_sum = 0;
+  for (const Addr a : *trace_) expect_sum += a;
+  Addr sum = 0;
+  for (int r = 0; r < 3; ++r) {
+    for (const Addr a : source.rank_view(r).refs) sum += a;
+  }
+  EXPECT_EQ(sum, expect_sum);
+}
+
+TEST_F(IngestTest, TrzChunkRunsAreContiguousAndComplete) {
+  ChunkedTrzSource source(*trz_path_);
+  const std::uint64_t chunks = source.file().num_chunks();
+  ASSERT_EQ(chunks, 12u);  // 6000 refs at 512/chunk
+  for (const int np : {1, 2, 4, 5, 16}) {  // 16 > chunks: empty tail ranks
+    source.partition(np);
+    std::uint64_t next_chunk = 0;
+    std::uint64_t next_ref = 0;
+    for (int r = 0; r < np; ++r) {
+      const auto [first, count] = source.assigned_chunks(r);
+      EXPECT_EQ(first, next_chunk) << "np=" << np << " rank=" << r;
+      next_chunk += count;
+      const RankView view = source.rank_view(r);
+      EXPECT_EQ(view.base, static_cast<Timestamp>(next_ref));
+      next_ref += view.refs.size();
+      // Decoded content matches the trace slice, byte for byte.
+      for (std::size_t i = 0; i < view.refs.size(); ++i) {
+        ASSERT_EQ(view.refs[i],
+                  (*trace_)[static_cast<std::size_t>(view.base) + i])
+            << "np=" << np << " rank=" << r << " i=" << i;
+      }
+    }
+    EXPECT_EQ(next_chunk, chunks) << "np=" << np;
+    EXPECT_EQ(next_ref, trace_->size()) << "np=" << np;
+  }
+}
+
+TEST_F(IngestTest, TrzSourceReusableAcrossAnalyses) {
+  // The per-rank arenas persist across partition()/analysis cycles; the
+  // results must not.  (A stale arena would double-append references.)
+  comm::WorkerPool pool(4);
+  ChunkedTrzSource source(*trz_path_);
+  PardaOptions options;
+  options.num_procs = 4;
+  const PardaResult first = parda_analyze_source_on(pool, source, options);
+  options.num_procs = 2;
+  const PardaResult second = parda_analyze_source_on(pool, source, options);
+  const Histogram expected = olken_analysis(*trace_);
+  EXPECT_TRUE(first.hist == expected);
+  EXPECT_TRUE(second.hist == expected);
+}
+
+TEST_F(IngestTest, PipeSourceRunsTheStreamingAlgorithm) {
+  TracePipe pipe(2048);
+  std::thread producer([&] {
+    pipe.write(*trace_);
+    pipe.close();
+  });
+  PipeTraceSource source(pipe);
+  EXPECT_FALSE(source.offline());
+  comm::WorkerPool pool(2);
+  PardaOptions options;
+  options.num_procs = 2;
+  const PardaResult result = parda_analyze_source_on(pool, source, options);
+  producer.join();
+  EXPECT_TRUE(result.hist == olken_analysis(*trace_));
+}
+
+TEST_F(IngestTest, SessionAnalyzeSourceAndFileAgree) {
+  core::PardaRuntime runtime;
+  PardaOptions options;
+  options.num_procs = 4;
+  auto session = runtime.session(options);
+  MmapTraceSource source(*trc_path_);
+  const PardaResult via_source = session.analyze_source(source);
+  const PardaResult via_file =
+      session.analyze_file(*trc_path_, 1 << 12, IngestMode::kMmap);
+  const PardaResult via_trz =
+      session.analyze_file(*trz_path_, 1 << 12, IngestMode::kTrz);
+  EXPECT_TRUE(via_source.hist == via_file.hist);
+  EXPECT_TRUE(via_source.hist == via_trz.hist);
+}
+
+TEST_F(IngestTest, ZeroCopyProofInMetrics) {
+  obs::set_enabled(true);
+  auto& reg = obs::registry();
+
+  reg.reset_values();
+  analyze(IngestMode::kMmap, 4, 0);
+  EXPECT_EQ(reg.counter_total("ingest.bytes_copied"), 0u);
+  EXPECT_GE(reg.counter_total("ingest.bytes_mapped"),
+            trace_->size() * sizeof(Addr));
+
+  reg.reset_values();
+  analyze(IngestMode::kTrz, 4, 0);
+  EXPECT_EQ(reg.counter_total("ingest.bytes_copied"), 0u);
+  EXPECT_EQ(reg.counter_total("ingest.chunks_assigned"), 12u);
+  EXPECT_GT(reg.counter_total("ingest.bytes_decoded"), 0u);
+
+  reg.reset_values();
+  analyze(IngestMode::kPipe, 4, 0);
+  EXPECT_EQ(reg.counter_total("ingest.bytes_copied"),
+            trace_->size() * sizeof(Addr));
+
+  reg.reset_values();
+  obs::set_enabled(false);
+}
+
+TEST_F(IngestTest, OfflineSourceRejectsStreamingInterface) {
+  MmapTraceSource mmap(*trc_path_);
+  EXPECT_THROW(mmap.pipe(), CheckError);
+  TracePipe pipe(64);
+  PipeTraceSource streaming(pipe);
+  EXPECT_THROW(streaming.partition(2), CheckError);
+  EXPECT_THROW(streaming.rank_view(0), CheckError);
+  EXPECT_THROW(streaming.total_references(), CheckError);
+}
+
+TEST_F(IngestTest, MmapRejectsMalformedTraces) {
+  // The mmap reader mirrors BinaryTraceReader's validation ladder.
+  EXPECT_THROW(MmapTraceSource{*trz_path_}, TraceFormatError);  // wrong magic
+  EXPECT_THROW(MmapTraceSource(temp_path("nope.trc")), std::runtime_error);
+  const std::string truncated = temp_path("ingest_truncated.trc");
+  write_trace_binary(truncated, *trace_);
+  std::FILE* f = std::fopen(truncated.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  // Chop the last reference in half: body size mismatch vs the header.
+  const long size = [&] {
+    std::fseek(f, 0, SEEK_END);
+    return std::ftell(f);
+  }();
+  std::fclose(f);
+  ASSERT_EQ(::truncate(truncated.c_str(), size - 4), 0);
+  EXPECT_THROW(MmapTraceSource{truncated}, TraceFormatError);
+  std::remove(truncated.c_str());
+}
+
+}  // namespace
+}  // namespace parda
