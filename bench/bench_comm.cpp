@@ -28,6 +28,9 @@
 #include "bench_common.hpp"
 #include "comm/comm.hpp"
 #include "comm/transport/spec.hpp"
+#include "obs/runtime.hpp"
+#include "obs/telemetry.hpp"
+#include "util/timer.hpp"
 
 namespace parda::comm {
 namespace {
@@ -126,6 +129,97 @@ void BM_MoveSend(benchmark::State& state) {
 }
 
 BENCHMARK(BM_MoveSend)->Arg(1 << 16)->UseRealTime();
+
+// ---------------------------------------------------------------------------
+// Telemetry-plane overheads: what one parda.telemetry.v1 frame costs to
+// build on a sender and to ingest at the rank-0 hub. The distributed
+// channel does each ~4 times/second/process (PARDA_TELEMETRY_INTERVAL_MS),
+// so these bound the plane's steady-state cost.
+// ---------------------------------------------------------------------------
+
+/// A sender's telemetry state at a representative size: a populated span
+/// ring plus live metrics, everything local so neither the pattern suite
+/// nor the comm micro-benchmarks see the fixture. obs is enabled only
+/// while the fixture lives (SpanTracer::record is a no-op otherwise).
+struct TelemetryFixture {
+  bool prev_enabled;
+  obs::Registry reg;
+  obs::SpanTracer spans{std::size_t{1} << 10};
+  obs::ClockSync clock{1500, 80, true, 8};
+
+  TelemetryFixture() : prev_enabled(obs::enabled()) {
+    obs::set_enabled(true);
+    for (int i = 0; i < 512; ++i) {
+      const std::int64_t t0 = i * 1000;
+      spans.record(t0, t0 + 700, i % 2 == 0 ? "analyze" : "recv-wait",
+                   static_cast<std::uint32_t>(i % 4));
+    }
+    reg.counter("bench.telemetry_refs").add(123456);
+    reg.gauge("bench.telemetry_depth").set(7);
+    reg.timer("bench.telemetry_wait").record_ns(4096);
+  }
+  ~TelemetryFixture() { obs::set_enabled(prev_enabled); }
+
+  std::string frame(std::uint64_t seq) const {
+    return obs::make_telemetry_frame(1, seq, false, clock, reg, spans);
+  }
+};
+
+void BM_TelemetryFrame(benchmark::State& state) {
+  const TelemetryFixture fx;
+  std::uint64_t seq = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.frame(++seq));
+  }
+}
+
+BENCHMARK(BM_TelemetryFrame);
+
+void BM_TelemetryIngest(benchmark::State& state) {
+  const TelemetryFixture fx;
+  const std::string frame = fx.frame(1);
+  obs::TelemetryHub hub;  // private hub: the global one serves /metrics
+  for (auto _ : state) {
+    hub.ingest_frame(frame);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(frame.size()));
+}
+
+BENCHMARK(BM_TelemetryIngest);
+
+/// The same two costs as JSON points, so scripts/bench_diff.py gates them
+/// alongside the data-movement patterns (new names are reported, not
+/// compared, on the first run against an older baseline).
+std::vector<bench::BenchPoint> telemetry_overhead_points() {
+  const TelemetryFixture fx;
+  constexpr int kFrames = 256;
+
+  WallTimer build_timer;
+  std::string frame;
+  for (int i = 0; i < kFrames; ++i) frame = fx.frame(i + 1);
+  const double build_seconds = build_timer.seconds();
+
+  obs::TelemetryHub hub;
+  WallTimer ingest_timer;
+  for (int i = 0; i < kFrames; ++i) hub.ingest_frame(frame);
+  const double ingest_seconds = ingest_timer.seconds();
+
+  const auto point = [&](const char* name, double wall) {
+    bench::BenchPoint bp;
+    bp.name = name;
+    bp.params = {{"spans", 512}, {"frames", kFrames}};
+    bp.metrics = {{"wall_seconds", wall},
+                  {"frame_bytes", static_cast<double>(frame.size())}};
+    return bp;
+  };
+  std::printf("telemetry overhead: build %.1f us/frame, ingest %.1f "
+              "us/frame, %zu bytes/frame\n",
+              build_seconds / kFrames * 1e6, ingest_seconds / kFrames * 1e6,
+              frame.size());
+  return {point("telemetry_frame", build_seconds),
+          point("telemetry_ingest", ingest_seconds)};
+}
 
 // ---------------------------------------------------------------------------
 // Data-movement pattern suite: each Parda communication shape in its
@@ -298,6 +392,9 @@ void write_json(const std::string& path,
         {"bytes_copied", static_cast<double>(r.stats.total_bytes_copied())},
         {"bytes_shared", static_cast<double>(r.stats.total_bytes_shared())},
     };
+    out.push_back(std::move(bp));
+  }
+  for (bench::BenchPoint& bp : telemetry_overhead_points()) {
     out.push_back(std::move(bp));
   }
   bench::write_bench_json(path, "comm", out);

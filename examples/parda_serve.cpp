@@ -59,6 +59,7 @@ int run_server(int argc, char** argv) {
   std::string flush_dir;
   std::uint64_t duration_ms = 0;
   std::string log_level_name;
+  std::string flight_recorder;
 
   CliParser cli("Parda multi-tenant MRC ingest service");
   cli.add_flag("port", &port, "listen port on 127.0.0.1 (0 = ephemeral)");
@@ -89,6 +90,9 @@ int run_server(int argc, char** argv) {
                "serve for N ms then drain (0 = until SIGTERM/SIGINT)");
   cli.add_flag("log-level", &log_level_name,
                "structured log threshold: trace|debug|info|warn|error|off");
+  cli.add_flag("flight-recorder", &flight_recorder,
+               "write a parda.flightrec.v1 crash dump to FILE on a fatal "
+               "signal or unhandled error (also $PARDA_FLIGHT_RECORDER)");
   cli.parse(argc - 1, argv + 1);
 
   if (port > 65535) usage_error("bad --port %llu",
@@ -118,6 +122,11 @@ int run_server(int argc, char** argv) {
     }
     obs::set_log_level(*parsed);
   }
+
+  if (!flight_recorder.empty()) {
+    obs::flightrec_configure(flight_recorder, /*process=*/0);
+  }
+  obs::flightrec_install_signal_handlers();
 
   core::RuntimeOptions runtime_options;
   runtime_options.serve_port = static_cast<std::uint16_t>(port);
@@ -187,6 +196,7 @@ int main(int argc, char** argv) {
                  static_cast<unsigned>(e.port()), e.what());
     return parda::kExitRuntime;
   } catch (const std::exception& e) {
+    parda::obs::flightrec_dump(std::string("parda_serve: ") + e.what());
     std::fprintf(stderr, "parda_serve: %s\n", e.what());
     return parda::kExitRuntime;
   }

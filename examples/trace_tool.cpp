@@ -285,6 +285,7 @@ int run_tool(int argc, char** argv) {
   std::uint64_t rank = 0;
   std::string peers;
   std::string segment;
+  std::string flight_recorder;
 
   CliParser cli("Parda trace file tool");
   cli.add_flag("workload", &workload_name,
@@ -346,6 +347,10 @@ int run_tool(int argc, char** argv) {
   cli.add_flag("segment", &segment,
                "distributed shm: named segment (e.g. /parda-run1) the rank "
                "processes rendezvous on");
+  cli.add_flag("flight-recorder", &flight_recorder,
+               "write a parda.flightrec.v1 crash dump to FILE on abort, "
+               "fatal signal, or trace format error (%r expands to the "
+               "process's rank; also $PARDA_FLIGHT_RECORDER)");
   cli.parse(argc - 1, argv + 1);
 
   if (!is_known_engine(engine)) {
@@ -371,6 +376,20 @@ int run_tool(int argc, char** argv) {
 
   const comm::TransportSpec transport =
       resolve_transport(cli, transport_text, rank, peers, segment, procs);
+
+  // The flight recorder arms early, before any file or wire is touched:
+  // CLI path beats $PARDA_FLIGHT_RECORDER (read lazily at dump time when
+  // no path is configured here) beats off. %r in the path becomes the
+  // rank this process hosts, so distributed launches can share one
+  // template.
+  {
+    const config::Resolved rec = config::resolve_flag(
+        cli, "flight-recorder", flight_recorder, "PARDA_FLIGHT_RECORDER", "");
+    const int process = transport.distributed() ? transport.local_rank : 0;
+    obs::flightrec_set_process(process);
+    if (!rec.value.empty()) obs::flightrec_configure(rec.value, process);
+    obs::flightrec_install_signal_handlers();
+  }
   if (engine != "parda" && cli.was_set("transport") &&
       transport.kind != comm::TransportKind::kThreads) {
     usage_error("--transport=%s requires --engine=parda (sequential engines "
@@ -552,18 +571,38 @@ int run_tool(int argc, char** argv) {
     } else {
       print_result(result);
     }
+    // When this process is the hub of a distributed run, every telemetry
+    // output covers the whole fleet: remote frames are merged in (span
+    // timestamps already rebased onto this process's clock at ingest).
+    // The hub is empty everywhere else, and these fall back byte-for-byte
+    // to the historical single-process outputs.
+    const bool fleet = !obs::hub().empty();
     if (!metrics_out.empty()) {
-      write_text_file(metrics_out, obs::registry().to_json() + "\n");
+      const std::string snapshot =
+          fleet ? obs::hub().merged_metrics_json(obs::registry())
+                : obs::registry().to_json();
+      write_text_file(metrics_out, snapshot + "\n");
       std::printf("wrote metrics snapshot to %s\n", metrics_out.c_str());
     }
     if (!trace_spans.empty()) {
-      write_text_file(trace_spans, obs::tracer().to_chrome_json() + "\n");
+      const std::string spans_json =
+          fleet ? obs::hub().merged_chrome_json(obs::tracer())
+                : obs::tracer().to_chrome_json();
+      write_text_file(trace_spans, spans_json + "\n");
       std::printf("wrote %zu trace spans to %s\n",
-                  obs::tracer().events().size(), trace_spans.c_str());
+                  fleet ? obs::hub().merged_events(obs::tracer()).size()
+                        : obs::tracer().events().size(),
+                  trace_spans.c_str());
     }
     if (report || !report_json.empty()) {
-      const obs::SpanReport span_report =
-          obs::SpanReport::from_tracer(obs::tracer());
+      obs::SpanReport span_report =
+          fleet ? obs::SpanReport::from_events(
+                      obs::hub().merged_events(obs::tracer()),
+                      obs::hub().merged_dropped(obs::tracer()))
+                : obs::SpanReport::from_tracer(obs::tracer());
+      if (fleet) {
+        span_report.set_clock_uncertainty_ns(obs::hub().max_uncertainty_ns());
+      }
       if (report) {
         std::printf("\n%s", span_report.to_table().c_str());
       }
@@ -621,7 +660,10 @@ int main(int argc, char** argv) {
     return parda::kExitRuntime;
   } catch (const std::exception& e) {
     // Runtime failures (missing or corrupt traces, aborted analyses) get a
-    // one-line diagnostic and an exit code distinct from usage errors.
+    // one-line diagnostic and an exit code distinct from usage errors. The
+    // flight recorder captures the dying context (comm aborts already
+    // dumped at the abort site; the first dump wins).
+    parda::obs::flightrec_dump(std::string("trace_tool: ") + e.what());
     std::fprintf(stderr, "trace_tool: %s\n", e.what());
     return parda::kExitRuntime;
   }

@@ -8,11 +8,18 @@
 # Usage:
 #   scripts/run_distributed.sh TRACE [--np N] [--wire tcp|shm]
 #                              [--base-port P] [--segment /name]
+#                              [--serve PORT]
 #                              [-- EXTRA_TRACE_TOOL_ARGS...]
 # Examples:
 #   scripts/run_distributed.sh trace.trc --np 4                # tcp mesh
 #   scripts/run_distributed.sh trace.trc --np 2 --wire shm \
 #       --segment /parda-run -- --bound=4096
+#   scripts/run_distributed.sh trace.trc --np 4 --serve 9464   # fleet scrape
+#
+# --serve starts rank 0's TelemetryServer (PORT, or 0 for ephemeral): the
+# telemetry channel forwards every rank's metrics and spans to rank 0, so
+# `curl localhost:PORT/metrics` mid-run returns the whole fleet's series
+# under process="..." labels. Only rank 0 gets the flag.
 #
 # Every rank needs the same trace file path; this launcher targets a
 # single host (the multi-machine case is the same invocation with the
@@ -27,6 +34,7 @@ np=2
 wire=tcp
 base_port=47100
 segment=/parda-dist
+serve=""
 extra=()
 
 while [ $# -gt 0 ]; do
@@ -39,6 +47,8 @@ while [ $# -gt 0 ]; do
     --base-port=*) base_port="${1#*=}"; shift ;;
     --segment) segment="$2"; shift 2 ;;
     --segment=*) segment="${1#*=}"; shift ;;
+    --serve) serve="$2"; shift 2 ;;
+    --serve=*) serve="${1#*=}"; shift ;;
     --) shift; extra=("$@"); break ;;
     -*) echo "run_distributed.sh: unknown flag $1" >&2; exit 2 ;;
     *)
@@ -79,10 +89,15 @@ case "$wire" in
     ;;
 esac
 
+rank0_extra=()
+if [ -n "$serve" ]; then
+  rank0_extra+=(--serve="$serve")
+fi
+
 for ((r = np - 1; r >= 1; --r)); do
   "$TOOL" "${common[@]}" --rank="$r" &
 done
 rc=0
-"$TOOL" "${common[@]}" --rank=0 || rc=$?
+"$TOOL" "${common[@]}" "${rank0_extra[@]}" --rank=0 || rc=$?
 wait
 exit "$rc"

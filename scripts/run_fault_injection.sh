@@ -47,12 +47,29 @@ done
 # pseudo-random injection points on every transport. Each run is bounded
 # by the suite's internal deadlines, so a propagation bug fails fast
 # instead of wedging CI.
+#
+# Every seeded run also doubles as a crash-flight-recorder check: each
+# injected abort must leave a structured parda.flightrec.v1 postmortem
+# (the recorder's first-dump-wins latch is per process, and the filter
+# runs exactly one aborting test per invocation).
+FR_DIR="$(mktemp -d)"
+trap 'rm -rf "$FR_DIR"' EXIT
 for wire in "${wires[@]}"; do
   for seed in "${seeds[@]}"; do
     echo "=== fault-injection wire ${wire} seed ${seed} ==="
+    fr="$FR_DIR/fr_${wire}_${seed}.json"
     PARDA_FAULT_TRANSPORT="${wire}" PARDA_FAULT_SEED="${seed}" \
+      PARDA_FLIGHT_RECORDER="$fr" \
       ./build/tests/comm_fault_test \
       --gtest_filter='FaultMatrixTest.SeededRandomPlanAlwaysTearsDownCleanly'
+    if [ ! -s "$fr" ]; then
+      echo "error: wire ${wire} seed ${seed} aborted without a" \
+           "flight-recorder dump" >&2
+      exit 1
+    fi
+    grep -q '"schema": *"parda.flightrec.v1"' "$fr"
+    grep -q '"abort.origin"' "$fr"
   done
 done
-echo "fault-injection sweep passed: wires ${wires[*]}, seeds ${seeds[*]}"
+echo "fault-injection sweep passed: wires ${wires[*]}, seeds ${seeds[*]}," \
+     "flight recorder dumped on every abort"

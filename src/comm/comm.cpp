@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <exception>
 
+#include "comm/telemetry_channel.hpp"
 #include "comm/transport/transport.hpp"
 #include "comm/worker_pool.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/log.hpp"
 #include "obs/runtime.hpp"
 #include "util/timer.hpp"
@@ -256,6 +258,14 @@ void World::abort_impl(int origin, const std::string& cause, bool broadcast) {
   obs::log(obs::LogLevel::kWarn, "comm.abort")
       .field("origin", origin)
       .field("cause", cause);
+  // The abort-origin log line above is in the tail ring by now, so the
+  // flight recorder's log_tail names the origin even when the dump path
+  // was configured lazily via the environment.
+  obs::flightrec_note("abort.origin", std::to_string(origin));
+  obs::flightrec_note("abort.cause", cause);
+  obs::flightrec_note("transport", spec_.describe());
+  obs::flightrec_note("world.generation", std::to_string(generation_));
+  obs::flightrec_dump("comm.abort: " + cause);
   for (auto& mailbox : mailboxes_) mailbox->poison();
   for (auto& peer : barrier_) {
     {
@@ -426,6 +436,8 @@ RunStats run_distributed(int np, const std::function<void(Comm&)>& fn,
                   "process; it cannot watch a distributed world (rank=%d)",
                   spec.local_rank);
   const int rank = spec.local_rank;
+  // Crash dumps from this process are attributed to the rank it hosts.
+  obs::flightrec_set_process(rank);
   World world(np, spec);
   RunStats stats;
   stats.ranks.resize(static_cast<std::size_t>(np));
@@ -436,16 +448,25 @@ RunStats run_distributed(int np, const std::function<void(Comm&)>& fn,
     RankStats& rank_stats = stats.ranks[static_cast<std::size_t>(rank)];
     Comm comm(world, rank, rank_stats, options.fault_plan,
               options.op_timeout);
+    TelemetryChannel telemetry(world, rank);
     ThreadCpuTimer cpu;
     try {
+      telemetry.clock_handshake();
+      telemetry.start();
       fn(comm);
+      // Remote ranks flush their final telemetry frame BEFORE the
+      // completion barrier (per-pair FIFO keeps it ahead of teardown)...
+      telemetry.flush();
       // Implicit completion barrier: no process tears its transport down
       // while a sibling may still need the wire. A peer that aborted
       // instead of arriving poisons this wait, which is the error path
       // below.
       world.barrier(rank);
+      // ... and rank 0 collects the stragglers after it, bounded.
+      telemetry.drain();
     } catch (...) {
       error = std::current_exception();
+      telemetry.cancel();
       world.abort(rank, describe_exception(error));
     }
     world.board(rank).done.store(true, std::memory_order_release);

@@ -87,11 +87,19 @@ class Transport;
 
 namespace detail {
 /// Tags below kReservedTagCeiling are the runtime's own (the message-based
-/// barrier of serializing transports). They are unreachable from user code
-/// in practice and excluded from kAnyTag wildcard matching, so internal
-/// traffic can share the mailboxes without ever surfacing in a user recv.
+/// barrier of serializing transports, and the telemetry control plane).
+/// They are unreachable from user code in practice and excluded from
+/// kAnyTag wildcard matching, so internal traffic can share the mailboxes
+/// without ever surfacing in a user recv.
 inline constexpr int kReservedTagBase = std::numeric_limits<int>::min();
 inline constexpr int kReservedTagCeiling = kReservedTagBase + 64;
+/// Telemetry control plane (comm/telemetry_channel.hpp): the clock
+/// ping/pong handshake at World setup and the metric/span frames each
+/// remote process forwards to rank 0. Barrier rounds use base+k for
+/// k < ceil(log2(np)) <= 6, so base+32.. is safely clear of them.
+inline constexpr int kTagClockPing = kReservedTagBase + 32;
+inline constexpr int kTagClockPong = kReservedTagBase + 33;
+inline constexpr int kTagTelemetry = kReservedTagBase + 34;
 }  // namespace detail
 
 /// Absolute wait limit for one blocking operation; nullopt = wait forever.

@@ -1,0 +1,113 @@
+// The distributed telemetry plane's wire half: clock handshake and frame
+// forwarding over the reserved-tag control plane.
+//
+// In a distributed World (one rank per process) every non-rank-0 process
+// periodically snapshots its metrics registry and span ring into a
+// parda.telemetry.v1 frame (obs/telemetry.hpp) and posts it to rank 0 on
+// detail::kTagTelemetry; rank 0 runs a drainer thread that try_pop-polls
+// its mailbox for those frames and ingests them into obs::hub(), so the
+// TelemetryServer can serve fleet-wide /metrics, /metrics.json, and
+// /spans.
+//
+// Clock alignment happens once, before the job body runs: each remote
+// rank ping/pongs rank 0 on kTagClockPing/kTagClockPong, keeps the
+// minimum-RTT sample, and estimates rank 0's tracer epoch offset as the
+// classic midpoint m - (t0 + t1)/2 with uncertainty rtt/2. The estimate
+// rides inside every frame; the hub rebases remote span timestamps at
+// ingest.
+//
+// The protocol is deliberately symmetric in what it ALWAYS does,
+// regardless of obs::enabled(): the handshake runs and the final flush
+// frame is sent on every distributed run, so processes with differently
+// configured observability can never deadlock each other — only the
+// periodic forwarding is gated on enablement. The channel never touches
+// Comm or RankStats: frames ride World::route directly, so telemetry
+// traffic is invisible to the run's own accounting and the merged
+// histograms are bit-identical with telemetry on or off.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "comm/comm.hpp"
+#include "obs/telemetry.hpp"
+
+namespace parda::comm::detail {
+
+class TelemetryChannel {
+ public:
+  /// Binds to the world's locally hosted rank. The channel is active only
+  /// for distributed worlds with np > 1; otherwise every method no-ops.
+  TelemetryChannel(World& world, int rank);
+  ~TelemetryChannel();
+
+  TelemetryChannel(const TelemetryChannel&) = delete;
+  TelemetryChannel& operator=(const TelemetryChannel&) = delete;
+
+  /// Runs the clock handshake before the job body: remote ranks estimate
+  /// their offset to rank 0's tracer epoch (kClockSamples min-RTT
+  /// ping/pongs), rank 0 serves pongs until every peer reports done.
+  /// Bounded by kHandshakeTimeout; on timeout or abort the estimate is
+  /// simply marked invalid and the run proceeds.
+  void clock_handshake();
+
+  /// The local rank's clock estimate (identity, and never valid, on
+  /// rank 0 — rank 0's epoch IS the reference).
+  const obs::ClockSync& clock() const noexcept { return clock_; }
+
+  /// Launches the background half: the periodic frame forwarder on remote
+  /// ranks (only when obs::enabled()), the ingest drainer on rank 0
+  /// (always — finals must be counted even when this process has
+  /// observability off).
+  void start();
+
+  /// Remote ranks, success path (call after the job body, before the
+  /// completion barrier): stops the forwarder and always sends one final
+  /// frame so rank 0's drain() can terminate without guessing.
+  void flush();
+
+  /// Rank 0, success path (call after the completion barrier): waits —
+  /// bounded by kDrainTimeout — until every peer's final frame has been
+  /// ingested, then stops the drainer.
+  void drain();
+
+  /// Abort path: stops the background thread without any final-frame
+  /// protocol (the wire may be poisoned). Idempotent; also run by the
+  /// destructor.
+  void cancel();
+
+ private:
+  static constexpr int kClockSamples = 8;
+  static constexpr std::chrono::seconds kHandshakeTimeout{10};
+  static constexpr std::chrono::seconds kDrainTimeout{3};
+
+  void handshake_remote();
+  void handshake_hub();
+  void forwarder_main();
+  void drainer_main();
+  /// Builds and posts one frame; returns false when the wire is gone.
+  bool send_frame(bool final_frame);
+  void ingest(const Message& msg);
+  void stop_worker();
+
+  World& world_;
+  const int rank_;
+  const int np_;
+  const bool active_;
+  const std::chrono::milliseconds interval_;
+  obs::ClockSync clock_;
+  std::uint64_t seq_ = 0;
+
+  std::thread worker_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  int finals_ = 0;                 // rank 0: peers whose final frame landed
+  std::vector<bool> final_seen_;   // rank 0: indexed by sender process
+};
+
+}  // namespace parda::comm::detail

@@ -7,6 +7,7 @@
 #include <chrono>
 #include <cstring>
 #include <exception>
+#include <mutex>
 #include <thread>
 
 #include "comm/comm.hpp"
@@ -45,6 +46,10 @@ class ShmTransport final : public Transport {
     header.generation = static_cast<std::uint32_t>(world_.generation());
     const std::span<const std::byte> payload = msg.payload.bytes();
     header.payload_bytes = payload.size();
+    // In a distributed world this process can have two producers on the
+    // same (src, dst) ring — the rank thread and the telemetry forwarder —
+    // and a frame must hit the SPSC ring as one contiguous byte stream.
+    std::lock_guard lock(post_mu_);
     if (!write_frame(src, dst, header, payload, /*best_effort=*/false)) {
       // The only way a non-best-effort write bails is the world aborting
       // (or teardown racing a straggler send, which the abort also covers).
@@ -62,6 +67,7 @@ class ShmTransport final : public Transport {
     header.generation = static_cast<std::uint32_t>(world_.generation());
     header.payload_bytes = cause.size();
     const auto* bytes = reinterpret_cast<const std::byte*>(cause.data());
+    std::lock_guard lock(post_mu_);
     for (int dst = 0; dst < np_; ++dst) {
       if (dst == local_rank_) continue;
       // Best effort with a bounded wait: a peer that already tore down
@@ -205,6 +211,7 @@ class ShmTransport final : public Transport {
   const int local_rank_;
   ShmSegment segment_;
   std::vector<FrameReader> readers_;  // indexed src * np + dst
+  std::mutex post_mu_;  // serializes same-process producers per segment
   std::thread pump_;
   std::atomic<bool> stop_{false};
 };

@@ -8,6 +8,9 @@
 #include <limits>
 #include <map>
 #include <optional>
+#include <utility>
+
+#include "obs/telemetry.hpp"
 
 namespace parda::obs {
 
@@ -269,7 +272,260 @@ std::string to_prometheus(const Registry& reg, const SpanTracer& tracer) {
   return out;
 }
 
-std::string to_prometheus() { return to_prometheus(registry(), tracer()); }
+std::string to_prometheus(const Registry& reg, const SpanTracer& tracer,
+                          const TelemetryHub& hub) {
+  if (hub.empty()) return to_prometheus(reg, tracer);
+  const std::vector<ProcessTelemetry> remotes = hub.snapshot();
+
+  std::string out;
+  out.reserve(1 << 15);
+
+  auto with_process = [](const std::string& labels, int process) {
+    std::string extra = "process=\"" + std::to_string(process) + "\"";
+    if (!labels.empty()) {
+      extra += ',';
+      extra += labels;
+    }
+    return extra;
+  };
+  auto active_mask = [](const std::vector<std::uint64_t>& shards) {
+    std::vector<bool> active(shards.size());
+    for (std::size_t i = 0; i < shards.size(); ++i) {
+      active[i] = shards[i] != 0;
+    }
+    return active;
+  };
+
+  // Counters: local (process="0") and every remote process share one
+  // family block per base name — the exposition format allows exactly one
+  // HELP/TYPE per family.
+  struct CounterMember {
+    std::string labels;
+    std::vector<std::uint64_t> shards;
+  };
+  std::map<std::string, std::pair<std::string, std::vector<CounterMember>>>
+      counter_fams;
+  auto add_counter = [&](std::string_view name, int process,
+                         std::vector<std::uint64_t> shards) {
+    LabeledName ln = split_name(name);
+    auto& fam = counter_fams[prom_name(ln.base) + "_total"];
+    if (fam.second.empty()) fam.first = ln.base;
+    fam.second.push_back(
+        {with_process(ln.labels, process), std::move(shards)});
+  };
+  for (const Counter* c : reg.counters()) {
+    const auto shards = c->shards();
+    add_counter(c->name(), 0,
+                std::vector<std::uint64_t>(shards.begin(), shards.end()));
+  }
+  for (const ProcessTelemetry& pt : remotes) {
+    for (const auto& rc : pt.counters) {
+      add_counter(rc.name, pt.process, rc.shards);
+    }
+  }
+  for (const auto& [fam, entry] : counter_fams) {
+    header(out, fam,
+           "Parda counter " + entry.first +
+               " (rank=\"driver\" is the unattributed shard)",
+           "counter");
+    for (const CounterMember& m : entry.second) {
+      per_rank_samples(out, fam, m.labels, m.shards, active_mask(m.shards));
+    }
+  }
+
+  struct GaugeMember {
+    std::string labels;
+    std::vector<std::uint64_t> maxes;
+    std::vector<std::uint64_t> values;
+  };
+  std::map<std::string, std::pair<std::string, std::vector<GaugeMember>>>
+      gauge_fams;
+  auto add_gauge = [&](std::string_view name, int process,
+                       std::vector<std::uint64_t> maxes,
+                       std::vector<std::uint64_t> values) {
+    LabeledName ln = split_name(name);
+    auto& fam = gauge_fams[prom_name(ln.base)];
+    if (fam.second.empty()) fam.first = ln.base;
+    fam.second.push_back({with_process(ln.labels, process),
+                          std::move(maxes), std::move(values)});
+  };
+  for (const Gauge* g : reg.gauges()) {
+    const auto maxes = g->shards();
+    const auto values = g->values();
+    add_gauge(g->name(), 0,
+              std::vector<std::uint64_t>(maxes.begin(), maxes.end()),
+              std::vector<std::uint64_t>(values.begin(), values.end()));
+  }
+  for (const ProcessTelemetry& pt : remotes) {
+    for (const auto& rg : pt.gauges) {
+      add_gauge(rg.name, pt.process, rg.maxes, rg.values);
+    }
+  }
+  for (const auto& [fam, entry] : gauge_fams) {
+    header(out, fam,
+           "Parda gauge " + entry.first + " (last value published per rank)",
+           "gauge");
+    for (const GaugeMember& m : entry.second) {
+      per_rank_samples(out, fam, m.labels, m.values, active_mask(m.maxes));
+    }
+    const std::string fam_max = fam + "_max";
+    header(out, fam_max,
+           "Parda gauge " + entry.first +
+               " lifetime high-water mark per rank",
+           "gauge");
+    for (const GaugeMember& m : entry.second) {
+      per_rank_samples(out, fam_max, m.labels, m.maxes,
+                       active_mask(m.maxes));
+    }
+  }
+
+  struct TimerMember {
+    std::string labels;
+    std::uint64_t count = 0;
+    std::uint64_t sum_ns = 0;
+    std::vector<std::uint64_t> buckets;
+  };
+  std::map<std::string, std::pair<std::string, std::vector<TimerMember>>>
+      timer_fams;
+  auto add_timer = [&](std::string_view name, int process,
+                       std::uint64_t count, std::uint64_t sum_ns,
+                       std::vector<std::uint64_t> buckets) {
+    LabeledName ln = split_name(name);
+    auto& fam = timer_fams[prom_name(ln.base) + "_ns"];
+    if (fam.second.empty()) fam.first = ln.base;
+    fam.second.push_back({with_process(ln.labels, process), count, sum_ns,
+                          std::move(buckets)});
+  };
+  for (const TimerHistogram* t : reg.timers()) {
+    const TimerHistogram::Aggregate agg = t->aggregate();
+    add_timer(t->name(), 0, agg.count, agg.sum_ns,
+              std::vector<std::uint64_t>(agg.buckets.begin(),
+                                         agg.buckets.end()));
+  }
+  for (const ProcessTelemetry& pt : remotes) {
+    for (const auto& rt : pt.timers) {
+      add_timer(rt.name, pt.process, rt.count, rt.sum_ns, rt.buckets);
+    }
+  }
+  for (const auto& [fam, entry] : timer_fams) {
+    header(out, fam,
+           "Parda timer " + entry.first +
+               " in nanoseconds (log2 buckets, aggregated across ranks)",
+           "histogram");
+    for (const TimerMember& m : entry.second) {
+      const std::string extra = m.labels + ',';
+      std::size_t last = 0;
+      for (std::size_t b = 0; b < m.buckets.size(); ++b) {
+        if (m.buckets[b] != 0) last = b + 1;
+      }
+      std::uint64_t cum = 0;
+      for (std::size_t b = 0; b < last; ++b) {
+        cum += m.buckets[b];
+        const std::uint64_t le = (std::uint64_t{1} << (b + 1)) - 1;
+        sample_u64(out, fam + "_bucket",
+                   "{" + extra + "le=\"" + std::to_string(le) + "\"}", cum);
+      }
+      sample_u64(out, fam + "_bucket", "{" + extra + "le=\"+Inf\"}",
+                 m.count);
+      sample_u64(out, fam + "_sum", "{" + m.labels + "}", m.sum_ns);
+      sample_u64(out, fam + "_count", "{" + m.labels + "}", m.count);
+    }
+  }
+
+  {
+    const std::string fam = "parda_obs_spans_dropped_total";
+    header(out, fam,
+           "Span ring overwrites per rank shard (nonzero means the oldest "
+           "spans were lost to wrap-around)",
+           "counter");
+    const auto dropped = tracer.dropped_per_shard();
+    per_rank_samples(
+        out, fam, "process=\"0\"",
+        std::vector<std::uint64_t>(dropped.begin(), dropped.end()),
+        active_mask(
+            std::vector<std::uint64_t>(dropped.begin(), dropped.end())));
+    for (const ProcessTelemetry& pt : remotes) {
+      // Remote drops arrive as one total per process (the frame does not
+      // break them out per shard).
+      sample_u64(out, fam,
+                 "{process=\"" + std::to_string(pt.process) + "\"}",
+                 pt.spans_dropped);
+    }
+  }
+
+  // Per-process freshness: is every process still reporting, how stale is
+  // its snapshot, and how trustworthy is its clock alignment.
+  auto process_labels = [](int process) {
+    return "{process=\"" + std::to_string(process) + "\"}";
+  };
+  {
+    const std::string fam = "parda_telemetry_frames_total";
+    header(out, fam, "Telemetry frames ingested per remote process",
+           "counter");
+    for (const ProcessTelemetry& pt : remotes) {
+      sample_u64(out, fam, process_labels(pt.process), pt.frames);
+    }
+  }
+  {
+    const std::string fam = "parda_telemetry_last_seq";
+    header(out, fam, "Sequence number of the newest frame per process",
+           "gauge");
+    for (const ProcessTelemetry& pt : remotes) {
+      sample_u64(out, fam, process_labels(pt.process), pt.seq);
+    }
+  }
+  {
+    const std::string fam = "parda_telemetry_final";
+    header(out, fam,
+           "1 once the process sent its end-of-job flush frame", "gauge");
+    for (const ProcessTelemetry& pt : remotes) {
+      sample_u64(out, fam, process_labels(pt.process),
+                 pt.final_received ? 1 : 0);
+    }
+  }
+  {
+    const std::string fam = "parda_telemetry_age_ns";
+    header(out, fam, "Nanoseconds since the newest frame per process",
+           "gauge");
+    const std::int64_t now = tracer.now_ns();
+    for (const ProcessTelemetry& pt : remotes) {
+      sample_u64(out, fam, process_labels(pt.process),
+                 static_cast<std::uint64_t>(
+                     std::max<std::int64_t>(0, now - pt.last_ingest_ns)));
+    }
+  }
+  {
+    const std::string fam = "parda_telemetry_clock_uncertainty_ns";
+    header(out, fam,
+           "Half the min round-trip of the clock handshake per process "
+           "(0 with clock_valid=0 means no estimate)",
+           "gauge");
+    for (const ProcessTelemetry& pt : remotes) {
+      sample_u64(out, fam, process_labels(pt.process),
+                 pt.clock.valid
+                     ? static_cast<std::uint64_t>(
+                           std::max<std::int64_t>(0,
+                                                  pt.clock.uncertainty_ns))
+                     : 0);
+    }
+  }
+  {
+    const std::string fam = "parda_telemetry_clock_valid";
+    header(out, fam,
+           "1 when the process's clock-offset handshake converged",
+           "gauge");
+    for (const ProcessTelemetry& pt : remotes) {
+      sample_u64(out, fam, process_labels(pt.process),
+                 pt.clock.valid ? 1 : 0);
+    }
+  }
+
+  return out;
+}
+
+std::string to_prometheus() {
+  return to_prometheus(registry(), tracer(), hub());
+}
 
 // --- Validator --------------------------------------------------------------
 

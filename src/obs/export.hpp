@@ -26,12 +26,24 @@
 
 namespace parda::obs {
 
+class TelemetryHub;
+
 /// Renders the registry (and the tracer's drop counters) as Prometheus
 /// text exposition format. Deterministic order: counters, gauges, timers,
 /// then the tracer synthetics.
 std::string to_prometheus(const Registry& reg, const SpanTracer& tracer);
 
-/// Convenience over the process globals (what /metrics serves).
+/// Fleet-wide render: when the hub has ingested remote telemetry, local
+/// samples carry process="0" and every remote process's samples join the
+/// SAME family blocks (one HELP/TYPE per family) with process="N", plus
+/// per-process parda_telemetry_* freshness series. While the hub is empty
+/// this is byte-identical to the two-argument form — single-process
+/// scrapes never change shape.
+std::string to_prometheus(const Registry& reg, const SpanTracer& tracer,
+                          const TelemetryHub& hub);
+
+/// Convenience over the process globals (what /metrics serves): the
+/// hub-aware render against registry(), tracer(), and hub().
 std::string to_prometheus();
 
 /// Hand-rolled exposition-format validator: HELP/TYPE presence and order,

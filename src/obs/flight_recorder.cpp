@@ -1,0 +1,211 @@
+#include "obs/flight_recorder.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span_tracer.hpp"
+#include "util/json.hpp"
+
+namespace parda::obs {
+
+namespace {
+
+constexpr std::size_t kDumpSpanCap = 256;
+
+struct FlightRecState {
+  std::mutex mu;
+  std::string path;  // empty = not configured via configure()
+  int process = 0;
+  std::map<std::string, std::string> notes;
+  std::atomic<bool> dumped{false};
+};
+
+FlightRecState& state() {
+  static FlightRecState* s = new FlightRecState();
+  return *s;
+}
+
+std::string substitute_process(std::string_view path, int process) {
+  std::string out;
+  out.reserve(path.size() + 8);
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    if (path[i] == '%' && i + 1 < path.size() && path[i + 1] == 'r') {
+      out += std::to_string(process);
+      ++i;
+    } else {
+      out += path[i];
+    }
+  }
+  return out;
+}
+
+std::string render_dump(std::string_view reason, int process,
+                        const std::map<std::string, std::string>& notes) {
+  // Last kDumpSpanCap spans by start time, re-sorted (rank, t_start) so
+  // the dump reads like the tracer's own export.
+  std::vector<SpanEvent> spans = tracer().events();
+  if (spans.size() > kDumpSpanCap) {
+    std::stable_sort(spans.begin(), spans.end(),
+                     [](const SpanEvent& a, const SpanEvent& b) {
+                       return a.t_start_ns < b.t_start_ns;
+                     });
+    spans.erase(spans.begin(),
+                spans.end() - static_cast<std::ptrdiff_t>(kDumpSpanCap));
+    std::stable_sort(spans.begin(), spans.end(),
+                     [](const SpanEvent& a, const SpanEvent& b) {
+                       if (a.rank != b.rank) return a.rank < b.rank;
+                       return a.t_start_ns < b.t_start_ns;
+                     });
+  }
+
+  json::Writer w;
+  w.begin_object();
+  w.key("schema").value("parda.flightrec.v1");
+  w.key("reason").value(reason);
+  w.key("process").value(process);
+  w.key("unix_ns").value(
+      static_cast<std::int64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::system_clock::now().time_since_epoch())
+              .count()));
+  w.key("context").begin_object();
+  for (const auto& [key, value] : notes) w.key(key).value(value);
+  w.end_object();
+  w.key("log_tail").begin_array();
+  for (const std::string& line : log_tail()) {
+    // Lines are themselves JSON objects; splice them so the tail stays
+    // structured instead of double-escaped.
+    w.raw(line);
+  }
+  w.end_array();
+  w.key("spans").begin_array();
+  for (const SpanEvent& e : spans) {
+    w.begin_object();
+    w.key("t0").value(e.t_start_ns);
+    w.key("t1").value(e.t_end_ns);
+    w.key("op").value(e.op);
+    if (e.phase != kNoPhase) {
+      w.key("phase").value(static_cast<std::uint64_t>(e.phase));
+    }
+    w.key("rank").value(static_cast<std::int64_t>(e.rank));
+    w.end_object();
+  }
+  w.end_array();
+  w.key("spans_dropped").value(tracer().dropped());
+  w.key("metrics").raw(registry().to_json());
+  w.end_object();
+  return w.take();
+}
+
+}  // namespace
+
+void flightrec_configure(std::string_view path, int process) {
+  FlightRecState& s = state();
+  std::lock_guard lock(s.mu);
+  s.path.assign(path);
+  s.process = process;
+}
+
+void flightrec_set_process(int process) {
+  FlightRecState& s = state();
+  std::lock_guard lock(s.mu);
+  s.process = process;
+}
+
+void flightrec_note(std::string_view key, std::string_view value) {
+  FlightRecState& s = state();
+  std::lock_guard lock(s.mu);
+  s.notes.insert_or_assign(std::string(key), std::string(value));
+}
+
+bool flightrec_dump(std::string_view reason) noexcept {
+  FlightRecState& s = state();
+  try {
+    std::string path;
+    int process = 0;
+    std::map<std::string, std::string> notes;
+    {
+      std::lock_guard lock(s.mu);
+      path = s.path;
+      process = s.process;
+      notes = s.notes;
+    }
+    if (path.empty()) {
+      // Env fallback at dump time: processes that never parsed flags
+      // (fault-matrix gtest children) still leave a postmortem.
+      const char* env = std::getenv("PARDA_FLIGHT_RECORDER");
+      if (env != nullptr && *env != '\0') path = env;
+    }
+    if (path.empty()) return false;
+    if (s.dumped.exchange(true, std::memory_order_acq_rel)) return false;
+
+    const std::string resolved = substitute_process(path, process);
+    const std::string doc = render_dump(reason, process, notes);
+    std::FILE* f = std::fopen(resolved.c_str(), "w");
+    if (f == nullptr) return false;
+    std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    log(LogLevel::kWarn, "flightrec.dump")
+        .field("path", resolved)
+        .field("reason", reason);
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+bool flightrec_dumped() noexcept {
+  return state().dumped.load(std::memory_order_acquire);
+}
+
+namespace {
+
+void fatal_signal_handler(int signo) {
+  // Best effort: this allocates and locks, which is formally unsafe in a
+  // signal handler — but the process is dying anyway, and the alternative
+  // is no postmortem at all.
+  const char* name = "signal";
+  switch (signo) {
+    case SIGSEGV: name = "signal:SIGSEGV"; break;
+    case SIGBUS: name = "signal:SIGBUS"; break;
+    case SIGFPE: name = "signal:SIGFPE"; break;
+    case SIGABRT: name = "signal:SIGABRT"; break;
+    default: break;
+  }
+  flightrec_dump(name);
+  std::signal(signo, SIG_DFL);
+  std::raise(signo);
+}
+
+}  // namespace
+
+void flightrec_install_signal_handlers() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    std::signal(SIGSEGV, fatal_signal_handler);
+    std::signal(SIGBUS, fatal_signal_handler);
+    std::signal(SIGFPE, fatal_signal_handler);
+    std::signal(SIGABRT, fatal_signal_handler);
+  });
+}
+
+void flightrec_reset_for_test() {
+  FlightRecState& s = state();
+  std::lock_guard lock(s.mu);
+  s.path.clear();
+  s.process = 0;
+  s.notes.clear();
+  s.dumped.store(false, std::memory_order_release);
+}
+
+}  // namespace parda::obs

@@ -1,0 +1,53 @@
+// Crash flight recorder: a postmortem "parda.flightrec.v1" JSON dump of
+// the last spans, a metrics snapshot, the structured-log tail, and
+// caller-noted context (e.g. transport state), written on the first fatal
+// event a process sees — comm abort, watchdog fire, a fatal top-level
+// exception, or a fatal signal.
+//
+// Configuration follows the repo's CLI > env > default rule
+// (util/config): binaries pass --flight-recorder through configure();
+// when nothing was configured, dump() falls back to $PARDA_FLIGHT_RECORDER
+// at dump time, so even processes that never parse flags (gtest children
+// in the fault matrix) leave a dump when the env var is set. A "%r" in the
+// path is replaced by the process id, giving per-rank files from one
+// shared setting. The first dump wins; later triggers in the same process
+// are no-ops — the file describes the ORIGINAL failure, not the teardown
+// cascade it causes.
+//
+// dump() is deliberately tolerant: it allocates and takes locks, so a
+// dump from a fatal-signal handler is best effort (the handler re-raises
+// with the default disposition afterwards either way).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace parda::obs {
+
+/// Sets the dump path ("" disables; "%r" expands to the process id) and
+/// the reporting process id (the distributed local rank, 0 otherwise).
+void flightrec_configure(std::string_view path, int process);
+
+/// Updates only the process id (e.g. once the local rank is known).
+void flightrec_set_process(int process);
+
+/// Attaches one context string to future dumps (last write per key wins):
+/// transport descriptions, trace paths, run parameters.
+void flightrec_note(std::string_view key, std::string_view value);
+
+/// Writes the dump if a path is configured (or $PARDA_FLIGHT_RECORDER is
+/// set) and no dump has been written yet. Returns true when a file was
+/// written. Never throws.
+bool flightrec_dump(std::string_view reason) noexcept;
+
+/// True once this process has written its dump.
+bool flightrec_dumped() noexcept;
+
+/// Installs best-effort SIGSEGV/SIGBUS/SIGFPE/SIGABRT handlers that dump
+/// and then re-raise with the default disposition. Idempotent.
+void flightrec_install_signal_handlers();
+
+/// Test hook: forget the configured path, notes, and the dumped flag.
+void flightrec_reset_for_test();
+
+}  // namespace parda::obs

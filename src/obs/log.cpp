@@ -3,6 +3,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
+#include <deque>
 #include <mutex>
 
 #include "obs/runtime.hpp"
@@ -15,6 +16,15 @@ std::atomic<int> g_level{-1};  // -1 = not yet initialized from the env
 std::atomic<std::FILE*> g_sink{nullptr};
 std::mutex g_emit_mu;
 
+// Always-on bounded tail of emitted lines (guarded by g_emit_mu): the
+// flight recorder's view of "what was the process saying just before it
+// died", independent of where the sink pointed.
+constexpr std::size_t kLogTailCapacity = 64;
+std::deque<std::string>& tail_ring() {
+  static std::deque<std::string>* ring = new std::deque<std::string>();
+  return *ring;
+}
+
 int level_from_env() {
   const char* env = std::getenv("PARDA_LOG_LEVEL");
   if (env != nullptr && *env != '\0') {
@@ -25,9 +35,22 @@ int level_from_env() {
   return static_cast<int>(LogLevel::kWarn);
 }
 
-std::chrono::steady_clock::time_point log_epoch() {
-  static const std::chrono::steady_clock::time_point epoch =
-      std::chrono::steady_clock::now();
+// The steady epoch and its wall-clock anchor are captured in one place so
+// a line's unix_ns (anchor + ts_ns) names the same instant as its ts_ns.
+struct LogEpoch {
+  std::chrono::steady_clock::time_point steady;
+  std::int64_t unix_ns;
+};
+
+const LogEpoch& log_epoch() {
+  static const LogEpoch epoch = [] {
+    LogEpoch e;
+    e.steady = std::chrono::steady_clock::now();
+    e.unix_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::system_clock::now().time_since_epoch())
+                    .count();
+    return e;
+  }();
   return epoch;
 }
 
@@ -77,12 +100,14 @@ void set_log_sink(std::FILE* sink) noexcept {
 LogEvent::LogEvent(LogLevel level, const char* event) noexcept {
   if (!log_enabled(level) || level == LogLevel::kOff) return;
   live_ = true;
+  const LogEpoch& epoch = log_epoch();
   const auto ts = std::chrono::duration_cast<std::chrono::nanoseconds>(
-                      std::chrono::steady_clock::now() - log_epoch())
+                      std::chrono::steady_clock::now() - epoch.steady)
                       .count();
   json::Writer head;
   head.begin_object();
   head.key("ts_ns").value(static_cast<std::int64_t>(ts));
+  head.key("unix_ns").value(epoch.unix_ns + static_cast<std::int64_t>(ts));
   head.key("level").value(log_level_name(level));
   head.key("rank").value(thread_rank());
   if (thread_phase() != kNoPhaseAttr) {
@@ -105,8 +130,19 @@ LogEvent::~LogEvent() {
   std::FILE* sink = g_sink.load(std::memory_order_acquire);
   if (sink == nullptr) sink = stderr;
   std::lock_guard lock(g_emit_mu);
+  std::deque<std::string>& tail = tail_ring();
+  tail.emplace_back(line.data(), line.size() - 1);  // strip the newline
+  if (tail.size() > kLogTailCapacity) tail.pop_front();
   std::fwrite(line.data(), 1, line.size(), sink);
   std::fflush(sink);
+}
+
+std::int64_t log_unix_anchor_ns() noexcept { return log_epoch().unix_ns; }
+
+std::vector<std::string> log_tail() {
+  std::lock_guard lock(g_emit_mu);
+  const std::deque<std::string>& tail = tail_ring();
+  return std::vector<std::string>(tail.begin(), tail.end());
 }
 
 LogEvent& LogEvent::field(std::string_view key, std::string_view value) {

@@ -2,11 +2,14 @@
 // stderr prints in the comm abort/watchdog/fault paths and the drivers.
 //
 // One event is one line:
-//   {"ts_ns":123456,"level":"warn","rank":2,"phase":7,
-//    "event":"fault.inject","fields":{"action":"delay","ms":50}}
+//   {"ts_ns":123456,"unix_ns":1754550000123456789,"level":"warn","rank":2,
+//    "phase":7,"event":"fault.inject","fields":{"action":"delay","ms":50}}
 //
 // ts_ns is steady-clock nanoseconds since the log's epoch (the first use
-// in the process), rank/phase come from the calling thread's obs
+// in the process); unix_ns is the same instant on the wall clock, derived
+// from one system_clock anchor captured together with the epoch — so
+// multi-process logs can be merged on unix_ns while ts_ns stays monotonic
+// within a process. rank/phase come from the calling thread's obs
 // attribution (obs/runtime.hpp; rank -1 and absent phase = driver), and
 // fields are event-specific key/values added through the builder.
 //
@@ -24,6 +27,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "util/json.hpp"
 
@@ -89,5 +93,15 @@ class LogEvent {
 inline LogEvent log(LogLevel level, const char* event) noexcept {
   return LogEvent(level, event);
 }
+
+/// The wall-clock instant of the log epoch (nanoseconds since the Unix
+/// epoch, captured once together with the steady-clock epoch). A line's
+/// unix_ns is this anchor plus its ts_ns.
+std::int64_t log_unix_anchor_ns() noexcept;
+
+/// The most recent emitted log lines (without trailing newlines), oldest
+/// first — a small always-on ring kept regardless of sink or level so the
+/// crash flight recorder can dump the tail of what was actually logged.
+std::vector<std::string> log_tail();
 
 }  // namespace parda::obs

@@ -1,18 +1,22 @@
 // Umbrella for the observability layer: the enable/attribution runtime,
 // the metrics registry (Counter / Gauge / TimerHistogram with per-rank
 // shards), the span tracer with chrome://tracing export, structured
-// logging, Prometheus exposition, the span-attribution report, and the
-// telemetry HTTP server.
+// logging, Prometheus exposition, the span-attribution report, the
+// telemetry HTTP server, the distributed telemetry hub, and the crash
+// flight recorder.
 //
-// See DESIGN.md sections "Observability" and "Live telemetry &
-// attribution" for the schemas, the overhead budget, and how spans map
-// onto the paper's Algorithms 3-7 phases.
+// See DESIGN.md sections "Observability", "Live telemetry &
+// attribution", and "Distributed telemetry" for the schemas, the
+// overhead budget, and how spans map onto the paper's Algorithms 3-7
+// phases.
 #pragma once
 
-#include "obs/export.hpp"       // IWYU pragma: export
-#include "obs/log.hpp"          // IWYU pragma: export
-#include "obs/metrics.hpp"      // IWYU pragma: export
-#include "obs/report.hpp"       // IWYU pragma: export
-#include "obs/runtime.hpp"      // IWYU pragma: export
-#include "obs/server.hpp"       // IWYU pragma: export
-#include "obs/span_tracer.hpp"  // IWYU pragma: export
+#include "obs/export.hpp"           // IWYU pragma: export
+#include "obs/flight_recorder.hpp"  // IWYU pragma: export
+#include "obs/log.hpp"              // IWYU pragma: export
+#include "obs/metrics.hpp"          // IWYU pragma: export
+#include "obs/report.hpp"           // IWYU pragma: export
+#include "obs/runtime.hpp"          // IWYU pragma: export
+#include "obs/server.hpp"           // IWYU pragma: export
+#include "obs/span_tracer.hpp"      // IWYU pragma: export
+#include "obs/telemetry.hpp"        // IWYU pragma: export

@@ -164,6 +164,7 @@ std::string SpanReport::to_json() const {
   w.key("wall_ns").value(wall_ns_);
   w.key("straggler_rank").value(straggler_rank_);
   w.key("spans_dropped").value(spans_dropped_);
+  w.key("clock_uncertainty_ns").value(clock_uncertainty_ns_);
 
   w.key("ranks").begin_array();
   for (const RankUtilization& u : ranks_) {
@@ -217,6 +218,11 @@ std::string SpanReport::to_table() const {
     out += ", straggler rank " + std::to_string(straggler_rank_);
   if (spans_dropped_ > 0)
     out += ", " + std::to_string(spans_dropped_) + " spans dropped";
+  if (clock_uncertainty_ns_ > 0)
+    out += ", clock uncertainty +/-" +
+           TablePrinter::fmt(ms(
+               static_cast<std::uint64_t>(clock_uncertainty_ns_))) +
+           " ms";
   out += "\n\n";
 
   TablePrinter ranks({"rank", "busy_ms", "wait_ms", "self_ms", "util_%"});

@@ -78,6 +78,17 @@ class SpanReport {
   int straggler_rank() const noexcept { return straggler_rank_; }
   std::uint64_t spans_dropped() const noexcept { return spans_dropped_; }
 
+  /// Cross-process error bar: when the report was built from hub-merged
+  /// events, the largest clock-handshake uncertainty among the remote
+  /// processes whose spans it contains (0 for single-process reports).
+  /// Timing differences below this are not attributable.
+  std::int64_t clock_uncertainty_ns() const noexcept {
+    return clock_uncertainty_ns_;
+  }
+  void set_clock_uncertainty_ns(std::int64_t ns) noexcept {
+    clock_uncertainty_ns_ = ns;
+  }
+
   /// "parda.spanreport.v1" JSON.
   std::string to_json() const;
   /// Aligned text tables (per-rank utilization + per-phase attribution).
@@ -89,6 +100,7 @@ class SpanReport {
   std::uint64_t wall_ns_ = 0;
   int straggler_rank_ = -1;
   std::uint64_t spans_dropped_ = 0;
+  std::int64_t clock_uncertainty_ns_ = 0;
 };
 
 }  // namespace parda::obs

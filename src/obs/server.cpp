@@ -14,6 +14,7 @@
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span_tracer.hpp"
+#include "obs/telemetry.hpp"
 #include "util/json.hpp"
 
 namespace parda::obs {
@@ -313,9 +314,16 @@ TelemetryServer::Response TelemetryServer::handle(
             to_prometheus()};
   }
   if (path == "/metrics.json") {
-    return {200, "application/json", registry().to_json()};
+    // Hub-aware: in a distributed run rank 0's snapshot grows a
+    // "processes" array with every remote process's telemetry; while the
+    // hub is empty this is Registry::to_json() verbatim.
+    return {200, "application/json",
+            hub().merged_metrics_json(registry())};
   }
   if (path == "/spans") {
+    if (!hub().empty()) {
+      return {200, "application/json", hub().merged_chrome_json(tracer())};
+    }
     return {200, "application/json", tracer().to_chrome_json()};
   }
   if (path == "/healthz") {

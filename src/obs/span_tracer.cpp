@@ -29,12 +29,19 @@ void SpanTracer::record(std::int64_t t_start_ns, std::int64_t t_end_ns,
     // silently.
     ring.dropped.fetch_add(1, std::memory_order_relaxed);
   }
-  SpanEvent& slot = ring.events[static_cast<std::size_t>(idx % capacity_)];
-  slot.t_start_ns = t_start_ns;
-  slot.t_end_ns = t_end_ns;
-  slot.op = op;
-  slot.phase = phase;
-  slot.rank = thread_rank();
+  Slot& slot = ring.slots[static_cast<std::size_t>(idx % capacity_)];
+  // Seqlock write: odd seq marks the write in flight so a concurrent
+  // snapshot (mid-run scrape, telemetry forwarder) skips the slot
+  // instead of reading it torn.
+  const std::uint32_t seq = slot.seq.load(std::memory_order_relaxed);
+  slot.seq.store(seq + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  slot.t_start_ns.store(t_start_ns, std::memory_order_relaxed);
+  slot.t_end_ns.store(t_end_ns, std::memory_order_relaxed);
+  slot.op.store(op, std::memory_order_relaxed);
+  slot.phase.store(phase, std::memory_order_relaxed);
+  slot.rank.store(thread_rank(), std::memory_order_relaxed);
+  slot.seq.store(seq + 2, std::memory_order_release);
 }
 
 std::vector<SpanEvent> SpanTracer::events() const {
@@ -43,7 +50,21 @@ std::vector<SpanEvent> SpanTracer::events() const {
     const std::uint64_t n = ring->n.load(std::memory_order_acquire);
     const std::uint64_t kept = std::min<std::uint64_t>(n, capacity_);
     for (std::uint64_t i = n - kept; i < n; ++i) {
-      out.push_back(ring->events[static_cast<std::size_t>(i % capacity_)]);
+      const Slot& slot = ring->slots[static_cast<std::size_t>(i % capacity_)];
+      const std::uint32_t s1 = slot.seq.load(std::memory_order_acquire);
+      SpanEvent e;
+      e.t_start_ns = slot.t_start_ns.load(std::memory_order_relaxed);
+      e.t_end_ns = slot.t_end_ns.load(std::memory_order_relaxed);
+      e.op = slot.op.load(std::memory_order_relaxed);
+      e.phase = slot.phase.load(std::memory_order_relaxed);
+      e.rank = slot.rank.load(std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_acquire);
+      const std::uint32_t s2 = slot.seq.load(std::memory_order_relaxed);
+      // Skip unpublished (0), in-flight (odd), or overwritten-mid-read
+      // (changed) slots: a snapshot may briefly miss a span a concurrent
+      // writer is filling in, never emit a torn one.
+      if (s1 == 0 || (s1 & 1u) != 0 || s1 != s2) continue;
+      out.push_back(e);
     }
   }
   std::stable_sort(out.begin(), out.end(),

@@ -52,8 +52,12 @@ class SpanTracer {
   void record(std::int64_t t_start_ns, std::int64_t t_end_ns, const char* op,
               std::uint32_t phase = kNoPhase) noexcept;
 
-  /// All recorded events, ordered by (rank, t_start). Call only when no
-  /// thread is still recording (after comm::run has joined its ranks).
+  /// All recorded events, ordered by (rank, t_start). Safe to call while
+  /// other threads are still recording (mid-run scrapes, the distributed
+  /// telemetry forwarder): each slot is guarded by a seqlock, so a span
+  /// whose write is in flight is skipped rather than read torn. A
+  /// post-run call (after comm::run has joined its ranks) sees every
+  /// surviving span.
   std::vector<SpanEvent> events() const;
   std::vector<SpanEvent> events_for_rank(int rank) const;
 
@@ -72,9 +76,26 @@ class SpanTracer {
   std::string to_chrome_json() const;
 
  private:
+  /// One ring slot: the event's fields as relaxed atomics plus a seqlock
+  /// counter (odd = write in flight, 0 = never published). Readers that
+  /// see an odd or changing seq skip the slot; writers never block on
+  /// readers, keeping the §12 contract that a scrape cannot stall a
+  /// worker. The unattributed shard can in principle have two writers on
+  /// one slot after a wrap collision; the seqlock then only guarantees
+  /// the reader skips or sees one writer's fields per field — acceptable
+  /// for a diagnostic snapshot, and rank shards stay single-writer.
+  struct Slot {
+    std::atomic<std::uint32_t> seq{0};
+    std::atomic<std::int64_t> t_start_ns{0};
+    std::atomic<std::int64_t> t_end_ns{0};
+    std::atomic<const char*> op{""};
+    std::atomic<std::uint32_t> phase{kNoPhase};
+    std::atomic<std::int32_t> rank{-1};
+  };
+
   struct Ring {
-    explicit Ring(std::size_t cap) : events(cap) {}
-    std::vector<SpanEvent> events;
+    explicit Ring(std::size_t cap) : slots(cap) {}
+    std::vector<Slot> slots;
     std::atomic<std::uint64_t> n{0};        // total events ever claimed
     std::atomic<std::uint64_t> dropped{0};  // overwrites after wrap
   };

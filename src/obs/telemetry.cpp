@@ -1,0 +1,386 @@
+#include "obs/telemetry.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "util/json.hpp"
+
+namespace parda::obs {
+
+namespace {
+
+void write_clock(json::Writer& w, const ClockSync& clock) {
+  w.begin_object();
+  w.key("offset_ns").value(clock.offset_ns);
+  w.key("uncertainty_ns").value(clock.uncertainty_ns);
+  w.key("valid").value(clock.valid);
+  w.key("samples").value(clock.samples);
+  w.end_object();
+}
+
+ClockSync parse_clock(const json::Value& v) {
+  ClockSync clock;
+  clock.offset_ns = v.at("offset_ns").as_i64();
+  clock.uncertainty_ns = v.at("uncertainty_ns").as_i64();
+  clock.valid = v.at("valid").kind == json::Value::Kind::kBool
+                    ? v.at("valid").boolean
+                    : false;
+  clock.samples = static_cast<int>(v.at("samples").as_i64());
+  return clock;
+}
+
+std::vector<std::uint64_t> parse_u64_array(const json::Value& v) {
+  std::vector<std::uint64_t> out;
+  out.reserve(v.array.size());
+  for (const json::Value& e : v.array) out.push_back(e.as_u64());
+  return out;
+}
+
+/// [unattributed, per_rank...] — the shard layout shared with the local
+/// registry (index 0 unattributed, index r+1 = rank r).
+std::vector<std::uint64_t> parse_shards(const json::Value& metric,
+                                        const char* head_key,
+                                        const char* rank_key) {
+  std::vector<std::uint64_t> shards;
+  shards.push_back(metric.at(head_key).as_u64());
+  for (const json::Value& e : metric.at(rank_key).array) {
+    shards.push_back(e.as_u64());
+  }
+  return shards;
+}
+
+void rerender(json::Writer& out, const json::Value& v) {
+  switch (v.kind) {
+    case json::Value::Kind::kNull:
+      out.null();
+      break;
+    case json::Value::Kind::kBool:
+      out.value(v.boolean);
+      break;
+    case json::Value::Kind::kNumber:
+      out.raw(v.text);
+      break;
+    case json::Value::Kind::kString:
+      out.value(v.text);
+      break;
+    case json::Value::Kind::kArray:
+      out.begin_array();
+      for (const json::Value& e : v.array) rerender(out, e);
+      out.end_array();
+      break;
+    case json::Value::Kind::kObject:
+      out.begin_object();
+      for (const auto& [k, e] : v.object) {
+        out.key(k);
+        rerender(out, e);
+      }
+      out.end_object();
+      break;
+  }
+}
+
+}  // namespace
+
+std::string make_telemetry_frame(int process, std::uint64_t seq,
+                                 bool final_frame, const ClockSync& clock,
+                                 const Registry& reg, const SpanTracer& tracer,
+                                 std::size_t max_spans) {
+  std::vector<SpanEvent> spans = tracer.events();
+  if (spans.size() > max_spans) {
+    // Keep the chronologically latest max_spans, then restore the
+    // (rank, t_start) order the hub expects.
+    std::stable_sort(spans.begin(), spans.end(),
+                     [](const SpanEvent& a, const SpanEvent& b) {
+                       return a.t_start_ns < b.t_start_ns;
+                     });
+    spans.erase(spans.begin(),
+                spans.end() - static_cast<std::ptrdiff_t>(max_spans));
+    std::stable_sort(spans.begin(), spans.end(),
+                     [](const SpanEvent& a, const SpanEvent& b) {
+                       if (a.rank != b.rank) return a.rank < b.rank;
+                       return a.t_start_ns < b.t_start_ns;
+                     });
+  }
+
+  json::Writer w;
+  w.begin_object();
+  w.key("schema").value("parda.telemetry.v1");
+  w.key("process").value(process);
+  w.key("seq").value(seq);
+  w.key("final").value(final_frame);
+  w.key("clock");
+  write_clock(w, clock);
+  w.key("metrics").raw(reg.to_json());
+  w.key("spans").begin_array();
+  for (const SpanEvent& e : spans) {
+    w.begin_object();
+    w.key("t0").value(e.t_start_ns);
+    w.key("t1").value(e.t_end_ns);
+    w.key("op").value(e.op);
+    if (e.phase != kNoPhase) {
+      w.key("phase").value(static_cast<std::uint64_t>(e.phase));
+    }
+    w.key("rank").value(static_cast<std::int64_t>(e.rank));
+    w.end_object();
+  }
+  w.end_array();
+  w.key("spans_dropped").value(tracer.dropped());
+  w.end_object();
+  return w.take();
+}
+
+const char* TelemetryHub::intern(std::string_view op) {
+  auto it = op_index_.find(op);
+  if (it != op_index_.end()) return it->second;
+  op_storage_.emplace_back(op);
+  const char* stable = op_storage_.back().c_str();
+  op_index_.emplace(op_storage_.back(), stable);
+  return stable;
+}
+
+TelemetryHub::Ingest TelemetryHub::ingest_frame(std::string_view frame_json) {
+  const json::Value frame = json::parse(frame_json);
+  const json::Value* schema = frame.find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != "parda.telemetry.v1") {
+    throw std::runtime_error("telemetry frame: bad or missing schema");
+  }
+
+  ProcessTelemetry pt;
+  pt.process = static_cast<int>(frame.at("process").as_i64());
+  if (pt.process < 0) {
+    throw std::runtime_error("telemetry frame: negative process id");
+  }
+  pt.seq = frame.at("seq").as_u64();
+  pt.final_received = frame.at("final").kind == json::Value::Kind::kBool &&
+                      frame.at("final").boolean;
+  pt.clock = parse_clock(frame.at("clock"));
+  pt.spans_dropped = frame.at("spans_dropped").as_u64();
+
+  const json::Value& metrics = frame.at("metrics");
+  for (const auto& [name, m] : metrics.at("counters").object) {
+    ProcessTelemetry::RemoteCounter c;
+    c.name = name;
+    c.shards = parse_shards(m, "unattributed", "per_rank");
+    pt.counters.push_back(std::move(c));
+  }
+  for (const auto& [name, m] : metrics.at("gauges").object) {
+    ProcessTelemetry::RemoteGauge g;
+    g.name = name;
+    g.maxes = parse_shards(m, "unattributed", "per_rank");
+    g.values = parse_shards(m, "last_unattributed", "last");
+    pt.gauges.push_back(std::move(g));
+  }
+  for (const auto& [name, m] : metrics.at("timers").object) {
+    ProcessTelemetry::RemoteTimer t;
+    t.name = name;
+    t.count = m.at("count").as_u64();
+    t.sum_ns = m.at("sum_ns").as_u64();
+    t.buckets = parse_u64_array(m.at("log2_ns"));
+    pt.timers.push_back(std::move(t));
+  }
+  {
+    // Re-render the metrics subtree so merged_metrics_json can splice the
+    // sender's snapshot verbatim without keeping the whole frame around.
+    json::Writer w;
+    rerender(w, metrics);
+    pt.metrics_json = w.take();
+  }
+
+  const std::int64_t offset = pt.clock.offset_ns;
+  pt.last_ingest_ns = tracer().now_ns();
+  std::lock_guard lock(mu_);
+  for (const json::Value& s : frame.at("spans").array) {
+    SpanEvent e;
+    e.t_start_ns = s.at("t0").as_i64() + offset;
+    e.t_end_ns = s.at("t1").as_i64() + offset;
+    e.op = intern(s.at("op").as_string());
+    const json::Value* phase = s.find("phase");
+    e.phase = phase != nullptr ? static_cast<std::uint32_t>(phase->as_u64())
+                               : kNoPhase;
+    e.rank = static_cast<std::int32_t>(s.at("rank").as_i64());
+    pt.spans.push_back(e);
+  }
+
+  ProcessTelemetry& slot = processes_[pt.process];
+  pt.frames = slot.frames + 1;
+  const Ingest result{pt.process, pt.final_received};
+  slot = std::move(pt);
+  ++frames_total_;
+  return result;
+}
+
+bool TelemetryHub::empty() const {
+  std::lock_guard lock(mu_);
+  return processes_.empty();
+}
+
+std::vector<ProcessTelemetry> TelemetryHub::snapshot() const {
+  std::lock_guard lock(mu_);
+  std::vector<ProcessTelemetry> out;
+  out.reserve(processes_.size());
+  for (const auto& [process, pt] : processes_) out.push_back(pt);
+  return out;
+}
+
+std::vector<SpanEvent> TelemetryHub::merged_events(
+    const SpanTracer& local) const {
+  std::vector<SpanEvent> out = local.events();
+  {
+    std::lock_guard lock(mu_);
+    for (const auto& [process, pt] : processes_) {
+      out.insert(out.end(), pt.spans.begin(), pt.spans.end());
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const SpanEvent& a, const SpanEvent& b) {
+                     if (a.rank != b.rank) return a.rank < b.rank;
+                     return a.t_start_ns < b.t_start_ns;
+                   });
+  return out;
+}
+
+std::uint64_t TelemetryHub::merged_dropped(const SpanTracer& local) const {
+  std::uint64_t d = local.dropped();
+  std::lock_guard lock(mu_);
+  for (const auto& [process, pt] : processes_) d += pt.spans_dropped;
+  return d;
+}
+
+std::string TelemetryHub::merged_chrome_json(const SpanTracer& local) const {
+  struct PidEvent {
+    int pid;
+    SpanEvent e;
+  };
+  std::vector<PidEvent> all;
+  for (const SpanEvent& e : local.events()) all.push_back({0, e});
+  {
+    std::lock_guard lock(mu_);
+    for (const auto& [process, pt] : processes_) {
+      for (const SpanEvent& e : pt.spans) all.push_back({process, e});
+    }
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const PidEvent& a, const PidEvent& b) {
+                     if (a.pid != b.pid) return a.pid < b.pid;
+                     if (a.e.rank != b.e.rank) return a.e.rank < b.e.rank;
+                     return a.e.t_start_ns < b.e.t_start_ns;
+                   });
+
+  json::Writer w;
+  w.begin_object();
+  w.key("traceEvents").begin_array();
+  int last_pid = -1;
+  std::int32_t last_named = -2;
+  for (const PidEvent& pe : all) {
+    if (pe.pid != last_pid) {
+      last_pid = pe.pid;
+      last_named = -2;
+      w.begin_object();
+      w.key("name").value("process_name");
+      w.key("ph").value("M");
+      w.key("pid").value(pe.pid);
+      w.key("tid").value(0);
+      w.key("args").begin_object();
+      w.key("name").value("process " + std::to_string(pe.pid));
+      w.end_object();
+      w.end_object();
+    }
+    if (pe.e.rank != last_named) {
+      last_named = pe.e.rank;
+      w.begin_object();
+      w.key("name").value("thread_name");
+      w.key("ph").value("M");
+      w.key("pid").value(pe.pid);
+      w.key("tid").value(pe.e.rank >= 0 ? pe.e.rank : kMaxRanks);
+      w.key("args").begin_object();
+      w.key("name").value(pe.e.rank >= 0
+                              ? ("rank " + std::to_string(pe.e.rank))
+                              : std::string("driver"));
+      w.end_object();
+      w.end_object();
+    }
+    w.begin_object();
+    w.key("name").value(pe.e.op);
+    w.key("cat").value("parda");
+    w.key("ph").value("X");
+    w.key("pid").value(pe.pid);
+    w.key("tid").value(pe.e.rank >= 0 ? pe.e.rank : kMaxRanks);
+    w.key("ts").value(static_cast<double>(pe.e.t_start_ns) / 1000.0);
+    w.key("dur").value(
+        static_cast<double>(pe.e.t_end_ns - pe.e.t_start_ns) / 1000.0);
+    w.key("args").begin_object();
+    w.key("rank").value(static_cast<std::int64_t>(pe.e.rank));
+    if (pe.e.phase != kNoPhase) {
+      w.key("phase").value(static_cast<std::uint64_t>(pe.e.phase));
+    }
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.key("displayTimeUnit").value("ms");
+  w.key("otherData").begin_object();
+  w.key("spansDropped").value(merged_dropped(local));
+  w.end_object();
+  w.end_object();
+  return w.take();
+}
+
+std::string TelemetryHub::merged_metrics_json(const Registry& local) const {
+  std::string base = local.to_json();
+  std::lock_guard lock(mu_);
+  if (processes_.empty()) return base;
+  // Splice a "processes" array before the local document's closing brace.
+  base.pop_back();
+  json::Writer w;
+  w.begin_array();
+  for (const auto& [process, pt] : processes_) {
+    w.begin_object();
+    w.key("process").value(process);
+    w.key("seq").value(pt.seq);
+    w.key("frames").value(pt.frames);
+    w.key("final").value(pt.final_received);
+    w.key("clock");
+    write_clock(w, pt.clock);
+    w.key("spans_dropped").value(pt.spans_dropped);
+    w.key("age_ns").value(std::max<std::int64_t>(
+        0, tracer().now_ns() - pt.last_ingest_ns));
+    w.key("metrics").raw(pt.metrics_json);
+    w.end_object();
+  }
+  w.end_array();
+  base += ",\"processes\":";
+  base += w.take();
+  base += "}";
+  return base;
+}
+
+std::int64_t TelemetryHub::max_uncertainty_ns() const {
+  std::lock_guard lock(mu_);
+  std::int64_t u = 0;
+  for (const auto& [process, pt] : processes_) {
+    if (pt.clock.valid) u = std::max(u, pt.clock.uncertainty_ns);
+  }
+  return u;
+}
+
+std::uint64_t TelemetryHub::frames_total() const {
+  std::lock_guard lock(mu_);
+  return frames_total_;
+}
+
+void TelemetryHub::clear() {
+  std::lock_guard lock(mu_);
+  processes_.clear();
+  frames_total_ = 0;
+  // Interned op strings stay allocated: cleared hubs may still have
+  // SpanEvent copies alive in callers.
+}
+
+TelemetryHub& hub() {
+  static TelemetryHub instance;
+  return instance;
+}
+
+}  // namespace parda::obs

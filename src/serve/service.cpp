@@ -246,6 +246,9 @@ Admission MrcService::register_tenant(const std::string& name,
   tenant->ingested = &reg.counter(labeled("serve.ingest_refs"));
   tenant->rejected = &reg.counter(labeled("serve.rejected_batches"));
   tenant->abort_count = &reg.counter(labeled("serve.window_aborts"));
+  tenant->shed = &reg.counter(labeled("serve.shed_batches"));
+  tenant->degraded = &reg.counter(labeled("serve.degraded"));
+  tenant->quarantined = &reg.counter(labeled("serve.quarantined"));
   tenant->footprint = &reg.gauge(labeled("serve.tenant_footprint_bytes"));
   tenant->mode_gauge = &reg.gauge(labeled("serve.tenant_mode"));
   publish_mode(*tenant);
@@ -285,6 +288,7 @@ Admission MrcService::ingest(const std::string& name,
       shed_total_->increment();
       rejected_total_->increment();
       tenant->rejected->increment();
+      tenant->shed->increment();
       return Admission::kShedding;
     }
     degrade_all();
@@ -327,6 +331,7 @@ Admission MrcService::ingest_locked(
     if (t.session.aborts() >= quotas.max_aborts) {
       t.session.quarantine();
       quarantined_total_->increment();
+      t.quarantined->increment();
       publish_mode(t);
       refresh_footprint(t);
       return Admission::kQuarantined;
@@ -338,6 +343,7 @@ Admission MrcService::ingest_locked(
       t.session.footprint_bytes() > quotas.memory_quota_bytes) {
     t.session.degrade();
     degraded_total_->increment();
+    t.degraded->increment();
     publish_mode(t);
   }
   refresh_footprint(t);
@@ -366,6 +372,7 @@ void MrcService::degrade_all() {
     if (tenant->session.mode() != TenantMode::kExact) continue;
     tenant->session.degrade();
     degraded_total_->increment();
+    tenant->degraded->increment();
     publish_mode(*tenant);
     refresh_footprint(*tenant);
   }
@@ -414,6 +421,7 @@ std::optional<Histogram> MrcService::histogram(const std::string& name) {
     if (tenant->session.aborts() >= tenant->session.config().quotas.max_aborts) {
       tenant->session.quarantine();
       quarantined_total_->increment();
+      tenant->quarantined->increment();
       publish_mode(*tenant);
       refresh_footprint(*tenant);
     }
@@ -457,6 +465,7 @@ std::map<std::string, Histogram> MrcService::drain() {
       tenant->session.record_abort();
       tenant->session.quarantine();
       quarantined_total_->increment();
+      tenant->quarantined->increment();
       publish_mode(*tenant);
       drained_[name] = tenant->session.snapshot();
     }
@@ -526,6 +535,7 @@ std::optional<Response> MrcService::route(const Request& request) {
       if (tenant->session.mode() != TenantMode::kQuarantined) {
         tenant->session.quarantine();
         quarantined_total_->increment();
+        tenant->quarantined->increment();
         publish_mode(*tenant);
         refresh_footprint(*tenant);
       }

@@ -173,6 +173,9 @@ class MrcService {
     obs::Counter* ingested = nullptr;
     obs::Counter* rejected = nullptr;
     obs::Counter* abort_count = nullptr;
+    obs::Counter* shed = nullptr;        // batches bounced by overload
+    obs::Counter* degraded = nullptr;    // exact -> sampling transitions
+    obs::Counter* quarantined = nullptr; // terminal quarantine events
     obs::Gauge* footprint = nullptr;
     obs::Gauge* mode_gauge = nullptr;
     std::uint64_t reported_footprint = 0;  // last value added to the global

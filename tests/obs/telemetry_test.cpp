@@ -295,6 +295,10 @@ TEST(StructuredLog, EmitsOneJsonLineWithAttribution) {
   EXPECT_EQ(doc.at("rank").as_i64(), 2);
   EXPECT_EQ(doc.at("phase").as_u64(), 7u);
   EXPECT_GE(doc.at("ts_ns").as_i64(), 0);
+  // The wall-clock anchor: unix_ns is the same instant as ts_ns, so
+  // multi-process logs merge on it. anchor + ts_ns == unix_ns exactly.
+  EXPECT_EQ(doc.at("unix_ns").as_i64(),
+            log_unix_anchor_ns() + doc.at("ts_ns").as_i64());
   EXPECT_EQ(doc.at("fields").at("action").as_string(), "delay");
   EXPECT_EQ(doc.at("fields").at("ms").as_u64(), 50u);
   EXPECT_TRUE(doc.at("fields").at("ok").boolean);
@@ -486,6 +490,270 @@ TEST(TelemetryServer, ScrapesConcurrentWithStreamingAnalysis) {
   // The spans endpoint reflects the finished run.
   const std::string spans = http_body(http_get(runtime.serve_port(), "/spans"));
   EXPECT_NE(parse_ok(spans).at("traceEvents").array.size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Distributed telemetry: parda.telemetry.v1 frames and the rank-0 hub.
+// ---------------------------------------------------------------------------
+
+TEST(TelemetryFrame, RoundTripsThroughTheHub) {
+  ScopedEnable on;
+  Registry reg;
+  SpanTracer spans(64);
+  reg.counter("dist.bytes").add_for_rank(0, 77);
+  reg.gauge("dist.depth").set_for_rank(0, 5);
+  reg.timer("dist.wait").record_ns(1000);
+  spans.record(100, 200, "analyze", 3);
+
+  ClockSync clock;
+  clock.offset_ns = 5'000'000;
+  clock.uncertainty_ns = 1200;
+  clock.valid = true;
+  clock.samples = 8;
+
+  const std::string frame = make_telemetry_frame(2, 9, false, clock, reg, spans);
+  const json::Value doc = parse_ok(frame);
+  EXPECT_EQ(doc.at("schema").as_string(), "parda.telemetry.v1");
+  EXPECT_EQ(doc.at("process").as_i64(), 2);
+  EXPECT_EQ(doc.at("seq").as_u64(), 9u);
+  EXPECT_FALSE(doc.at("final").boolean);
+  EXPECT_EQ(doc.at("clock").at("offset_ns").as_i64(), 5'000'000);
+  EXPECT_EQ(doc.at("metrics").at("schema").as_string(), "parda.metrics.v1");
+
+  TelemetryHub local_hub;
+  EXPECT_TRUE(local_hub.empty());
+  const TelemetryHub::Ingest first = local_hub.ingest_frame(frame);
+  EXPECT_EQ(first.process, 2);
+  EXPECT_FALSE(first.final_frame);
+  EXPECT_FALSE(local_hub.empty());
+  EXPECT_EQ(local_hub.frames_total(), 1u);
+
+  const auto remotes = local_hub.snapshot();
+  ASSERT_EQ(remotes.size(), 1u);
+  const ProcessTelemetry& pt = remotes[0];
+  EXPECT_EQ(pt.process, 2);
+  EXPECT_EQ(pt.seq, 9u);
+  EXPECT_FALSE(pt.final_received);
+  EXPECT_TRUE(pt.clock.valid);
+  ASSERT_EQ(pt.counters.size(), 1u);
+  EXPECT_EQ(pt.counters[0].name, "dist.bytes");
+  ASSERT_GE(pt.counters[0].shards.size(), 2u);
+  EXPECT_EQ(pt.counters[0].shards[1], 77u);  // index r+1 = rank r
+  ASSERT_EQ(pt.timers.size(), 1u);
+  EXPECT_EQ(pt.timers[0].count, 1u);
+
+  // Span timestamps were rebased onto rank 0's epoch at ingest.
+  ASSERT_EQ(pt.spans.size(), 1u);
+  EXPECT_EQ(pt.spans[0].t_start_ns, 100 + 5'000'000);
+  EXPECT_EQ(pt.spans[0].t_end_ns, 200 + 5'000'000);
+  EXPECT_STREQ(pt.spans[0].op, "analyze");
+  EXPECT_EQ(pt.spans[0].phase, 3u);
+  EXPECT_EQ(local_hub.max_uncertainty_ns(), 1200);
+
+  // A later frame REPLACES the process's snapshot (frames are cumulative),
+  // and the final flag is surfaced to the caller.
+  spans.record(300, 400, "reduce", 3);
+  const TelemetryHub::Ingest last = local_hub.ingest_frame(
+      make_telemetry_frame(2, 10, true, clock, reg, spans));
+  EXPECT_EQ(last.process, 2);
+  EXPECT_TRUE(last.final_frame);
+  const auto updated = local_hub.snapshot();
+  ASSERT_EQ(updated.size(), 1u);
+  EXPECT_EQ(updated[0].seq, 10u);
+  EXPECT_TRUE(updated[0].final_received);
+  EXPECT_EQ(updated[0].frames, 2u);
+  EXPECT_EQ(updated[0].spans.size(), 2u);
+
+  // merged_events folds local + rebased-remote spans for the SpanReport.
+  SpanTracer local(16);
+  local.record(0, 50, "scatter", 0);
+  const auto merged = local_hub.merged_events(local);
+  EXPECT_EQ(merged.size(), 3u);
+  parse_ok(local_hub.merged_chrome_json(local)).at("traceEvents");
+  const json::Value mm = parse_ok(local_hub.merged_metrics_json(reg));
+  ASSERT_EQ(mm.at("processes").array.size(), 1u);
+  EXPECT_EQ(mm.at("processes").array[0].at("process").as_i64(), 2);
+
+  local_hub.clear();
+  EXPECT_TRUE(local_hub.empty());
+}
+
+TEST(TelemetryFrame, HubRejectsMalformedFrames) {
+  TelemetryHub local_hub;
+  EXPECT_ANY_THROW(local_hub.ingest_frame("{"));
+  EXPECT_ANY_THROW(local_hub.ingest_frame("{\"schema\":\"nope\"}"));
+  EXPECT_TRUE(local_hub.empty());  // nothing was stored
+}
+
+TEST(TelemetryFrame, FleetPrometheusSharesFamilyBlocksAcrossProcesses) {
+  ScopedEnable on;
+  // The same counter exists locally and remotely: the exposition must
+  // render ONE family block (a duplicate HELP/TYPE is a validator error)
+  // with process="0" and process="1" samples side by side.
+  Registry local;
+  SpanTracer local_spans(16);
+  local.counter("fleet.chunks").add_for_rank(0, 10);
+
+  Registry remote;
+  SpanTracer remote_spans(16);
+  remote.counter("fleet.chunks").add_for_rank(1, 33);
+  TelemetryHub local_hub;
+  local_hub.ingest_frame(
+      make_telemetry_frame(1, 1, true, ClockSync{0, 900, true, 8}, remote,
+                           remote_spans));
+
+  const std::string text = to_prometheus(local, local_spans, local_hub);
+  const std::vector<std::string> problems = validate_prometheus(text);
+  EXPECT_TRUE(problems.empty()) << problems[0];
+  EXPECT_NE(text.find("parda_fleet_chunks_total{process=\"0\",rank=\"0\"} 10"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("parda_fleet_chunks_total{process=\"1\",rank=\"1\"} 33"),
+            std::string::npos)
+      << text;
+  // Per-process freshness and clock-trust gauges ride along.
+  EXPECT_NE(text.find("parda_telemetry_frames_total{process=\"1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("parda_telemetry_final{process=\"1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("parda_telemetry_clock_uncertainty_ns{process=\"1\"} 900"),
+      std::string::npos);
+}
+
+TEST(PrometheusValidator, LabelValueEscapesAndProcessRankCombos) {
+  // Escaped backslash, newline, and quote in a label value are legal; so
+  // is any process/rank label combination the fleet exposition emits.
+  EXPECT_TRUE(validate_prometheus(
+                  "# HELP a_total ok\n"
+                  "# TYPE a_total counter\n"
+                  "a_total{path=\"C:\\\\tmp\\n\\\"q\\\"\"} 1\n"
+                  "a_total{process=\"0\",rank=\"driver\"} 2\n"
+                  "a_total{process=\"1\",rank=\"0\"} 3\n")
+                  .empty());
+  // Unknown escape sequences are rejected...
+  EXPECT_FALSE(validate_prometheus("# HELP a_total ok\n"
+                                   "# TYPE a_total counter\n"
+                                   "a_total{rank=\"\\q\"} 1\n")
+                   .empty());
+  // ...as are unterminated label values...
+  EXPECT_FALSE(validate_prometheus("# HELP a_total ok\n"
+                                   "# TYPE a_total counter\n"
+                                   "a_total{rank=\"0} 1\n")
+                   .empty());
+  // ...and the duplicate HELP/TYPE a naive per-process renderer would
+  // produce (the regression the shared family blocks exist to prevent).
+  EXPECT_FALSE(validate_prometheus("# HELP a_total ok\n"
+                                   "# TYPE a_total counter\n"
+                                   "a_total{process=\"0\"} 1\n"
+                                   "# HELP a_total ok\n"
+                                   "# TYPE a_total counter\n"
+                                   "a_total{process=\"1\"} 2\n")
+                   .empty());
+}
+
+TEST(FleetMetrics, CountersStayMonotoneAcrossWorldReset) {
+  ScopedEnable on;
+  // An injected fault poisons the shared World; the runtime recycles it
+  // with World::reset() for the next job. The metrics registry is
+  // process-global: the recycle must NOT zero counters (Prometheus
+  // counters are monotone) and the exposition must stay valid throughout.
+  ZipfWorkload w(300, 0.9, 41);
+  const auto trace = generate_trace(w, 6000);
+  const comm::FaultPlan plan = comm::FaultPlan::parse("rank=1,op=recv,n=0");
+
+  core::PardaRuntime runtime;
+  PardaOptions options;
+  options.num_procs = 3;
+  const Histogram reference = parda_analyze(trace, options).hist;
+
+  auto session = runtime.session(options);
+  session.options().run_options.fault_plan = &plan;
+  EXPECT_THROW(session.analyze(trace), comm::FaultInjectedError);
+  const std::uint64_t sends_after_abort =
+      registry().counter_total("comm.sends");
+  EXPECT_TRUE(validate_prometheus(to_prometheus(registry(), tracer())).empty());
+
+  session.options().run_options.fault_plan = nullptr;
+  EXPECT_TRUE(session.analyze(trace).hist == reference);
+  EXPECT_GE(registry().counter_total("comm.sends"), sends_after_abort);
+  EXPECT_TRUE(validate_prometheus(to_prometheus(registry(), tracer())).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Crash flight recorder.
+// ---------------------------------------------------------------------------
+
+TEST(FlightRecorder, FirstDumpWinsAndIsStructured) {
+  ScopedEnable on;
+  flightrec_reset_for_test();
+  tracer().clear();
+  {
+    ScopedThreadRank rank(1);
+    tracer().record(10, 90, "analyze", 0);
+  }
+
+  // The abort-origin log line must land in the dump's structured tail.
+  std::FILE* sink = std::tmpfile();
+  ASSERT_NE(sink, nullptr);
+  const LogLevel prev = log_level();
+  set_log_sink(sink);
+  set_log_level(LogLevel::kWarn);
+  log(LogLevel::kWarn, "comm.abort").field("origin", 1).field("cause", "test");
+  set_log_sink(nullptr);
+  set_log_level(prev);
+  std::fclose(sink);
+
+  const std::string path =
+      std::string(::testing::TempDir()) + "/flightrec_%r.json";
+  flightrec_configure(path, 3);
+  flightrec_note("transport", "tcp(np=2)");
+  flightrec_note("abort.origin", "1");
+
+  EXPECT_FALSE(flightrec_dumped());
+  EXPECT_TRUE(flightrec_dump("test: injected failure"));
+  EXPECT_TRUE(flightrec_dumped());
+  // First dump wins: a second trigger in the same process is a no-op, so
+  // the file describes the original failure, not the teardown cascade.
+  EXPECT_FALSE(flightrec_dump("test: cascade"));
+
+  const std::string resolved =
+      std::string(::testing::TempDir()) + "/flightrec_3.json";
+  std::FILE* f = std::fopen(resolved.c_str(), "r");
+  ASSERT_NE(f, nullptr) << "expected dump at " << resolved;
+  std::string doc_text;
+  char buf[4096];
+  std::size_t got;
+  while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) doc_text.append(buf, got);
+  std::fclose(f);
+  std::remove(resolved.c_str());
+
+  const json::Value doc = parse_ok(doc_text);
+  EXPECT_EQ(doc.at("schema").as_string(), "parda.flightrec.v1");
+  EXPECT_EQ(doc.at("reason").as_string(), "test: injected failure");
+  EXPECT_EQ(doc.at("process").as_i64(), 3);
+  EXPECT_GT(doc.at("unix_ns").as_i64(), 0);
+  EXPECT_EQ(doc.at("context").at("transport").as_string(), "tcp(np=2)");
+  EXPECT_EQ(doc.at("context").at("abort.origin").as_string(), "1");
+
+  bool abort_line = false;
+  for (const json::Value& line : doc.at("log_tail").array) {
+    if (line.at("event").as_string() == "comm.abort") abort_line = true;
+  }
+  EXPECT_TRUE(abort_line) << "log tail missed the abort-origin line";
+
+  bool analyze_span = false;
+  for (const json::Value& span : doc.at("spans").array) {
+    if (span.at("op").as_string() == "analyze" &&
+        span.at("rank").as_i64() == 1) {
+      analyze_span = true;
+    }
+  }
+  EXPECT_TRUE(analyze_span);
+  EXPECT_EQ(doc.at("metrics").at("schema").as_string(), "parda.metrics.v1");
+
+  flightrec_reset_for_test();
+  tracer().clear();
 }
 
 // ---------------------------------------------------------------------------
